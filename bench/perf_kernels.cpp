@@ -1,0 +1,66 @@
+// Performance of the two kernels everything rests on: the PPSFP fault
+// simulator (patterns/second with fault dropping) and the analytic
+// testability analysis (the paper's efficiency argument is that one
+// coordinate step costs less than two full analyses).
+
+#include <benchmark/benchmark.h>
+
+#include "fault/fault.h"
+#include "gen/suite.h"
+#include "io/weights_io.h"
+#include "prob/detect.h"
+#include "sim/fault_sim.h"
+
+namespace {
+
+using namespace wrpt;
+
+void bm_fault_sim(benchmark::State& state, const std::string& name,
+                  std::uint64_t patterns) {
+    const netlist nl = build_suite_circuit(name);
+    const auto faults = generate_full_faults(nl);
+    for (auto _ : state) {
+        fault_sim_options fo;
+        fo.max_patterns = patterns;
+        auto res = run_weighted_fault_simulation(nl, faults,
+                                                 uniform_weights(nl), 7, fo);
+        benchmark::DoNotOptimize(res.detected_count);
+    }
+    state.counters["patterns/s"] = benchmark::Counter(
+        static_cast<double>(patterns) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["faults"] = static_cast<double>(faults.size());
+}
+
+void bm_analysis(benchmark::State& state, const std::string& name) {
+    const netlist nl = build_suite_circuit(name);
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator analysis;
+    const weight_vector w = uniform_weights(nl);
+    for (auto _ : state) {
+        auto probs = analysis.estimate(nl, faults, w);
+        benchmark::DoNotOptimize(probs.data());
+    }
+    state.counters["faults/s"] = benchmark::Counter(
+        static_cast<double>(faults.size()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_fault_sim, S1_4k, std::string("S1"), 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fault_sim, c6288_1k, std::string("c6288"), 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fault_sim, c7552_1k, std::string("c7552"), 1024)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(bm_analysis, S1, std::string("S1"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_analysis, S2, std::string("S2"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_analysis, c7552, std::string("c7552"))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table 2: fault coverage by simulation of conventional random patterns
+// on the four random-pattern-resistant circuits, at the paper's pattern
+// counts. Coverage is reported with respect to faults not proven
+// redundant (the paper's accounting) and, for reference, to all faults.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+    using namespace wrpt;
+    using wrpt::bench::account_faults;
+
+    text_table t(
+        "Table 2: Fault coverage of conventional random patterns (p = 0.5)");
+    t.set_header({"Circuit", "Patterns", "Coverage% (paper)",
+                  "Coverage% (ours)", "of all faults%", "proven redundant",
+                  "unclassified"});
+
+    stopwatch total;
+    for (const auto& entry : hard_suite()) {
+        const netlist nl = entry.build();
+        const auto acc = account_faults(nl);
+        fault_sim_options fo;
+        fo.max_patterns = entry.paper_sim_patterns;
+        const auto sim = run_weighted_fault_simulation(
+            nl, acc.faults, uniform_weights(nl), 0x7ab1e2, fo);
+        t.add_row({entry.name, format_count(entry.paper_sim_patterns),
+                   format_fixed(entry.paper_conventional_coverage, 1),
+                   format_fixed(acc.coverage_percent(sim), 1),
+                   format_fixed(sim.coverage_percent(acc.faults.size()), 1),
+                   std::to_string(acc.redundant_count),
+                   std::to_string(acc.aborted_count)});
+    }
+    std::cout << t;
+    std::printf(
+        "\nShape check: conventional random patterns leave a large fraction\n"
+        "of faults undetected on every starred circuit. ('unclassified' are\n"
+        "faults the bounded PODEM pass could neither test nor prove\n"
+        "redundant; they remain in the coverage denominator.)\n"
+        "(total %.2f s)\n\n",
+        total.seconds());
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Table 3: necessary test lengths for optimized random tests — the core
+// result. OPTIMIZE computes one probability per primary input; NORMALIZE
+// reports the resulting test length. Also prints the appendix-style
+// optimized input probability listing for S1 and c7552.
+
+#include <cstdio>
+#include <iostream>
+
+#include "gen/suite.h"
+#include "io/weights_io.h"
+#include "opt/optimizer.h"
+#include "prob/detect.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+    using namespace wrpt;
+    text_table t("Table 3: Necessary test lengths for optimized random tests");
+    t.set_header({"Circuit", "N conventional", "N optimized (paper)",
+                  "N optimized (ours)", "reduction", "sweeps"});
+
+    stopwatch total;
+    for (const auto& entry : hard_suite()) {
+        const netlist nl = entry.build();
+        const auto faults = generate_full_faults(nl);
+        cop_detect_estimator analysis;
+        const optimize_result res =
+            optimize_weights(nl, faults, analysis, uniform_weights(nl));
+        const double reduction =
+            res.final_test_length > 0.0
+                ? res.initial_test_length / res.final_test_length
+                : 0.0;
+        t.add_row({entry.name, format_sci(res.initial_test_length, 2),
+                   format_sci(entry.paper_optimized_length, 2),
+                   format_sci(res.final_test_length, 2),
+                   format_sci(reduction, 2) + "x",
+                   std::to_string(res.history.size())});
+
+        if (entry.name == "S1" || entry.name == "c7552") {
+            std::printf(
+                "\nAppendix-style listing: optimized input probabilities "
+                "for %s\n",
+                entry.name.c_str());
+            for (std::size_t i = 0; i < res.weights.size(); ++i) {
+                std::printf("  %-6s %.2f", nl.node_name(nl.inputs()[i]).c_str(),
+                            res.weights[i]);
+                if (i % 6 == 5) std::printf("\n");
+            }
+            std::printf("\n");
+        }
+    }
+    std::cout << "\n" << t;
+    std::printf(
+        "\nShape check: optimization cuts the necessary test length by\n"
+        "orders of magnitude on every random-pattern-resistant circuit,\n"
+        "as in the paper (S1: 5.6e8 -> 3.5e4 there).\n(total %.2f s)\n\n",
+        total.seconds());
+    return 0;
+}

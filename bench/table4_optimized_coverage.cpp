@@ -1,0 +1,52 @@
+// Table 4: fault coverage by simulation of optimized random patterns at
+// the same pattern counts as Table 2 — "the results of fault simulation
+// prove that such optimized random patterns yield a higher fault coverage
+// indeed".
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "opt/optimizer.h"
+#include "prob/detect.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+    using namespace wrpt;
+    using wrpt::bench::account_faults;
+
+    text_table t("Table 4: Fault coverage of optimized random patterns");
+    t.set_header({"Circuit", "Patterns", "Coverage% (paper)",
+                  "Coverage% (ours)", "of all faults%", "conv% (ours)"});
+
+    stopwatch total;
+    for (const auto& entry : hard_suite()) {
+        const netlist nl = entry.build();
+        const auto acc = account_faults(nl);
+        cop_detect_estimator analysis;
+        const optimize_result opt =
+            optimize_weights(nl, acc.faults, analysis, uniform_weights(nl));
+
+        fault_sim_options fo;
+        fo.max_patterns = entry.paper_sim_patterns;
+        const auto conv = run_weighted_fault_simulation(
+            nl, acc.faults, uniform_weights(nl), 0x7ab1e4, fo);
+        const auto sim = run_weighted_fault_simulation(
+            nl, acc.faults, opt.weights, 0x7ab1e4, fo);
+
+        t.add_row({entry.name, format_count(entry.paper_sim_patterns),
+                   format_fixed(entry.paper_optimized_coverage, 1),
+                   format_fixed(acc.coverage_percent(sim), 1),
+                   format_fixed(sim.coverage_percent(acc.faults.size()), 1),
+                   format_fixed(acc.coverage_percent(conv), 1)});
+    }
+    std::cout << t;
+    std::printf(
+        "\nShape check: with the optimized input probabilities the same\n"
+        "pattern budgets reach near-complete coverage of the detectable\n"
+        "faults, far above the conventional coverage of Table 2.\n"
+        "(total %.2f s)\n\n",
+        total.seconds());
+    return 0;
+}

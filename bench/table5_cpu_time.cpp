@@ -1,0 +1,45 @@
+// Table 5: CPU time of the optimizing procedure per circuit.
+//
+// The paper reports 300 s (S1) ... 2000 s (C7552) on a ~2.5 MIPS Siemens
+// 7561. Absolute numbers on a modern CPU differ by orders of magnitude;
+// the reproducible shape is the relative ordering across circuits and the
+// near-independence of the per-input minimization from circuit size
+// (paper section 4, observation 2).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/suite.h"
+#include "io/weights_io.h"
+#include "opt/optimizer.h"
+#include "prob/detect.h"
+
+namespace {
+
+void run_optimize(benchmark::State& state, const std::string& name) {
+    using namespace wrpt;
+    const netlist nl = build_suite_circuit(name);
+    const auto faults = generate_full_faults(nl);
+    for (auto _ : state) {
+        cop_detect_estimator analysis;
+        optimize_result res =
+            optimize_weights(nl, faults, analysis, uniform_weights(nl));
+        benchmark::DoNotOptimize(res.final_test_length);
+    }
+    state.counters["gates"] =
+        static_cast<double>(nl.stats().gate_count);
+    state.counters["faults"] = static_cast<double>(faults.size());
+    state.counters["inputs"] = static_cast<double>(nl.input_count());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(run_optimize, S1, std::string("S1"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(run_optimize, S2, std::string("S2"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(run_optimize, c2670, std::string("c2670"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(run_optimize, c7552, std::string("c7552"))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// The paper's flagship experiment end to end on S1, the 24-bit comparator
+// built from six SN7485-style slices:
+//   1. estimate the conventional random test length (Table 1 row),
+//   2. run OPTIMIZE (section 4),
+//   3. print the appendix-style weight listing and write a weights file,
+//   4. verify by fault simulation at 12,000 patterns (Tables 2/4).
+//
+//   ./build/examples/optimize_comparator [weights-out.txt]
+
+#include <cstdio>
+#include <fstream>
+
+#include "fault/fault.h"
+#include "gen/comparator.h"
+#include "io/weights_io.h"
+#include "opt/optimizer.h"
+#include "prob/detect.h"
+#include "sim/fault_sim.h"
+
+int main(int argc, char** argv) {
+    using namespace wrpt;
+    const netlist nl = make_s1();
+    const auto faults = generate_full_faults(nl);
+    std::printf("S1: %zu inputs, %zu gates, %zu faults\n", nl.input_count(),
+                nl.stats().gate_count, faults.size());
+
+    cop_detect_estimator analysis;
+    const auto conventional =
+        required_test_length(nl, faults, analysis, uniform_weights(nl));
+    std::printf("Table 1 row: conventional N = %.3g  (paper: 5.6e8)\n",
+                conventional.test_length);
+
+    const optimize_result opt =
+        optimize_weights(nl, faults, analysis, uniform_weights(nl));
+    std::printf("Table 3 row: optimized N = %.3g  (paper: 3.5e4), "
+                "%zu sweeps, %zu analysis calls\n",
+                opt.final_test_length, opt.history.size(), opt.analysis_calls);
+
+    std::printf("\nOptimized input probabilities (appendix style):\n");
+    for (std::size_t i = 0; i < opt.weights.size(); ++i) {
+        std::printf("  %-4s %.2f", nl.node_name(nl.inputs()[i]).c_str(),
+                    opt.weights[i]);
+        if (i % 8 == 7) std::printf("\n");
+    }
+    std::printf("\n");
+
+    if (argc > 1) {
+        write_weights_file(argv[1], nl, opt.weights);
+        std::printf("weights written to %s\n", argv[1]);
+    }
+
+    fault_sim_options fo;
+    fo.max_patterns = 12000;
+    const auto conv_sim = run_weighted_fault_simulation(
+        nl, faults, uniform_weights(nl), 42, fo);
+    const auto opt_sim =
+        run_weighted_fault_simulation(nl, faults, opt.weights, 42, fo);
+    std::printf(
+        "Tables 2/4 rows: coverage at 12,000 patterns:\n"
+        "  conventional %.1f%%  (paper: 80.7%%)\n"
+        "  optimized    %.1f%%  (paper: 99.7%%)\n",
+        conv_sim.coverage_percent(faults.size()),
+        opt_sim.coverage_percent(faults.size()));
+    return 0;
+}

@@ -1,0 +1,32 @@
+// Static test-set compaction by reverse-order fault simulation.
+//
+// The section 5.2 flow (optimized random patterns + PODEM top-up) yields a
+// correct but redundant test set: late patterns re-detect faults earlier
+// ones already covered. Classic static compaction simulates the set in
+// reverse order with fault dropping and keeps only patterns that
+// first-detect something — typically shrinking random-heavy sets several
+// fold without losing coverage.
+
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct compaction_result {
+    std::vector<std::vector<bool>> patterns;  ///< the compacted set
+    std::size_t detected = 0;   ///< faults covered by the compacted set
+    std::size_t original_size = 0;
+};
+
+/// Keep a subset of `patterns` with the same fault coverage (w.r.t.
+/// `faults`). Patterns are considered in reverse order; a pattern is kept
+/// iff it detects a fault not yet covered by the already-kept ones.
+compaction_result compact_test_set(const netlist& nl,
+                                   const std::vector<fault>& faults,
+                                   const std::vector<std::vector<bool>>& patterns);
+
+}  // namespace wrpt

@@ -1,0 +1,344 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+
+#include "sim/logic_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace wrpt {
+namespace {
+
+enum class tv : std::uint8_t { zero, one, x };
+
+tv tv_not(tv v) {
+    if (v == tv::x) return tv::x;
+    return v == tv::zero ? tv::one : tv::zero;
+}
+
+tv tv_from_bool(bool b) { return b ? tv::one : tv::zero; }
+
+/// Ternary gate evaluation over a fanin value array.
+tv eval_ternary(gate_kind kind, const tv* vals, std::size_t count) {
+    switch (kind) {
+        case gate_kind::const0: return tv::zero;
+        case gate_kind::const1: return tv::one;
+        case gate_kind::buf: return vals[0];
+        case gate_kind::not_: return tv_not(vals[0]);
+        case gate_kind::and_:
+        case gate_kind::nand_: {
+            bool any_x = false;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (vals[i] == tv::zero)
+                    return kind == gate_kind::and_ ? tv::zero : tv::one;
+                if (vals[i] == tv::x) any_x = true;
+            }
+            if (any_x) return tv::x;
+            return kind == gate_kind::and_ ? tv::one : tv::zero;
+        }
+        case gate_kind::or_:
+        case gate_kind::nor_: {
+            bool any_x = false;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (vals[i] == tv::one)
+                    return kind == gate_kind::or_ ? tv::one : tv::zero;
+                if (vals[i] == tv::x) any_x = true;
+            }
+            if (any_x) return tv::x;
+            return kind == gate_kind::or_ ? tv::zero : tv::one;
+        }
+        case gate_kind::xor_:
+        case gate_kind::xnor_: {
+            bool parity = (kind == gate_kind::xnor_);
+            for (std::size_t i = 0; i < count; ++i) {
+                if (vals[i] == tv::x) return tv::x;
+                if (vals[i] == tv::one) parity = !parity;
+            }
+            return parity ? tv::one : tv::zero;
+        }
+        case gate_kind::input:
+            throw error("eval_ternary: input has no gate function");
+    }
+    throw error("eval_ternary: unknown kind");
+}
+
+}  // namespace
+
+/// All per-attempt state of one PODEM run, with event-driven composite
+/// (good, bad, diff-possible) propagation: a decision assigns one primary
+/// input, so only its fanout cone is recomputed.
+struct podem_engine::ternary_frame {
+    const netlist* nl = nullptr;
+    fault f;
+    node_id site = null_node;
+    tv stuck = tv::x;
+
+    std::vector<tv> pi;
+    std::vector<tv> good;
+    std::vector<tv> bad;
+    std::vector<bool> dp;  ///< some output difference still possible via n
+
+    std::vector<std::vector<node_id>> buckets;  // by level
+    std::vector<std::uint8_t> queued;
+
+    void init(const netlist& n, const fault& fault_, node_id site_, tv stuck_) {
+        nl = &n;
+        f = fault_;
+        site = site_;
+        stuck = stuck_;
+        pi.assign(n.input_count(), tv::x);
+        good.assign(n.node_count(), tv::x);
+        bad.assign(n.node_count(), tv::x);
+        dp.assign(n.node_count(), false);
+        buckets.resize(n.depth() + 1);
+        queued.assign(n.node_count(), 0);
+        for (node_id id = 0; id < n.node_count(); ++id) recompute(id);
+    }
+
+    /// Recompute (good, bad, dp) of one node from its fanins; returns true
+    /// if anything changed.
+    bool recompute(node_id n) {
+        const netlist& net = *nl;
+        const auto fi = net.fanins(n);
+        tv vals[64] = {};
+        require(fi.size() <= 64, "podem: gate arity beyond kernel limit");
+        tv g, b;
+        if (net.kind(n) == gate_kind::input) {
+            g = pi[net.input_index(n)];
+            b = g;
+        } else {
+            for (std::size_t k = 0; k < fi.size(); ++k) vals[k] = good[fi[k]];
+            g = eval_ternary(net.kind(n), vals, fi.size());
+            for (std::size_t k = 0; k < fi.size(); ++k) vals[k] = bad[fi[k]];
+            if (!f.is_stem() && n == f.where)
+                vals[static_cast<std::size_t>(f.pin)] = stuck;
+            b = eval_ternary(net.kind(n), vals, fi.size());
+        }
+        if (f.is_stem() && n == f.where) b = stuck;
+
+        // Conservative difference-possibility: a fully known pair decides;
+        // an unknown pair can differ only if a fanin can — except at the
+        // fault insertion point, where the difference originates whenever
+        // activation is still possible.
+        bool d;
+        if (g != tv::x && b != tv::x) {
+            d = g != b;
+        } else {
+            d = false;
+            for (node_id x : fi)
+                if (dp[x]) {
+                    d = true;
+                    break;
+                }
+            if (n == f.where) {
+                // For a stem fault the site's fault-free value is the one
+                // being computed right now; for a branch fault the driver
+                // is upstream and already final.
+                const tv site_good = f.is_stem() ? g : good[site];
+                if (site_good == tv::x || site_good != stuck) d = true;
+            }
+        }
+        const bool changed = g != good[n] || b != bad[n] || d != dp[n];
+        good[n] = g;
+        bad[n] = b;
+        dp[n] = d;
+        return changed;
+    }
+
+    void schedule(node_id n) {
+        if (!queued[n]) {
+            queued[n] = 1;
+            buckets[nl->level(n)].push_back(n);
+        }
+    }
+
+    /// Assign (or unassign with tv::x) one primary input and propagate.
+    void set_pi(std::size_t index, tv value) {
+        if (pi[index] == value) return;
+        pi[index] = value;
+        const node_id start = nl->inputs()[index];
+        if (!recompute(start)) return;
+        for (node_id fo : nl->fanouts(start)) schedule(fo);
+        for (std::size_t lvl = 0; lvl < buckets.size(); ++lvl) {
+            auto& bucket = buckets[lvl];
+            for (std::size_t idx = 0; idx < bucket.size(); ++idx) {
+                const node_id n = bucket[idx];
+                queued[n] = 0;
+                if (recompute(n))
+                    for (node_id fo : nl->fanouts(n)) schedule(fo);
+            }
+            bucket.clear();
+        }
+    }
+};
+
+podem_engine::podem_engine(const netlist& nl, podem_options options)
+    : nl_(&nl), options_(options) {
+    nl.validate();
+}
+
+podem_result podem_engine::generate(const fault& f) {
+    const netlist& nl = *nl_;
+    const node_id site = fault_site_driver(nl, f);
+    const tv stuck_tv = tv_from_bool(stuck_value(f.value));
+
+    ternary_frame fr;
+    fr.init(nl, f, site, stuck_tv);
+
+    auto is_d_node = [&](node_id n) {
+        return fr.good[n] != tv::x && fr.bad[n] != tv::x &&
+               fr.good[n] != fr.bad[n];
+    };
+
+    auto detected_at_output = [&] {
+        for (node_id o : nl.outputs())
+            if (is_d_node(o)) return true;
+        return false;
+    };
+
+    auto failure = [&] {
+        if (fr.good[site] != tv::x && fr.good[site] == stuck_tv) return true;
+        for (node_id o : nl.outputs())
+            if (fr.dp[o]) return false;
+        return true;
+    };
+
+    struct objective {
+        node_id node = null_node;
+        tv value = tv::x;
+    };
+    // The difference can only live in the fanout cone of the fault, so the
+    // D-frontier scan starts at the insertion point.
+    const node_id frontier_start = std::min(site, f.where);
+    auto pick_objective = [&]() -> objective {
+        if (fr.good[site] == tv::x) return {site, tv_not(stuck_tv)};
+        for (node_id n = frontier_start; n < nl.node_count(); ++n) {
+            if (fr.good[n] != tv::x && fr.bad[n] != tv::x) continue;
+            if (!fr.dp[n]) continue;
+            const auto fi = nl.fanins(n);
+            bool has_d_input = false;
+            for (node_id x : fi) {
+                if (is_d_node(x)) {
+                    has_d_input = true;
+                    break;
+                }
+            }
+            if (!f.is_stem() && n == f.where) has_d_input = true;
+            if (!has_d_input) continue;
+            for (node_id x : fi) {
+                if (fr.good[x] == tv::x) {
+                    tv want = tv::one;
+                    if (kind_has_controlling_value(nl.kind(n)))
+                        want = tv_from_bool(!controlling_value(nl.kind(n)));
+                    return {x, want};
+                }
+            }
+        }
+        for (std::size_t i = 0; i < nl.input_count(); ++i)
+            if (fr.pi[i] == tv::x) return {nl.inputs()[i], tv::one};
+        return {};
+    };
+
+    // Backtrace an objective to an unassigned primary input. For and/or
+    // bodies the required input value equals the objective value (all-1 to
+    // set an and, any-0 to clear it, dually for or); inverting gates flip;
+    // xor picks a polarity and relies on the decision search for the other.
+    auto backtrace = [&](objective obj) -> std::pair<std::size_t, bool> {
+        node_id n = obj.node;
+        tv v = obj.value;
+        while (nl.kind(n) != gate_kind::input) {
+            if (kind_inverts(nl.kind(n))) v = tv_not(v);
+            node_id next = null_node;
+            for (node_id x : nl.fanins(n)) {
+                if (fr.good[x] == tv::x) {
+                    next = x;
+                    break;
+                }
+            }
+            require(next != null_node, "podem: backtrace hit a justified gate");
+            n = next;
+        }
+        return {nl.input_index(n), v == tv::one};
+    };
+
+    struct decision {
+        std::size_t input;
+        bool value;
+        bool flipped;
+    };
+    std::vector<decision> stack;
+    podem_result res;
+
+    while (true) {
+        if (detected_at_output()) {
+            rng filler(options_.random_fill_seed);
+            res.pattern.assign(nl.input_count(), false);
+            for (std::size_t i = 0; i < nl.input_count(); ++i) {
+                if (fr.pi[i] == tv::x)
+                    res.pattern[i] = filler.next_bool(0.5);
+                else
+                    res.pattern[i] = fr.pi[i] == tv::one;
+            }
+            const auto good_out = evaluate(nl, res.pattern);
+            const auto bad_out = evaluate_with_fault(nl, res.pattern, f);
+            if (good_out == bad_out)
+                throw error("podem: generated test failed verification for " +
+                            to_string(nl, f));
+            res.status = podem_status::detected;
+            return res;
+        }
+
+        if (failure()) {
+            while (!stack.empty() && stack.back().flipped) {
+                fr.set_pi(stack.back().input, tv::x);
+                stack.pop_back();
+            }
+            if (stack.empty()) {
+                res.status = podem_status::redundant;
+                return res;
+            }
+            if (++res.backtracks > options_.backtrack_limit) {
+                res.status = podem_status::aborted;
+                return res;
+            }
+            decision& d = stack.back();
+            d.value = !d.value;
+            d.flipped = true;
+            fr.set_pi(d.input, tv_from_bool(d.value));
+            continue;
+        }
+
+        const objective obj = pick_objective();
+        if (obj.node == null_node) {
+            res.status = podem_status::aborted;
+            return res;
+        }
+        const auto [input, value] = backtrace(obj);
+        stack.push_back({input, value, false});
+        ++res.decisions;
+        fr.set_pi(input, tv_from_bool(value));
+    }
+}
+
+fault_classification classify_faults(const netlist& nl,
+                                     const std::vector<fault>& faults,
+                                     const podem_options& options) {
+    podem_engine engine(nl, options);
+    fault_classification out;
+    out.status.reserve(faults.size());
+    for (const fault& f : faults) {
+        const podem_result r = engine.generate(f);
+        out.status.push_back(r.status);
+        switch (r.status) {
+            case podem_status::detected:
+                ++out.detected;
+                out.tests.push_back(r.pattern);
+                break;
+            case podem_status::redundant: ++out.redundant; break;
+            case podem_status::aborted: ++out.aborted; break;
+        }
+    }
+    return out;
+}
+
+}  // namespace wrpt

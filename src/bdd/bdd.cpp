@@ -1,0 +1,163 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ULL;
+    h ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+}  // namespace
+
+bdd_manager::bdd_manager(std::uint32_t var_count, std::size_t node_limit)
+    : var_count_(var_count), node_limit_(node_limit) {
+    // Terminals occupy slots 0 and 1; their var is a sentinel above all
+    // real variables so level() ordering works uniformly.
+    nodes_.push_back({var_count_, 0, 0});  // false
+    nodes_.push_back({var_count_, 1, 1});  // true
+}
+
+bdd_manager::ref bdd_manager::make_node(std::uint32_t v, ref lo, ref hi) {
+    if (lo == hi) return lo;
+    const std::uint64_t key = mix3(v, lo, hi);
+    auto it = unique_.find(key);
+    if (it != unique_.end()) {
+        const node& n = nodes_[it->second];
+        if (n.var == v && n.lo == lo && n.hi == hi) return it->second;
+        // Rare hash collision: linear fallback.
+        for (ref r = 2; r < nodes_.size(); ++r) {
+            const node& m = nodes_[r];
+            if (m.var == v && m.lo == lo && m.hi == hi) return r;
+        }
+    }
+    if (nodes_.size() >= node_limit_)
+        throw budget_exhausted("bdd_manager: node limit exceeded");
+    nodes_.push_back({v, lo, hi});
+    const ref r = static_cast<ref>(nodes_.size() - 1);
+    unique_[key] = r;
+    return r;
+}
+
+bdd_manager::ref bdd_manager::var(std::uint32_t v) {
+    require(v < var_count_, "bdd_manager::var: variable out of range");
+    return make_node(v, zero(), one());
+}
+
+bdd_manager::ref bdd_manager::ite(ref f, ref g, ref h) {
+    // Terminal cases.
+    if (f == one()) return g;
+    if (f == zero()) return h;
+    if (g == h) return g;
+    if (g == one() && h == zero()) return f;
+
+    const std::uint64_t key = mix3(f, g, h) ^ 0xabcdef1234567ULL;
+    if (auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+    const std::uint32_t top =
+        std::min({level(f), level(g), level(h)});
+    auto cofactor = [&](ref r, bool positive) {
+        if (level(r) != top) return r;
+        return positive ? nodes_[r].hi : nodes_[r].lo;
+    };
+    const ref hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+    const ref lo =
+        ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+    const ref r = make_node(top, lo, hi);
+    ite_cache_[key] = r;
+    return r;
+}
+
+bdd_manager::ref bdd_manager::lnot(ref a) { return ite(a, zero(), one()); }
+bdd_manager::ref bdd_manager::land(ref a, ref b) { return ite(a, b, zero()); }
+bdd_manager::ref bdd_manager::lor(ref a, ref b) { return ite(a, one(), b); }
+bdd_manager::ref bdd_manager::lxor(ref a, ref b) {
+    return ite(a, lnot(b), b);
+}
+bdd_manager::ref bdd_manager::lxnor(ref a, ref b) { return ite(a, b, lnot(b)); }
+
+double bdd_manager::sat_probability(ref f,
+                                    std::span<const double> var_probs) const {
+    require(var_probs.size() >= var_count_,
+            "sat_probability: not enough variable probabilities");
+    std::unordered_map<ref, double> memo;
+    // Iterative post-order to avoid recursion depth issues on deep BDDs.
+    std::vector<ref> stack{f};
+    while (!stack.empty()) {
+        const ref r = stack.back();
+        if (r <= 1 || memo.contains(r)) {
+            stack.pop_back();
+            continue;
+        }
+        const node& n = nodes_[r];
+        const bool lo_ready = n.lo <= 1 || memo.contains(n.lo);
+        const bool hi_ready = n.hi <= 1 || memo.contains(n.hi);
+        if (lo_ready && hi_ready) {
+            auto value = [&](ref x) {
+                return x <= 1 ? static_cast<double>(x) : memo.at(x);
+            };
+            const double p = var_probs[n.var];
+            memo[r] = (1.0 - p) * value(n.lo) + p * value(n.hi);
+            stack.pop_back();
+        } else {
+            if (!lo_ready) stack.push_back(n.lo);
+            if (!hi_ready) stack.push_back(n.hi);
+        }
+    }
+    if (f <= 1) return static_cast<double>(f);
+    return memo.at(f);
+}
+
+double bdd_manager::sat_fraction(ref f) const {
+    std::vector<double> half(var_count_, 0.5);
+    return sat_probability(f, half);
+}
+
+std::vector<bdd_manager::ref> build_node_bdds(bdd_manager& mgr,
+                                              const netlist& nl) {
+    require(mgr.var_count() >= nl.input_count(),
+            "build_node_bdds: manager has too few variables");
+    std::vector<bdd_manager::ref> f(nl.node_count(), bdd_manager::zero());
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const auto fi = nl.fanins(n);
+        switch (nl.kind(n)) {
+            case gate_kind::input:
+                f[n] = mgr.var(static_cast<std::uint32_t>(nl.input_index(n)));
+                break;
+            case gate_kind::const0: f[n] = bdd_manager::zero(); break;
+            case gate_kind::const1: f[n] = bdd_manager::one(); break;
+            case gate_kind::buf: f[n] = f[fi[0]]; break;
+            case gate_kind::not_: f[n] = mgr.lnot(f[fi[0]]); break;
+            case gate_kind::and_:
+            case gate_kind::nand_: {
+                bdd_manager::ref acc = bdd_manager::one();
+                for (node_id x : fi) acc = mgr.land(acc, f[x]);
+                f[n] = (nl.kind(n) == gate_kind::nand_) ? mgr.lnot(acc) : acc;
+                break;
+            }
+            case gate_kind::or_:
+            case gate_kind::nor_: {
+                bdd_manager::ref acc = bdd_manager::zero();
+                for (node_id x : fi) acc = mgr.lor(acc, f[x]);
+                f[n] = (nl.kind(n) == gate_kind::nor_) ? mgr.lnot(acc) : acc;
+                break;
+            }
+            case gate_kind::xor_:
+            case gate_kind::xnor_: {
+                bdd_manager::ref acc = bdd_manager::zero();
+                for (node_id x : fi) acc = mgr.lxor(acc, f[x]);
+                f[n] = (nl.kind(n) == gate_kind::xnor_) ? mgr.lnot(acc) : acc;
+                break;
+            }
+        }
+    }
+    return f;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,76 @@
+// Reduced ordered BDD package with weighted satisfaction probability.
+//
+// This is the exact engine behind Parker-McCluskey signal probabilities
+// [McPa75] and exact fault detection probabilities (Boolean difference).
+// The paper cites Parker/McCluskey as the exact-but-exponential baseline
+// that estimation tools (PROTEST, STAFAN, the cutting algorithm)
+// approximate; we provide it as ground truth for small circuits. A node
+// budget turns the inherent exponential blowup into a clean
+// budget_exhausted exception.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+class bdd_manager {
+public:
+    /// Node handle. 0 = constant false, 1 = constant true.
+    using ref = std::uint32_t;
+
+    explicit bdd_manager(std::uint32_t var_count,
+                         std::size_t node_limit = std::size_t{1} << 22);
+
+    static constexpr ref zero() { return 0; }
+    static constexpr ref one() { return 1; }
+
+    std::uint32_t var_count() const { return var_count_; }
+    std::size_t node_count() const { return nodes_.size(); }
+
+    /// Projection function of variable v (v < var_count).
+    ref var(std::uint32_t v);
+
+    ref lnot(ref a);
+    ref land(ref a, ref b);
+    ref lor(ref a, ref b);
+    ref lxor(ref a, ref b);
+    ref lxnor(ref a, ref b);
+    ref ite(ref f, ref g, ref h);
+
+    /// P(f = 1) when variable v is true with probability var_probs[v]
+    /// (independent variables) — the Parker-McCluskey exact computation.
+    double sat_probability(ref f, std::span<const double> var_probs) const;
+
+    /// Number of satisfying assignments / 2^var_count (uniform inputs).
+    double sat_fraction(ref f) const;
+
+private:
+    struct node {
+        std::uint32_t var;
+        ref lo;
+        ref hi;
+    };
+    std::uint32_t level(ref r) const {
+        return r <= 1 ? var_count_ : nodes_[r].var;
+    }
+    ref make_node(std::uint32_t v, ref lo, ref hi);
+
+    std::uint32_t var_count_;
+    std::size_t node_limit_;
+    std::vector<node> nodes_;
+    std::unordered_map<std::uint64_t, ref> unique_;
+    std::unordered_map<std::uint64_t, ref> ite_cache_;
+};
+
+/// Build one BDD per netlist node (topological composition). Variable v is
+/// the v-th primary input. Throws budget_exhausted on blowup.
+std::vector<bdd_manager::ref> build_node_bdds(bdd_manager& mgr,
+                                              const netlist& nl);
+
+}  // namespace wrpt

@@ -1,0 +1,80 @@
+#include "bist/grading.h"
+
+#include "bist/misr.h"
+#include "sim/logic_sim.h"
+#include "sim/patterns.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+signature_grading_result grade_by_signature(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights, const signature_grading_options& options) {
+    require(weights.size() == nl.input_count(),
+            "grade_by_signature: weight count mismatch");
+    signature_grading_result res;
+    res.faults_total = faults.size();
+
+    simulator sim(nl);
+    weighted_random_source source(weights, options.seed,
+                                  options.weight_resolution_bits);
+
+    // One MISR per fault plus the golden one; every fault is carried
+    // through the whole session (no dropping — aliasing is a whole-session
+    // property).
+    misr golden(options.misr_degree);
+    std::vector<misr> faulty(faults.size(), misr(options.misr_degree));
+    std::vector<bool> output_detected(faults.size(), false);
+
+    const std::size_t outs = nl.output_count();
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> faulty_outputs(outs);
+    std::uint64_t applied = 0;
+    while (applied < options.patterns) {
+        source.next_block(words);
+        sim.simulate(words);
+        const std::uint64_t block =
+            std::min<std::uint64_t>(64, options.patterns - applied);
+
+        // Golden signature update.
+        for (std::uint64_t b = 0; b < block; ++b) {
+            std::uint64_t folded = 0;
+            for (std::size_t o = 0; o < outs; ++o)
+                if ((sim.value(nl.outputs()[o]) >> b) & 1ULL)
+                    folded ^= (1ULL << (o % options.misr_degree));
+            golden.feed(folded);
+        }
+
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            const std::uint64_t mask = sim.detect_mask(faults[fi]);
+            if (mask != 0) output_detected[fi] = true;
+            const auto diff = sim.last_output_diff();
+            for (std::size_t o = 0; o < outs; ++o)
+                faulty_outputs[o] =
+                    sim.value(nl.outputs()[o]) ^ (mask ? diff[o] : 0);
+            for (std::uint64_t b = 0; b < block; ++b) {
+                std::uint64_t folded = 0;
+                for (std::size_t o = 0; o < outs; ++o)
+                    if ((faulty_outputs[o] >> b) & 1ULL)
+                        folded ^= (1ULL << (o % options.misr_degree));
+                faulty[fi].feed(folded);
+            }
+        }
+        applied += block;
+    }
+
+    res.golden_signature = golden.signature();
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        const bool sig_diff = faulty[fi].signature() != golden.signature();
+        if (output_detected[fi]) {
+            ++res.detected_by_outputs;
+            if (sig_diff)
+                ++res.detected_by_signature;
+            else
+                ++res.aliased;
+        }
+    }
+    return res;
+}
+
+}  // namespace wrpt

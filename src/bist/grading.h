@@ -1,0 +1,48 @@
+// Exact signature-based fault grading.
+//
+// The session result in session.h counts a fault as detected when any
+// output differs on any pattern — an upper bound for signature-based BIST,
+// because the MISR can alias (the error sequence compacts to the golden
+// signature). This module runs the MISR per fault and measures the real
+// signature coverage and the empirical aliasing rate, which theory bounds
+// near 2^-degree.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "io/weights_io.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct signature_grading_options {
+    std::uint64_t patterns = 1024;
+    unsigned misr_degree = 16;
+    std::uint64_t seed = 0x519;
+    int weight_resolution_bits = 16;
+};
+
+struct signature_grading_result {
+    std::uint64_t golden_signature = 0;
+    std::size_t faults_total = 0;
+    std::size_t detected_by_outputs = 0;   ///< any output difference
+    std::size_t detected_by_signature = 0; ///< faulty signature != golden
+    std::size_t aliased = 0;  ///< output-detected but signature-equal
+    double empirical_aliasing_rate() const {
+        return detected_by_outputs == 0
+                   ? 0.0
+                   : static_cast<double>(aliased) /
+                         static_cast<double>(detected_by_outputs);
+    }
+};
+
+/// Run every fault through the full compaction chain: weighted random
+/// patterns -> circuit -> MISR, comparing final signatures.
+signature_grading_result grade_by_signature(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights, const signature_grading_options& options = {});
+
+}  // namespace wrpt

@@ -1,0 +1,80 @@
+#include "bist/lfsr.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+/// Maximal-length tap positions (1-based, XAPP052-style table).
+constexpr std::uint8_t tap_table[][4] = {
+    /* 2*/ {2, 1, 0, 0},   /* 3*/ {3, 2, 0, 0},   /* 4*/ {4, 3, 0, 0},
+    /* 5*/ {5, 3, 0, 0},   /* 6*/ {6, 5, 0, 0},   /* 7*/ {7, 6, 0, 0},
+    /* 8*/ {8, 6, 5, 4},   /* 9*/ {9, 5, 0, 0},   /*10*/ {10, 7, 0, 0},
+    /*11*/ {11, 9, 0, 0},  /*12*/ {12, 6, 4, 1},  /*13*/ {13, 4, 3, 1},
+    /*14*/ {14, 5, 3, 1},  /*15*/ {15, 14, 0, 0}, /*16*/ {16, 15, 13, 4},
+    /*17*/ {17, 14, 0, 0}, /*18*/ {18, 11, 0, 0}, /*19*/ {19, 6, 2, 1},
+    /*20*/ {20, 17, 0, 0}, /*21*/ {21, 19, 0, 0}, /*22*/ {22, 21, 0, 0},
+    /*23*/ {23, 18, 0, 0}, /*24*/ {24, 23, 22, 17}, /*25*/ {25, 22, 0, 0},
+    /*26*/ {26, 6, 2, 1},  /*27*/ {27, 5, 2, 1},  /*28*/ {28, 25, 0, 0},
+    /*29*/ {29, 27, 0, 0}, /*30*/ {30, 6, 4, 1},  /*31*/ {31, 28, 0, 0},
+    /*32*/ {32, 22, 2, 1},
+};
+
+}  // namespace
+
+std::uint64_t lfsr::primitive_taps(unsigned degree) {
+    require(degree >= 2 && degree <= 32, "lfsr: degree must be in [2,32]");
+    std::uint64_t mask = 0;
+    for (std::uint8_t pos : tap_table[degree - 2])
+        if (pos != 0) mask |= (1ULL << (pos - 1));
+    return mask;
+}
+
+lfsr::lfsr(unsigned degree, std::uint64_t tap_mask, std::uint64_t seed)
+    : degree_(degree), tap_mask_(tap_mask) {
+    require(degree >= 2 && degree <= 63, "lfsr: degree out of range");
+    const std::uint64_t state_mask = (1ULL << degree) - 1;
+    require((tap_mask & ~state_mask) == 0, "lfsr: taps beyond degree");
+    require((tap_mask >> (degree - 1)) & 1ULL,
+            "lfsr: feedback must include the last stage");
+    state_ = seed & state_mask;
+    require(state_ != 0, "lfsr: seed must be nonzero within the register");
+}
+
+lfsr lfsr::max_length(unsigned degree, std::uint64_t seed) {
+    return lfsr(degree, primitive_taps(degree), seed);
+}
+
+bool lfsr::step() {
+    // Fibonacci form on the output history: state bit (k-1) holds output
+    // y_{t-k}; the new output is the XOR of the tapped history bits, which
+    // realizes the primitive recurrence of the table polynomial.
+    const bool out = (std::popcount(state_ & tap_mask_) & 1) != 0;
+    const std::uint64_t state_mask = (1ULL << degree_) - 1;
+    state_ = ((state_ << 1) | (out ? 1ULL : 0ULL)) & state_mask;
+    return out;
+}
+
+std::uint64_t lfsr::step_word(unsigned k) {
+    require(k <= 64, "lfsr::step_word: at most 64 bits");
+    std::uint64_t w = 0;
+    for (unsigned i = 0; i < k; ++i)
+        if (step()) w |= (1ULL << i);
+    return w;
+}
+
+std::uint64_t lfsr::measure_period() const {
+    lfsr copy = *this;
+    const std::uint64_t start = copy.state_;
+    std::uint64_t count = 0;
+    do {
+        copy.step();
+        ++count;
+        require(count < (1ULL << 34), "lfsr::measure_period: period too long");
+    } while (copy.state_ != start);
+    return count;
+}
+
+}  // namespace wrpt

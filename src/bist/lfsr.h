@@ -1,0 +1,48 @@
+// Linear feedback shift registers — the paper's on-chip pattern source.
+//
+// "the application of those patterns needs no expensive test equipment,
+//  since it can be done by linear feedback shift registers (LFSR) during
+//  self test" (introduction). Fibonacci-form LFSR with a table of
+// maximal-length (primitive) feedback polynomials for degrees 2..32.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wrpt {
+
+class lfsr {
+public:
+    /// Construct with an explicit tap mask (bit i set = stage i+1 feeds the
+    /// XOR). The register must not start at all-zero.
+    lfsr(unsigned degree, std::uint64_t tap_mask, std::uint64_t seed);
+
+    /// Maximal-length LFSR for the given degree (2..32) from the built-in
+    /// primitive polynomial table.
+    static lfsr max_length(unsigned degree, std::uint64_t seed = 1);
+
+    /// Tap mask of the built-in primitive polynomial for `degree`.
+    static std::uint64_t primitive_taps(unsigned degree);
+
+    unsigned degree() const { return degree_; }
+    std::uint64_t state() const { return state_; }
+
+    /// Advance one clock; returns the bit shifted out.
+    bool step();
+
+    /// Convenience: advance `k` clocks, collecting the output bits
+    /// (bit 0 = first output).
+    std::uint64_t step_word(unsigned k);
+
+    /// Period of the sequence from the current state (walks the cycle;
+    /// intended for small degrees in tests).
+    std::uint64_t measure_period() const;
+
+private:
+    unsigned degree_;
+    std::uint64_t tap_mask_;
+    std::uint64_t state_;
+};
+
+}  // namespace wrpt

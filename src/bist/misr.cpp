@@ -1,0 +1,34 @@
+#include "bist/misr.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+misr::misr(unsigned degree, std::uint64_t seed)
+    : degree_(degree), tap_mask_(lfsr::primitive_taps(degree)) {
+    require(degree >= 2 && degree <= 32, "misr: degree must be in [2,32]");
+    state_ = seed & ((1ULL << degree) - 1);
+}
+
+void misr::feed(std::uint64_t response_bits) {
+    const std::uint64_t mask = (1ULL << degree_) - 1;
+    const bool fb = (std::popcount(state_ & tap_mask_) & 1) != 0;
+    state_ = ((state_ << 1) | (fb ? 1ULL : 0ULL)) & mask;
+    state_ ^= response_bits & mask;
+}
+
+void misr::feed_bits(const std::vector<bool>& response) {
+    std::uint64_t folded = 0;
+    for (std::size_t i = 0; i < response.size(); ++i)
+        if (response[i]) folded ^= (1ULL << (i % degree_));
+    feed(folded);
+}
+
+double misr::aliasing_probability() const {
+    return std::ldexp(1.0, -static_cast<int>(degree_));
+}
+
+}  // namespace wrpt

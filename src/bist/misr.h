@@ -1,0 +1,38 @@
+// Multiple-input signature register for test response compaction.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/lfsr.h"
+
+namespace wrpt {
+
+/// Classic MISR: a maximal-length LFSR whose cells additionally XOR one
+/// response bit each clock. Aliasing probability approaches 2^-degree.
+class misr {
+public:
+    explicit misr(unsigned degree, std::uint64_t seed = 0);
+
+    unsigned degree() const { return degree_; }
+    std::uint64_t signature() const { return state_; }
+
+    /// Clock once, folding up to `degree` response bits (bit i of
+    /// `response_bits` enters cell i).
+    void feed(std::uint64_t response_bits);
+
+    /// Fold a whole response vector (wider than degree allowed: the vector
+    /// is XOR-folded into degree columns first).
+    void feed_bits(const std::vector<bool>& response);
+
+    /// Estimated aliasing probability 2^-degree.
+    double aliasing_probability() const;
+
+private:
+    unsigned degree_;
+    std::uint64_t tap_mask_;
+    std::uint64_t state_;
+};
+
+}  // namespace wrpt

@@ -1,0 +1,74 @@
+#include "bist/session.h"
+
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+lfsr_pattern_source make_source(const netlist& nl,
+                                const weight_vector& target_weights,
+                                const bist_session_options& options) {
+    require(target_weights.size() == nl.input_count(),
+            "bist session: weight count mismatch");
+    lfsr gen = lfsr::max_length(options.lfsr_degree, options.lfsr_seed);
+    return lfsr_pattern_source(
+        gen, taps_for_weights(target_weights, options.max_weight_stages));
+}
+
+}  // namespace
+
+std::uint64_t compute_golden_signature(const netlist& nl,
+                                       const weight_vector& target_weights,
+                                       const bist_session_options& options) {
+    lfsr_pattern_source source = make_source(nl, target_weights, options);
+    simulator sim(nl);
+    misr sig(options.misr_degree);
+    std::vector<std::uint64_t> words;
+    std::uint64_t applied = 0;
+    while (applied < options.patterns) {
+        source.next_block(words);
+        sim.simulate(words);
+        const std::uint64_t block =
+            std::min<std::uint64_t>(64, options.patterns - applied);
+        for (std::uint64_t b = 0; b < block; ++b) {
+            std::uint64_t folded = 0;
+            for (std::size_t o = 0; o < nl.output_count(); ++o) {
+                if ((sim.value(nl.outputs()[o]) >> b) & 1ULL)
+                    folded ^= (1ULL << (o % options.misr_degree));
+            }
+            sig.feed(folded);
+        }
+        applied += block;
+    }
+    return sig.signature();
+}
+
+bist_session_result run_bist_session(const netlist& nl,
+                                     const std::vector<fault>& faults,
+                                     const weight_vector& target_weights,
+                                     const bist_session_options& options) {
+    bist_session_result res;
+    res.golden_signature = compute_golden_signature(nl, target_weights, options);
+
+    lfsr_pattern_source source = make_source(nl, target_weights, options);
+    res.realized_weights = source.realized_weights();
+
+    fault_sim_options fopts;
+    fopts.max_patterns = options.patterns;
+    // Fresh source with the same seed: the fault simulator must see the
+    // exact sequence the chip would apply.
+    lfsr_pattern_source grading = make_source(nl, target_weights, options);
+    const fault_sim_result fr =
+        run_fault_simulation(nl, faults, grading, fopts);
+
+    res.patterns_applied = fr.patterns_applied;
+    res.faults_detected = fr.detected_count;
+    res.faults_total = faults.size();
+    res.aliasing_probability =
+        misr(options.misr_degree).aliasing_probability();
+    return res;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,56 @@
+// A complete weighted-random self-test session: LFSR + weighting networks
+// drive the circuit, a MISR compacts the responses — the BILBO-like module
+// of [Wu86]/[Wu87] that the paper names as the main application.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/misr.h"
+#include "bist/weightgen.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct bist_session_options {
+    std::uint64_t patterns = 4096;
+    unsigned lfsr_degree = 32;
+    std::uint64_t lfsr_seed = 0xace1;
+    unsigned misr_degree = 32;
+    unsigned max_weight_stages = 5;  ///< weighting network depth
+};
+
+struct bist_session_result {
+    std::uint64_t golden_signature = 0;
+    std::uint64_t patterns_applied = 0;
+    weight_vector realized_weights;
+    /// Fault coverage measured by fault simulation with the exact LFSR
+    /// pattern sequence (detection = any output difference; signature
+    /// aliasing adds at most aliasing_probability).
+    std::size_t faults_detected = 0;
+    std::size_t faults_total = 0;
+    double aliasing_probability = 0.0;
+
+    double coverage_percent() const {
+        return faults_total == 0 ? 100.0
+                                 : 100.0 * static_cast<double>(faults_detected) /
+                                       static_cast<double>(faults_total);
+    }
+};
+
+/// Run a self-test session with the given target weights (quantized to the
+/// LFSR alphabet internally).
+bist_session_result run_bist_session(const netlist& nl,
+                                     const std::vector<fault>& faults,
+                                     const weight_vector& target_weights,
+                                     const bist_session_options& options = {});
+
+/// Golden signature only (no fault grading) — what the reference chip
+/// would store.
+std::uint64_t compute_golden_signature(const netlist& nl,
+                                       const weight_vector& target_weights,
+                                       const bist_session_options& options = {});
+
+}  // namespace wrpt

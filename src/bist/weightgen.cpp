@@ -1,0 +1,130 @@
+#include "bist/weightgen.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+double weight_tap::realized() const {
+    const double p = std::ldexp(1.0, -static_cast<int>(stages));
+    return use_or ? 1.0 - p : p;
+}
+
+std::vector<weight_tap> taps_for_weights(const weight_vector& weights,
+                                         unsigned max_stages) {
+    require(max_stages >= 1 && max_stages <= 30, "taps_for_weights: stages");
+    std::vector<weight_tap> taps;
+    taps.reserve(weights.size());
+    for (double w : weights) {
+        weight_tap best{1, false};
+        double best_err = std::abs(best.realized() - w);
+        for (unsigned m = 1; m <= max_stages; ++m) {
+            for (bool use_or : {false, true}) {
+                const weight_tap cand{m, use_or};
+                const double err = std::abs(cand.realized() - w);
+                if (err < best_err) {
+                    best = cand;
+                    best_err = err;
+                }
+            }
+        }
+        taps.push_back(best);
+    }
+    return taps;
+}
+
+lfsr_pattern_source::lfsr_pattern_source(lfsr generator,
+                                         std::vector<weight_tap> taps)
+    : gen_(generator), taps_(std::move(taps)) {
+    for (const auto& t : taps_)
+        require(t.stages >= 1 && t.stages <= 30,
+                "lfsr_pattern_source: tap stages out of range");
+}
+
+std::vector<bool> lfsr_pattern_source::next_pattern() {
+    std::vector<bool> p(taps_.size());
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+        const weight_tap& t = taps_[i];
+        bool acc = t.use_or ? false : true;
+        for (unsigned m = 0; m < t.stages; ++m) {
+            const bool b = gen_.step();
+            acc = t.use_or ? (acc || b) : (acc && b);
+        }
+        p[i] = acc;
+    }
+    return p;
+}
+
+void lfsr_pattern_source::next_block(std::vector<std::uint64_t>& words) {
+    words.assign(taps_.size(), 0);
+    for (int b = 0; b < 64; ++b) {
+        const std::vector<bool> p = next_pattern();
+        for (std::size_t i = 0; i < taps_.size(); ++i)
+            if (p[i]) words[i] |= (1ULL << b);
+    }
+}
+
+weight_vector lfsr_pattern_source::realized_weights() const {
+    weight_vector w;
+    w.reserve(taps_.size());
+    for (const auto& t : taps_) w.push_back(t.realized());
+    return w;
+}
+
+double threshold_tap::realized() const {
+    return static_cast<double>(threshold) /
+           static_cast<double>(1ULL << bits);
+}
+
+std::vector<threshold_tap> thresholds_for_weights(const weight_vector& weights,
+                                                  unsigned bits) {
+    require(bits >= 1 && bits <= 24, "thresholds_for_weights: bits range");
+    std::vector<threshold_tap> taps;
+    taps.reserve(weights.size());
+    const double steps = static_cast<double>(1ULL << bits);
+    for (double w : weights) {
+        require(w >= 0.0 && w <= 1.0, "thresholds_for_weights: weight range");
+        threshold_tap t;
+        t.bits = bits;
+        t.threshold = static_cast<std::uint32_t>(std::lround(w * steps));
+        taps.push_back(t);
+    }
+    return taps;
+}
+
+threshold_pattern_source::threshold_pattern_source(
+    lfsr generator, std::vector<threshold_tap> taps)
+    : gen_(generator), taps_(std::move(taps)) {
+    for (const auto& t : taps_)
+        require(t.bits >= 1 && t.bits <= 24 &&
+                    t.threshold <= (1u << t.bits),
+                "threshold_pattern_source: tap out of range");
+}
+
+std::vector<bool> threshold_pattern_source::next_pattern() {
+    std::vector<bool> p(taps_.size());
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+        const std::uint64_t value = gen_.step_word(taps_[i].bits);
+        p[i] = value < taps_[i].threshold;
+    }
+    return p;
+}
+
+void threshold_pattern_source::next_block(std::vector<std::uint64_t>& words) {
+    words.assign(taps_.size(), 0);
+    for (int b = 0; b < 64; ++b) {
+        const std::vector<bool> p = next_pattern();
+        for (std::size_t i = 0; i < taps_.size(); ++i)
+            if (p[i]) words[i] |= (1ULL << b);
+    }
+}
+
+weight_vector threshold_pattern_source::realized_weights() const {
+    weight_vector w;
+    w.reserve(taps_.size());
+    for (const auto& t : taps_) w.push_back(t.realized());
+    return w;
+}
+
+}  // namespace wrpt

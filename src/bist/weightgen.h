@@ -1,0 +1,83 @@
+// Hardware-style weighted pattern generation from an LFSR.
+//
+// Each primary input gets a small combinational "weighting" network fed by
+// successive LFSR bits:
+//   - AND of m bits  -> probability 2^-m
+//   - OR of m bits   -> probability 1 - 2^-m
+//   - 1 bit directly -> probability 1/2
+//   - optional final inversion
+// This realizes the quantize_lfsr alphabet. The paper applies such
+// generators on-chip ("optimized random patterns can be produced on the
+// chip during self test", abstract; the BILBO-like module of [Wu86/87]).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/lfsr.h"
+#include "io/weights_io.h"
+#include "sim/patterns.h"
+
+namespace wrpt {
+
+/// Per-input weighting network configuration.
+struct weight_tap {
+    unsigned stages = 1;   ///< number of LFSR bits combined (>= 1)
+    bool use_or = false;   ///< OR instead of AND
+    double realized() const;
+};
+
+/// Choose taps realizing the closest alphabet weight for each input.
+std::vector<weight_tap> taps_for_weights(const weight_vector& weights,
+                                         unsigned max_stages);
+
+/// Pattern source backed by an LFSR and per-input weighting networks.
+/// Satisfies the sim pattern_source interface, so the same fault simulator
+/// runs against hardware-faithful patterns.
+class lfsr_pattern_source final : public pattern_source {
+public:
+    lfsr_pattern_source(lfsr generator, std::vector<weight_tap> taps);
+
+    void next_block(std::vector<std::uint64_t>& words) override;
+
+    /// The weight each input actually receives.
+    weight_vector realized_weights() const;
+
+    /// Generate one pattern (bool per input).
+    std::vector<bool> next_pattern();
+
+private:
+    lfsr gen_;
+    std::vector<weight_tap> taps_;
+};
+
+/// Threshold-comparator weighting: input i is 1 when the next `bits` LFSR
+/// bits, read as an integer, fall below `threshold` — probability
+/// threshold / 2^bits. More silicon than an AND/OR network, but realizes
+/// arbitrary weights at 2^-bits resolution (the 0.05-grid of the paper's
+/// appendix needs this scheme or a ROM).
+struct threshold_tap {
+    unsigned bits = 8;
+    std::uint32_t threshold = 128;
+    double realized() const;
+};
+
+/// Closest threshold configuration for each target weight.
+std::vector<threshold_tap> thresholds_for_weights(const weight_vector& weights,
+                                                  unsigned bits = 8);
+
+class threshold_pattern_source final : public pattern_source {
+public:
+    threshold_pattern_source(lfsr generator, std::vector<threshold_tap> taps);
+
+    void next_block(std::vector<std::uint64_t>& words) override;
+    weight_vector realized_weights() const;
+    std::vector<bool> next_pattern();
+
+private:
+    lfsr gen_;
+    std::vector<threshold_tap> taps_;
+};
+
+}  // namespace wrpt

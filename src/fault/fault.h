@@ -1,0 +1,67 @@
+// Single stuck-at fault model over netlist lines.
+//
+// Lines are stems (a node's output) and fanout branches (a particular
+// fanin pin of a consuming gate, when the driving stem has fanout > 1).
+// This matches the paper's combinational fault model F: it "must contain
+// all stuck-at-0 and stuck-at-1 faults at the primary inputs" and may
+// contain an arbitrary number of further combinational faults; we include
+// the standard full single-stuck-at list over all lines.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+enum class stuck_at : std::uint8_t { zero = 0, one = 1 };
+
+inline bool stuck_value(stuck_at s) { return s == stuck_at::one; }
+
+/// One stuck-at fault.
+///
+/// pin == -1: stem fault on the output of node `where`.
+/// pin >= 0:  branch fault on fanin pin `pin` of gate `where`.
+struct fault {
+    node_id where = null_node;
+    std::int32_t pin = -1;
+    stuck_at value = stuck_at::zero;
+
+    bool is_stem() const { return pin < 0; }
+    bool operator==(const fault&) const = default;
+};
+
+/// Human-readable fault name, e.g. "G17 sa0" or "G22.in1 sa1".
+std::string to_string(const netlist& nl, const fault& f);
+
+/// The node whose signal value controls detection: the driving node of the
+/// faulty line (the stem for stem faults, the branch's driver for branch
+/// faults).
+node_id fault_site_driver(const netlist& nl, const fault& f);
+
+/// Generate the full single-stuck-at fault list: two faults per stem and
+/// two per fanout branch of multi-fanout stems. Dead internal nodes
+/// (fanout-free non-outputs) are skipped.
+std::vector<fault> generate_full_faults(const netlist& nl);
+
+/// Structural equivalence collapsing.
+///
+/// Classic rules: every input-sa-c of an and/nand/or/nor gate (c the
+/// controlling value) is equivalent to the corresponding output fault;
+/// buf/not input faults are equivalent to their output faults. Classes are
+/// computed with union-find over the full list.
+struct collapsed_faults {
+    std::vector<fault> all;                   ///< the full fault list
+    std::vector<std::uint32_t> class_of;      ///< full index -> class id
+    std::vector<std::uint32_t> representative;///< class id -> full index
+    std::size_t class_count() const { return representative.size(); }
+};
+
+collapsed_faults collapse_faults(const netlist& nl);
+collapsed_faults collapse_faults(const netlist& nl,
+                                 const std::vector<fault>& full);
+
+}  // namespace wrpt

@@ -1,0 +1,127 @@
+#include "gen/alu.h"
+
+#include "util/error.h"
+
+namespace wrpt {
+
+alu_signals add_alu(netlist& nl, const bus& a, const bus& b, node_id s0,
+                    node_id s1, node_id m, node_id cin) {
+    require(a.size() == b.size() && !a.empty(), "add_alu: width mismatch");
+    const std::size_t w = a.size();
+
+    // Operand selection for the arithmetic chain:
+    //   bsel = S1 ? S0 : (B XOR S0)
+    // which yields B, ~B, 0, 1 for S = 00, 01, 10, 11.
+    bus bsel;
+    bsel.reserve(w);
+    for (std::size_t i = 0; i < w; ++i) {
+        const node_id bx = nl.add_binary(gate_kind::xor_, b[i], s0);
+        bsel.push_back(mux2(nl, s1, bx, s0));
+    }
+
+    // Ripple carry over propagate/generate pairs.
+    bus p(w), g(w), sum(w);
+    for (std::size_t i = 0; i < w; ++i) {
+        p[i] = nl.add_binary(gate_kind::xor_, a[i], bsel[i]);
+        g[i] = nl.add_binary(gate_kind::and_, a[i], bsel[i]);
+    }
+    node_id carry = cin;
+    for (std::size_t i = 0; i < w; ++i) {
+        sum[i] = nl.add_binary(gate_kind::xor_, p[i], carry);
+        const node_id t = nl.add_binary(gate_kind::and_, p[i], carry);
+        carry = nl.add_binary(gate_kind::or_, g[i], t);
+    }
+
+    // Logic unit: AND / OR / XOR / NOT A selected by S.
+    bus logic(w);
+    for (std::size_t i = 0; i < w; ++i) {
+        const node_id l_and = nl.add_binary(gate_kind::and_, a[i], b[i]);
+        const node_id l_or = nl.add_binary(gate_kind::or_, a[i], b[i]);
+        const node_id l_xor = nl.add_binary(gate_kind::xor_, a[i], b[i]);
+        const node_id l_not = nl.add_unary(gate_kind::not_, a[i]);
+        const node_id lo = mux2(nl, s0, l_and, l_or);
+        const node_id hi = mux2(nl, s0, l_xor, l_not);
+        logic[i] = mux2(nl, s1, lo, hi);
+    }
+
+    alu_signals out;
+    out.f = mux2_bus(nl, m, sum, logic);
+    out.carry_out = carry;
+    out.group_p = all_set(nl, p);
+    // Group generate: G_{w-1} + P_{w-1} G_{w-2} + ... (lookahead form).
+    {
+        std::vector<node_id> terms;
+        node_id prefix = null_node;
+        for (std::size_t k = 0; k < w; ++k) {
+            const std::size_t i = w - 1 - k;
+            node_id term = g[i];
+            if (prefix != null_node)
+                term = nl.add_binary(gate_kind::and_, prefix, term);
+            terms.push_back(term);
+            prefix = (prefix == null_node)
+                         ? p[i]
+                         : nl.add_binary(gate_kind::and_, prefix, p[i]);
+        }
+        out.group_g = nl.add_tree(gate_kind::or_, terms);
+    }
+    out.a_eq_b = equality(nl, a, b);
+    const node_id any_f = any_set(nl, out.f);
+    out.zero = nl.add_unary(gate_kind::not_, any_f);
+    return out;
+}
+
+netlist make_alu(std::size_t width, const std::string& name) {
+    require(width >= 1 && width <= 32, "make_alu: width out of range");
+    netlist nl(name);
+    const bus a = add_input_bus(nl, "A", width);
+    const bus b = add_input_bus(nl, "B", width);
+    const node_id s0 = nl.add_input("S0");
+    const node_id s1 = nl.add_input("S1");
+    const node_id m = nl.add_input("M");
+    const node_id cin = nl.add_input("CIN");
+    const alu_signals sig = add_alu(nl, a, b, s0, s1, m, cin);
+    mark_output_bus(nl, sig.f, "F");
+    nl.mark_output(sig.carry_out, "COUT");
+    nl.mark_output(sig.group_p, "PG");
+    nl.mark_output(sig.group_g, "GG");
+    nl.mark_output(sig.a_eq_b, "AEQB");
+    nl.mark_output(sig.zero, "ZERO");
+    nl.validate();
+    return nl;
+}
+
+alu_verdict alu_reference(std::uint64_t a, std::uint64_t b, unsigned s, bool m,
+                          bool cin, std::size_t width) {
+    require(width >= 1 && width <= 32, "alu_reference: width out of range");
+    const std::uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+    a &= mask;
+    b &= mask;
+    alu_verdict v;
+    // The carry chain is evaluated by the hardware in both modes (it only
+    // feeds F in arithmetic mode), so the reference computes it always.
+    std::uint64_t bsel = 0;
+    switch (s & 3u) {
+        case 0: bsel = b; break;
+        case 1: bsel = ~b & mask; break;
+        case 2: bsel = 0; break;
+        case 3: bsel = mask; break;
+    }
+    const std::uint64_t total = a + bsel + (cin ? 1 : 0);
+    v.carry_out = (total >> width) != 0;
+    if (m) {
+        switch (s & 3u) {
+            case 0: v.f = a & b; break;
+            case 1: v.f = a | b; break;
+            case 2: v.f = a ^ b; break;
+            case 3: v.f = ~a; break;
+        }
+        v.f &= mask;
+    } else {
+        v.f = total & mask;
+    }
+    v.a_eq_b = (a == b);
+    v.zero = (v.f == 0);
+    return v;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,55 @@
+// 74181-inspired ALU slice and n-bit ALU generator.
+//
+// Several ISCAS'85 benchmarks are ALU/control circuits (c880: 8-bit ALU,
+// c3540: 8-bit ALU with BCD, c5315: 9-bit ALU). This module provides a
+// documented, verifiable ALU with the same interface character as the
+// TI 74181 (operand buses, mode bit, function select, carry chain, group
+// propagate/generate, A=B output). The function table below is our own
+// clean spec; the substitution is documented in DESIGN.md.
+//
+// Function table (M = mode, S = select):
+//   M=1 (logic)     S=00: F = A AND B     S=01: F = A OR B
+//                   S=10: F = A XOR B     S=11: F = NOT A
+//   M=0 (arlogicth) S=00: F = A + B + Cin S=01: F = A + ~B + Cin  (A-B-1+Cin)
+//                   S=10: F = A + Cin     S=11: F = A - 1 + Cin
+//
+// Arithmetic is unsigned modulo 2^width with carry-out.
+
+#pragma once
+
+#include <cstdint>
+
+#include "gen/wordlib.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Signals produced by an ALU component instantiated into a host netlist.
+struct alu_signals {
+    bus f;                         ///< result bus
+    node_id carry_out = null_node;
+    node_id group_p = null_node;   ///< AND of per-bit propagate
+    node_id group_g = null_node;   ///< group generate (carry-lookahead form)
+    node_id a_eq_b = null_node;    ///< wide equality of raw operands
+    node_id zero = null_node;      ///< NOR of the result bits
+};
+
+/// Instantiate an ALU over existing nodes. `s` must have 2 bits (s[0] = S0).
+alu_signals add_alu(netlist& nl, const bus& a, const bus& b, node_id s0,
+                    node_id s1, node_id m, node_id cin);
+
+/// Standalone ALU netlist with inputs A*, B*, S0, S1, M, CIN and outputs
+/// F*, COUT, PG, GG, AEQB, ZERO.
+netlist make_alu(std::size_t width, const std::string& name = "alu");
+
+/// Reference model matching the function table above.
+struct alu_verdict {
+    std::uint64_t f = 0;
+    bool carry_out = false;
+    bool a_eq_b = false;
+    bool zero = false;
+};
+alu_verdict alu_reference(std::uint64_t a, std::uint64_t b, unsigned s,
+                          bool m, bool cin, std::size_t width);
+
+}  // namespace wrpt

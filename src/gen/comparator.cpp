@@ -1,0 +1,78 @@
+#include "gen/comparator.h"
+
+#include "util/error.h"
+
+namespace wrpt {
+
+comparator_cascade add_comparator_slice(netlist& nl, const bus& a, const bus& b,
+                                        const comparator_cascade& in) {
+    require(a.size() == 4 && b.size() == 4, "comparator slice is 4 bits wide");
+    const bool cascaded = in.eq != null_node;
+    if (cascaded)
+        require(in.gt != null_node && in.lt != null_node,
+                "comparator slice: partial cascade inputs");
+
+    // Per-bit equality and strict comparisons.
+    node_id e[4], g[4], l[4];
+    for (int i = 0; i < 4; ++i) {
+        e[i] = nl.add_binary(gate_kind::xnor_, a[i], b[i]);
+        const node_id nb = nl.add_unary(gate_kind::not_, b[i]);
+        const node_id na = nl.add_unary(gate_kind::not_, a[i]);
+        g[i] = nl.add_binary(gate_kind::and_, a[i], nb);
+        l[i] = nl.add_binary(gate_kind::and_, na, b[i]);
+    }
+    // Prefix-equality products from the MSB (bit 3) downwards, as in the
+    // 7485 sum-of-products: gt = g3 + e3 g2 + e3 e2 g1 + e3 e2 e1 g0
+    //                            (+ e3 e2 e1 e0 * gt_in).
+    const node_id e32 = nl.add_binary(gate_kind::and_, e[3], e[2]);
+    const node_id e321 = nl.add_binary(gate_kind::and_, e32, e[1]);
+    const node_id eq4 = nl.add_binary(gate_kind::and_, e321, e[0]);
+
+    std::vector<node_id> gt_terms = {
+        g[3],
+        nl.add_binary(gate_kind::and_, e[3], g[2]),
+        nl.add_binary(gate_kind::and_, e32, g[1]),
+        nl.add_binary(gate_kind::and_, e321, g[0]),
+    };
+    std::vector<node_id> lt_terms = {
+        l[3],
+        nl.add_binary(gate_kind::and_, e[3], l[2]),
+        nl.add_binary(gate_kind::and_, e32, l[1]),
+        nl.add_binary(gate_kind::and_, e321, l[0]),
+    };
+    comparator_cascade out;
+    if (cascaded) {
+        gt_terms.push_back(nl.add_binary(gate_kind::and_, eq4, in.gt));
+        lt_terms.push_back(nl.add_binary(gate_kind::and_, eq4, in.lt));
+        out.eq = nl.add_binary(gate_kind::and_, eq4, in.eq);
+    } else {
+        out.eq = eq4;
+    }
+    out.gt = nl.add_tree(gate_kind::or_, gt_terms);
+    out.lt = nl.add_tree(gate_kind::or_, lt_terms);
+    return out;
+}
+
+netlist make_cascaded_comparator(std::size_t slices, const std::string& name) {
+    require(slices >= 1, "make_cascaded_comparator: need at least one slice");
+    netlist nl(name);
+    const std::size_t width = slices * 4;
+    const bus a = add_input_bus(nl, "A", width);
+    const bus b = add_input_bus(nl, "B", width);
+    comparator_cascade c;  // least significant slice: no cascade inputs
+    for (std::size_t s = 0; s < slices; ++s)
+        c = add_comparator_slice(nl, slice(a, 4 * s, 4), slice(b, 4 * s, 4), c);
+    nl.mark_output(c.gt, "AgtB");
+    nl.mark_output(c.eq, "AeqB");
+    nl.mark_output(c.lt, "AltB");
+    nl.validate();
+    return nl;
+}
+
+netlist make_s1() { return make_cascaded_comparator(6, "S1"); }
+
+comparator_verdict compare_reference(std::uint64_t a, std::uint64_t b) {
+    return {a > b, a == b, a < b};
+}
+
+}  // namespace wrpt

@@ -1,0 +1,50 @@
+// SN7485-style 4-bit magnitude comparator slices and the paper's S1 circuit.
+//
+// S1 is described in the paper as "a 24-bit comparator constructed by six
+// Texas Instruments comparators SN 7485, where some redundancies are
+// removed". We build a faithful gate-level 4-bit cascadable slice
+// (prefix-equality sum-of-products structure, as in the 7485 data sheet)
+// and ripple-cascade six of them. "Redundancies removed" corresponds to
+// constant-folding the cascade inputs of the least significant slice
+// instead of tying them to constants.
+
+#pragma once
+
+#include <cstdint>
+
+#include "gen/wordlib.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Cascade signals between comparator slices.
+struct comparator_cascade {
+    node_id gt = null_node;
+    node_id eq = null_node;
+    node_id lt = null_node;
+};
+
+/// Append one 4-bit cascadable comparator slice over a[0..3], b[0..3]
+/// (LSB first) with cascade inputs `in` (pass nodes from the previous,
+/// less significant slice; pass all null for a least-significant slice,
+/// which constant-folds to the plain 4-bit comparison).
+comparator_cascade add_comparator_slice(netlist& nl, const bus& a, const bus& b,
+                                        const comparator_cascade& in);
+
+/// Build an n*4-bit comparator from `slices` cascaded 4-bit slices.
+/// Inputs A0..A<4s-1>, B0.., outputs "AgtB", "AeqB", "AltB".
+netlist make_cascaded_comparator(std::size_t slices,
+                                 const std::string& name = "comparator");
+
+/// The paper's S1: 24-bit comparator, six SN7485-style slices, 48 inputs,
+/// 3 outputs.
+netlist make_s1();
+
+/// Reference model for tests: compare `a` and `b` as unsigned integers.
+/// Returns {gt, eq, lt}.
+struct comparator_verdict {
+    bool gt = false, eq = false, lt = false;
+};
+comparator_verdict compare_reference(std::uint64_t a, std::uint64_t b);
+
+}  // namespace wrpt

@@ -1,0 +1,310 @@
+#include "gen/datapath.h"
+
+#include <bit>
+
+#include "gen/alu.h"
+#include "gen/wordlib.h"
+#include "netlist/transform.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+bool parity_of(std::uint64_t v) { return (std::popcount(v) & 1) != 0; }
+
+/// gt9 detect on a 4-bit nibble: value > 9  <=>  b3 & (b2 | b1).
+node_id nibble_gt9(netlist& nl, const bus& nib) {
+    const node_id or21 = nl.add_binary(gate_kind::or_, nib[2], nib[1]);
+    return nl.add_binary(gate_kind::and_, nib[3], or21);
+}
+
+}  // namespace
+
+// --- c880-like ---------------------------------------------------------------
+
+netlist make_c880_like() {
+    netlist nl("c880_like");
+    const bus a = add_input_bus(nl, "A", 8);
+    const bus b = add_input_bus(nl, "B", 8);
+    const bus c = add_input_bus(nl, "C", 8);
+    const bus d = add_input_bus(nl, "D", 8);
+    const node_id s0 = nl.add_input("S0");
+    const node_id s1 = nl.add_input("S1");
+    const node_id m = nl.add_input("M");
+    const node_id cin = nl.add_input("CIN");
+    const node_id t = nl.add_input("T");
+
+    const alu_signals alu = add_alu(nl, a, b, s0, s1, m, cin);
+    const bus z = mux2_bus(nl, t, alu.f, c);
+    const add_result w = ripple_add(nl, z, d);
+
+    mark_output_bus(nl, w.sum, "W");
+    nl.mark_output(w.carry_out, "WCOUT");
+    nl.mark_output(alu.carry_out, "YCOUT");
+    nl.mark_output(parity(nl, alu.f), "PY");
+    const node_id anyz = any_set(nl, z);
+    nl.mark_output(nl.add_unary(gate_kind::not_, anyz), "ZZERO");
+    nl.mark_output(alu.a_eq_b, "AEQB");
+    nl.validate();
+    // The embedded ALU also produces group P/G signals this datapath does
+    // not export; sweep the dead logic so every fault site is observable.
+    return sweep_dead(nl);
+}
+
+c880_verdict c880_reference(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                            std::uint64_t d, unsigned s, bool m, bool cin,
+                            bool t) {
+    const std::uint64_t mask = 0xff;
+    a &= mask; b &= mask; c &= mask; d &= mask;
+    const alu_verdict y = alu_reference(a, b, s, m, cin, 8);
+    const std::uint64_t z = t ? c : y.f;
+    const std::uint64_t total = z + d;
+    c880_verdict v;
+    v.w = total & mask;
+    v.carry = (total >> 8) != 0;
+    v.parity_y = parity_of(y.f);
+    v.zero_z = (z == 0);
+    return v;
+}
+
+// --- c2670-like --------------------------------------------------------------
+
+netlist make_c2670_like() {
+    netlist nl("c2670_like");
+    const bus a = add_input_bus(nl, "A", 12);
+    const bus b = add_input_bus(nl, "B", 12);
+    const node_id s0 = nl.add_input("S0");
+    const node_id s1 = nl.add_input("S1");
+    const node_id m = nl.add_input("M");
+    const node_id cin = nl.add_input("CIN");
+    const bus e = add_input_bus(nl, "E", 16);
+    const bus f = add_input_bus(nl, "F", 16);
+    const bus d = add_input_bus(nl, "D", 12);
+
+    const alu_signals alu = add_alu(nl, a, b, s0, s1, m, cin);
+    const node_id eq = equality(nl, e, f);
+    // The controller only exposes the ALU result when E == F; otherwise the
+    // bypass data D is routed through. This is the hard-fault mechanism.
+    const bus out = mux2_bus(nl, eq, d, alu.f);
+    const node_id gcout = nl.add_binary(gate_kind::and_, eq, alu.carry_out);
+
+    mark_output_bus(nl, out, "OUT");
+    nl.mark_output(eq, "EQ");
+    nl.mark_output(gcout, "GCOUT");
+    nl.mark_output(parity(nl, e), "PE");
+    nl.mark_output(parity(nl, f), "PF");
+    const node_id anyo = any_set(nl, out);
+    nl.mark_output(nl.add_unary(gate_kind::not_, anyo), "ZERO");
+    nl.validate();
+    return sweep_dead(nl);
+}
+
+c2670_verdict c2670_reference(std::uint64_t a, std::uint64_t b, unsigned s,
+                              bool m, bool cin, std::uint64_t e,
+                              std::uint64_t f, std::uint64_t d) {
+    a &= 0xfff; b &= 0xfff; d &= 0xfff;
+    e &= 0xffff; f &= 0xffff;
+    const alu_verdict alu = alu_reference(a, b, s, m, cin, 12);
+    c2670_verdict v;
+    v.eq = (e == f);
+    v.out = v.eq ? alu.f : d;
+    v.parity_e = parity_of(e);
+    v.parity_f = parity_of(f);
+    v.zero = (v.out == 0);
+    return v;
+}
+
+// --- c3540-like --------------------------------------------------------------
+
+netlist make_c3540_like() {
+    netlist nl("c3540_like");
+    const bus a = add_input_bus(nl, "A", 8);
+    const bus b = add_input_bus(nl, "B", 8);
+    const bus t = add_input_bus(nl, "T", 8);
+    const bus u = add_input_bus(nl, "U", 8);
+    const node_id op = nl.add_input("OP");
+    const node_id mode = nl.add_input("MODE");
+    const node_id cin = nl.add_input("CIN");
+
+    // Binary stage, split into nibbles so the half carry is available.
+    bus bsel;
+    for (std::size_t i = 0; i < 8; ++i)
+        bsel.push_back(nl.add_binary(gate_kind::xor_, b[i], op));
+    const add_result lo =
+        ripple_add(nl, slice(a, 0, 4), slice(bsel, 0, 4), cin);
+    const add_result hi =
+        ripple_add(nl, slice(a, 4, 4), slice(bsel, 4, 4), lo.carry_out);
+
+    // Decimal adjust, addition semantics (see header and DESIGN.md):
+    // low nibble += 6 when (low > 9 or half-carry) and MODE.
+    const node_id adj_lo_cond =
+        nl.add_binary(gate_kind::or_, nibble_gt9(nl, lo.sum), lo.carry_out);
+    const node_id adj_lo = nl.add_binary(gate_kind::and_, mode, adj_lo_cond);
+    bus six_lo{nl.add_const(false), adj_lo, adj_lo, nl.add_const(false)};
+    const add_result lo_adj = ripple_add(nl, lo.sum, six_lo);
+
+    // Propagate the adjustment carry into the high nibble, then adjust it.
+    bus zero4 = constant_bus(nl, 0, 4);
+    const add_result hi1 = ripple_add(nl, hi.sum, zero4, lo_adj.carry_out);
+    const node_id adj_hi_cond = nl.add_binary(
+        gate_kind::or_, nibble_gt9(nl, hi1.sum),
+        nl.add_binary(gate_kind::or_, hi.carry_out, hi1.carry_out));
+    const node_id adj_hi = nl.add_binary(gate_kind::and_, mode, adj_hi_cond);
+    bus six_hi{nl.add_const(false), adj_hi, adj_hi, nl.add_const(false)};
+    const add_result hi_adj = ripple_add(nl, hi1.sum, six_hi);
+
+    bus f = lo_adj.sum;
+    f.insert(f.end(), hi_adj.sum.begin(), hi_adj.sum.end());
+    const node_id carry = nl.add_gate(
+        gate_kind::or_, {hi.carry_out, hi1.carry_out, hi_adj.carry_out});
+
+    // Wide-equality block (16 bits) for the hard-fault tail.
+    const node_id eq_at = equality(nl, a, t);
+    const node_id eq_bu = equality(nl, b, u);
+    const node_id eq16 = nl.add_binary(gate_kind::and_, eq_at, eq_bu);
+
+    mark_output_bus(nl, f, "F");
+    nl.mark_output(carry, "CARRY");
+    const node_id anyf = any_set(nl, f);
+    nl.mark_output(nl.add_unary(gate_kind::not_, anyf), "ZERO");
+    nl.mark_output(eq16, "EQ16");
+    nl.mark_output(parity(nl, t), "PT");
+    nl.mark_output(parity(nl, u), "PU");
+    nl.validate();
+    return propagate_constants(nl);
+}
+
+c3540_verdict c3540_reference(std::uint64_t a, std::uint64_t b, bool op,
+                              bool mode_bcd, bool cin) {
+    a &= 0xff; b &= 0xff;
+    const std::uint64_t bsel = (op ? ~b : b) & 0xff;
+    const std::uint64_t lo =
+        (a & 0xf) + (bsel & 0xf) + (cin ? 1 : 0);               // up to 0x1f
+    const bool hc = lo > 0xf;
+    const std::uint64_t hi = ((a >> 4) & 0xf) + ((bsel >> 4) & 0xf) + (hc ? 1 : 0);
+    const bool bin_carry = hi > 0xf;
+
+    std::uint64_t lo4 = lo & 0xf;
+    bool adj_lo = mode_bcd && (lo4 > 9 || hc);
+    std::uint64_t lo_adj = lo4 + (adj_lo ? 6 : 0);
+    const bool c_lo_adj = lo_adj > 0xf;
+    lo_adj &= 0xf;
+
+    std::uint64_t hi4 = (hi & 0xf) + (c_lo_adj ? 1 : 0);
+    const bool c_hi1 = hi4 > 0xf;
+    hi4 &= 0xf;
+    const bool adj_hi = mode_bcd && (hi4 > 9 || bin_carry || c_hi1);
+    std::uint64_t hi_adj = hi4 + (adj_hi ? 6 : 0);
+    const bool c_hi_adj = hi_adj > 0xf;
+    hi_adj &= 0xf;
+
+    c3540_verdict v;
+    v.f = (hi_adj << 4) | lo_adj;
+    v.carry = bin_carry || c_hi1 || c_hi_adj;
+    v.zero = (v.f == 0);
+    return v;
+}
+
+// --- c5315-like --------------------------------------------------------------
+
+netlist make_c5315_like() {
+    netlist nl("c5315_like");
+    const bus a = add_input_bus(nl, "A", 9);
+    const bus b = add_input_bus(nl, "B", 9);
+    const bus c = add_input_bus(nl, "C", 9);
+    const bus d = add_input_bus(nl, "D", 9);
+    const node_id s10 = nl.add_input("S10");
+    const node_id s11 = nl.add_input("S11");
+    const node_id m1 = nl.add_input("M1");
+    const node_id cin1 = nl.add_input("CIN1");
+    const node_id s20 = nl.add_input("S20");
+    const node_id s21 = nl.add_input("S21");
+    const node_id m2 = nl.add_input("M2");
+    const node_id cin2 = nl.add_input("CIN2");
+
+    const alu_signals alu1 = add_alu(nl, a, b, s10, s11, m1, cin1);
+    const alu_signals alu2 = add_alu(nl, c, d, s20, s21, m2, cin2);
+    const compare_result cmp = magnitude_compare(nl, alu1.f, alu2.f);
+
+    mark_output_bus(nl, alu1.f, "F1_");
+    mark_output_bus(nl, alu2.f, "F2_");
+    nl.mark_output(cmp.gt, "GT");
+    nl.mark_output(cmp.eq, "EQ");
+    nl.mark_output(cmp.lt, "LT");
+    nl.mark_output(parity(nl, alu1.f), "P1");
+    nl.mark_output(parity(nl, alu2.f), "P2");
+    nl.mark_output(alu1.carry_out, "COUT1");
+    nl.mark_output(alu2.carry_out, "COUT2");
+    nl.mark_output(alu1.zero, "ZERO1");
+    nl.validate();
+    return sweep_dead(nl);
+}
+
+c5315_verdict c5315_reference(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d, unsigned s1, bool m1, bool cin1,
+                              unsigned s2, bool m2, bool cin2) {
+    const alu_verdict v1 = alu_reference(a, b, s1, m1, cin1, 9);
+    const alu_verdict v2 = alu_reference(c, d, s2, m2, cin2, 9);
+    c5315_verdict v;
+    v.f1 = v1.f;
+    v.f2 = v2.f;
+    v.gt = v1.f > v2.f;
+    v.eq = v1.f == v2.f;
+    v.lt = v1.f < v2.f;
+    v.parity1 = parity_of(v1.f);
+    v.parity2 = parity_of(v2.f);
+    return v;
+}
+
+// --- c7552-like --------------------------------------------------------------
+
+netlist make_c7552_like() {
+    netlist nl("c7552_like");
+    const bus a = add_input_bus(nl, "A", 34);
+    const bus b = add_input_bus(nl, "B", 34);
+    const bus c = add_input_bus(nl, "C", 34);
+    const node_id cin = nl.add_input("CIN");
+
+    const add_result sum1 = ripple_add(nl, a, b, cin);
+    const node_id ncin = nl.add_unary(gate_kind::not_, cin);
+    const add_result sum2 = ripple_add(nl, b, c, ncin);
+    const compare_result cmp1 = magnitude_compare(nl, a, b);
+    const compare_result cmp2 = magnitude_compare(nl, b, c);
+
+    // OUT shows SUM1 xor C only when A == B (probability 2^-34 conventional);
+    // OUT2 shows A and C only when B == C.
+    const bus out = mux2_bus(nl, cmp1.eq, c, xor_bus(nl, sum1.sum, c));
+    const bus out2 = mux2_bus(nl, cmp2.eq, sum2.sum, and_bus(nl, a, c));
+
+    mark_output_bus(nl, sum1.sum, "S");
+    nl.mark_output(sum1.carry_out, "COUT");
+    mark_output_bus(nl, out, "X");
+    mark_output_bus(nl, out2, "Y");
+    nl.mark_output(cmp1.eq, "EQ1");
+    nl.mark_output(cmp1.gt, "GT1");
+    nl.mark_output(cmp2.eq, "EQ2");
+    nl.mark_output(cmp2.gt, "GT2");
+    nl.mark_output(parity(nl, a), "PA");
+    nl.mark_output(parity(nl, b), "PB");
+    nl.mark_output(parity(nl, c), "PC");
+    nl.validate();
+    return sweep_dead(nl);
+}
+
+c7552_verdict c7552_reference(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              bool cin) {
+    const std::uint64_t mask = (1ULL << 34) - 1;
+    a &= mask; b &= mask; c &= mask;
+    c7552_verdict v;
+    const std::uint64_t total = a + b + (cin ? 1 : 0);
+    v.sum = total & mask;
+    v.carry = (total >> 34) != 0;
+    v.eq = (a == b);
+    v.gt = (a > b);
+    v.out = v.eq ? (v.sum ^ c) : c;
+    v.parity_a = parity_of(a);
+    v.parity_b = parity_of(b);
+    return v;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,84 @@
+// Composite datapath circuits standing in for the remaining ISCAS'85
+// benchmarks. Each mirrors the documented function and the random-pattern
+// character (hard-fault mechanisms) of its original; see DESIGN.md.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// c880-like: 8-bit ALU datapath. ALU(A,B) -> Y; Z = T ? Y : C;
+/// W = Z + D. Outputs W, carries, parity and flags.
+netlist make_c880_like();
+
+/// c2670-like: 12-bit ALU whose result is gated by a 16-bit equality
+/// comparator (the hard-fault mechanism: observing ALU faults requires
+/// E == F, probability 2^-16 under equiprobable inputs).
+netlist make_c2670_like();
+
+/// c3540-like: 8-bit binary/BCD ALU with decimal-adjust stage.
+netlist make_c3540_like();
+
+/// c5315-like: dual 9-bit ALU datapath with comparator and parity outputs.
+netlist make_c5315_like();
+
+/// c7552-like: 34-bit adder/comparator/parity datapath. The 34-bit equality
+/// (probability 2^-34) reproduces the benchmark's extreme conventional test
+/// length.
+netlist make_c7552_like();
+
+// --- reference models (bit-accurate, used by the generator tests) ----------
+
+struct c880_verdict {
+    std::uint64_t w = 0;
+    bool carry = false;
+    bool parity_y = false;
+    bool zero_z = false;
+};
+c880_verdict c880_reference(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                            std::uint64_t d, unsigned s, bool m, bool cin,
+                            bool t);
+
+struct c2670_verdict {
+    std::uint64_t out = 0;
+    bool eq = false;
+    bool parity_e = false;
+    bool parity_f = false;
+    bool zero = false;
+};
+c2670_verdict c2670_reference(std::uint64_t a, std::uint64_t b, unsigned s,
+                              bool m, bool cin, std::uint64_t e,
+                              std::uint64_t f, std::uint64_t d);
+
+struct c3540_verdict {
+    std::uint64_t f = 0;
+    bool carry = false;
+    bool zero = false;
+};
+/// mode_bcd selects decimal adjust; op: 0 add, 1 subtract (A - B).
+c3540_verdict c3540_reference(std::uint64_t a, std::uint64_t b, bool op,
+                              bool mode_bcd, bool cin);
+
+struct c5315_verdict {
+    std::uint64_t f1 = 0, f2 = 0;
+    bool gt = false, eq = false, lt = false;
+    bool parity1 = false, parity2 = false;
+};
+c5315_verdict c5315_reference(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d, unsigned s1, bool m1, bool cin1,
+                              unsigned s2, bool m2, bool cin2);
+
+struct c7552_verdict {
+    std::uint64_t sum = 0;
+    bool carry = false;
+    std::uint64_t out = 0;
+    bool eq = false, gt = false;
+    bool parity_a = false, parity_b = false;
+};
+c7552_verdict c7552_reference(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              bool cin);
+
+}  // namespace wrpt

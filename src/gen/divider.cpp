@@ -1,0 +1,89 @@
+#include "gen/divider.h"
+
+#include "gen/wordlib.h"
+#include "netlist/transform.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+netlist make_divider(std::size_t dividend_width, std::size_t divisor_width,
+                     const std::string& name) {
+    require(dividend_width >= 1 && divisor_width >= 1,
+            "make_divider: widths must be positive");
+    require(dividend_width + divisor_width <= 62,
+            "make_divider: widths beyond reference-model range");
+    netlist nl(name);
+    const bus d = add_input_bus(nl, "D", dividend_width);
+    const bus v = add_input_bus(nl, "V", divisor_width);
+
+    // Restoring division, one array row per quotient bit (MSB first).
+    // Partial remainder R (divisor_width bits) starts at zero; each row
+    // shifts in the next dividend bit, subtracts V, and restores on borrow.
+    bus r = constant_bus(nl, 0, divisor_width);
+    bus v_ext = v;
+    v_ext.push_back(nl.add_const(false));  // zero-extend V to width+1
+
+    bus q(dividend_width, null_node);
+    for (std::size_t step = 0; step < dividend_width; ++step) {
+        const std::size_t i = dividend_width - 1 - step;
+        // Rext = (R << 1) | d_i, width divisor_width + 1.
+        bus r_ext;
+        r_ext.reserve(divisor_width + 1);
+        r_ext.push_back(d[i]);
+        for (std::size_t k = 0; k < divisor_width; ++k) r_ext.push_back(r[k]);
+
+        const sub_result sub = ripple_sub(nl, r_ext, v_ext);
+        const node_id q_i = nl.add_unary(gate_kind::not_, sub.borrow_out);
+        q[i] = q_i;
+        // Restore: keep Rext when the subtraction underflowed.
+        const bus r_next = mux2_bus(nl, q_i, r_ext, sub.diff);
+        r = slice(r_next, 0, divisor_width);
+    }
+
+    mark_output_bus(nl, q, "Q");
+    mark_output_bus(nl, r, "R");
+    const node_id any_v = any_set(nl, v);
+    nl.mark_output(nl.add_unary(gate_kind::not_, any_v), "DIVBY0");
+    nl.validate();
+    // Fold the constant first-row logic away, as synthesis would; this is
+    // the paper's "some redundancies are removed" for the array circuits.
+    return propagate_constants(nl);
+}
+
+netlist make_s2() { return make_divider(32, 16, "S2"); }
+
+divider_verdict divide_reference(std::uint64_t dividend, std::uint64_t divisor,
+                                 std::size_t dividend_width,
+                                 std::size_t divisor_width) {
+    require(dividend_width >= 1 && divisor_width >= 1 &&
+                dividend_width + divisor_width <= 62,
+            "divide_reference: widths out of range");
+    const std::uint64_t d_mask = (dividend_width == 64)
+                                     ? ~0ULL
+                                     : ((1ULL << dividend_width) - 1);
+    const std::uint64_t v_mask = (1ULL << divisor_width) - 1;
+    dividend &= d_mask;
+    divisor &= v_mask;
+
+    divider_verdict out;
+    out.div_by_zero = (divisor == 0);
+    // Mirror the hardware algorithm bit for bit (also covers divisor == 0,
+    // where every row "subtracts zero" and the quotient saturates to ones).
+    std::uint64_t r = 0;
+    std::uint64_t q = 0;
+    for (std::size_t step = 0; step < dividend_width; ++step) {
+        const std::size_t i = dividend_width - 1 - step;
+        const std::uint64_t r_ext = (r << 1) | ((dividend >> i) & 1ULL);
+        if (r_ext >= divisor) {
+            q |= (1ULL << i);
+            r = (r_ext - divisor) & v_mask;
+        } else {
+            r = r_ext & v_mask;
+        }
+    }
+    out.quotient = q;
+    out.remainder = r;
+    return out;
+}
+
+}  // namespace wrpt

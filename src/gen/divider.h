@@ -1,0 +1,40 @@
+// Combinational restoring array divider — the paper's S2 substrate.
+//
+// S2 is "the combinational part of a 32 bit divider" [KuWu85]. We build the
+// classic restoring division array: one row per quotient bit, each row a
+// ripple-borrow subtractor plus a restore multiplexer. Quotient bits of
+// high weight are almost never 1 under equiprobable inputs (they require a
+// tiny divisor), which creates the extremely low detection probabilities
+// that give S2 its 10^11-class conventional test length in the paper.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Build a restoring array divider: dividend_width-bit dividend divided by
+/// divisor_width-bit divisor. Outputs: quotient ("Q*", dividend_width bits),
+/// remainder ("R*", divisor_width bits), plus "DIVBY0" flag.
+/// Semantics match unsigned integer division for divisor != 0.
+netlist make_divider(std::size_t dividend_width, std::size_t divisor_width,
+                     const std::string& name = "divider");
+
+/// The paper's S2: combinational part of a 32-bit divider
+/// (32-bit dividend, 16-bit divisor).
+netlist make_s2();
+
+/// Reference model for tests. For divisor == 0 the hardware returns
+/// quotient = all-ones and remainder = dividend (documented convention).
+struct divider_verdict {
+    std::uint64_t quotient = 0;
+    std::uint64_t remainder = 0;
+    bool div_by_zero = false;
+};
+divider_verdict divide_reference(std::uint64_t dividend, std::uint64_t divisor,
+                                 std::size_t dividend_width,
+                                 std::size_t divisor_width);
+
+}  // namespace wrpt

@@ -1,0 +1,173 @@
+#include "gen/ecc.h"
+
+#include <bit>
+
+#include "gen/wordlib.h"
+#include "netlist/transform.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+/// Code layout: positions 1..n (1-based); powers of two carry check bits,
+/// the rest carry data bits in increasing order.
+struct code_layout {
+    std::size_t data_bits;
+    std::size_t check_bits;
+    std::vector<std::size_t> data_pos;  ///< position of data bit i
+};
+
+code_layout layout_for(std::size_t data_bits) {
+    code_layout lay;
+    lay.data_bits = data_bits;
+    lay.check_bits = hamming_check_bits(data_bits);
+    std::size_t pos = 1;
+    while (lay.data_pos.size() < data_bits) {
+        if (!std::has_single_bit(pos)) lay.data_pos.push_back(pos);
+        ++pos;
+    }
+    return lay;
+}
+
+}  // namespace
+
+std::size_t hamming_check_bits(std::size_t data_bits) {
+    require(data_bits >= 1 && data_bits <= 57, "hamming: data width out of range");
+    std::size_t c = 0;
+    while ((1ULL << c) < data_bits + c + 1) ++c;
+    return c;
+}
+
+netlist make_sec_corrector(std::size_t data_bits, const std::string& name) {
+    const code_layout lay = layout_for(data_bits);
+    netlist nl(name);
+    const bus d = add_input_bus(nl, "D", data_bits);
+    const bus c = add_input_bus(nl, "C", lay.check_bits);
+
+    // Syndrome bit j = parity of all received positions with bit j set
+    // (check bit at position 2^j included).
+    bus syndrome;
+    for (std::size_t j = 0; j < lay.check_bits; ++j) {
+        std::vector<node_id> taps{c[j]};
+        for (std::size_t i = 0; i < data_bits; ++i)
+            if ((lay.data_pos[i] >> j) & 1u) taps.push_back(d[i]);
+        syndrome.push_back(nl.add_tree(gate_kind::xor_, taps));
+    }
+    // Invert once per syndrome bit, shared by all decoder terms.
+    const bus nsyndrome = invert_bus(nl, syndrome);
+
+    // Decode + correct each data position.
+    bus corrected;
+    corrected.reserve(data_bits);
+    for (std::size_t i = 0; i < data_bits; ++i) {
+        std::vector<node_id> match;
+        for (std::size_t j = 0; j < lay.check_bits; ++j)
+            match.push_back(((lay.data_pos[i] >> j) & 1u) ? syndrome[j]
+                                                          : nsyndrome[j]);
+        const node_id hit = nl.add_tree(gate_kind::and_, match);
+        corrected.push_back(nl.add_binary(gate_kind::xor_, d[i], hit));
+    }
+    mark_output_bus(nl, corrected, "O");
+    nl.mark_output(any_set(nl, syndrome), "ERR");
+    nl.validate();
+    return nl;
+}
+
+netlist make_secded_corrector(std::size_t data_bits, const std::string& name) {
+    const code_layout lay = layout_for(data_bits);
+    netlist nl(name);
+    const bus d = add_input_bus(nl, "D", data_bits);
+    const bus c = add_input_bus(nl, "C", lay.check_bits);
+    const node_id op = nl.add_input("OP");
+
+    bus syndrome;
+    for (std::size_t j = 0; j < lay.check_bits; ++j) {
+        std::vector<node_id> taps{c[j]};
+        for (std::size_t i = 0; i < data_bits; ++i)
+            if ((lay.data_pos[i] >> j) & 1u) taps.push_back(d[i]);
+        syndrome.push_back(nl.add_tree(gate_kind::xor_, taps));
+    }
+    const bus nsyndrome = invert_bus(nl, syndrome);
+
+    bus corrected;
+    for (std::size_t i = 0; i < data_bits; ++i) {
+        std::vector<node_id> match;
+        for (std::size_t j = 0; j < lay.check_bits; ++j)
+            match.push_back(((lay.data_pos[i] >> j) & 1u) ? syndrome[j]
+                                                          : nsyndrome[j]);
+        const node_id hit = nl.add_tree(gate_kind::and_, match);
+        corrected.push_back(nl.add_binary(gate_kind::xor_, d[i], hit));
+    }
+    const node_id err = any_set(nl, syndrome);
+
+    // Overall parity over every received bit including OP; even parity code.
+    std::vector<node_id> all_bits;
+    for (node_id x : d) all_bits.push_back(x);
+    for (node_id x : c) all_bits.push_back(x);
+    all_bits.push_back(op);
+    const node_id parity_mismatch = nl.add_tree(gate_kind::xor_, all_bits);
+
+    // Double error: syndrome nonzero but overall parity still even.
+    const node_id parity_even = nl.add_unary(gate_kind::not_, parity_mismatch);
+    const node_id derr = nl.add_binary(gate_kind::and_, err, parity_even);
+
+    mark_output_bus(nl, corrected, "O");
+    nl.mark_output(err, "ERR");
+    nl.mark_output(derr, "DERR");
+    nl.validate();
+    return nl;
+}
+
+netlist make_c499_like() {
+    netlist nl = make_sec_corrector(32, "c499_like");
+    return nl;
+}
+
+netlist make_c1355_like() {
+    netlist nl = expand_xor(make_sec_corrector(32, "c1355_like"));
+    nl.set_name("c1355_like");
+    return nl;
+}
+
+netlist make_c1908_like() { return make_secded_corrector(16, "c1908_like"); }
+
+std::uint64_t hamming_encode(std::uint64_t data, std::size_t data_bits) {
+    const code_layout lay = layout_for(data_bits);
+    std::uint64_t check = 0;
+    for (std::size_t j = 0; j < lay.check_bits; ++j) {
+        bool p = false;
+        for (std::size_t i = 0; i < data_bits; ++i)
+            if (((lay.data_pos[i] >> j) & 1u) && ((data >> i) & 1ULL)) p = !p;
+        if (p) check |= (1ULL << j);
+    }
+    return check;
+}
+
+sec_verdict hamming_decode(std::uint64_t data, std::uint64_t check,
+                           std::size_t data_bits, bool ded,
+                           bool overall_parity) {
+    const code_layout lay = layout_for(data_bits);
+    std::uint64_t syndrome = 0;
+    for (std::size_t j = 0; j < lay.check_bits; ++j) {
+        bool p = ((check >> j) & 1ULL) != 0;
+        for (std::size_t i = 0; i < data_bits; ++i)
+            if (((lay.data_pos[i] >> j) & 1u) && ((data >> i) & 1ULL)) p = !p;
+        if (p) syndrome |= (1ULL << j);
+    }
+    sec_verdict v;
+    v.error = (syndrome != 0);
+    v.corrected = data;
+    for (std::size_t i = 0; i < data_bits; ++i)
+        if (syndrome == lay.data_pos[i]) v.corrected ^= (1ULL << i);
+    if (ded) {
+        bool par = overall_parity;
+        for (std::size_t i = 0; i < data_bits; ++i)
+            if ((data >> i) & 1ULL) par = !par;
+        for (std::size_t j = 0; j < lay.check_bits; ++j)
+            if ((check >> j) & 1ULL) par = !par;
+        v.double_error = v.error && !par;
+    }
+    return v;
+}
+
+}  // namespace wrpt

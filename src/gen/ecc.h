@@ -1,0 +1,54 @@
+// Hamming single-error-correcting (SEC) and SEC/DED circuits.
+//
+// The ISCAS'85 benchmarks c499/c1355 are a 32-bit single-error-correcting
+// circuit (c1355 is c499 with XORs expanded to NANDs) and c1908 is a 16-bit
+// SEC/DED circuit. We generate the standard Hamming decoder/corrector:
+// syndrome XOR trees, a syndrome decoder, and correction XORs.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Number of Hamming check bits for `data_bits` of payload.
+std::size_t hamming_check_bits(std::size_t data_bits);
+
+/// Build a Hamming SEC corrector: inputs D0..D<d-1> (received data) and
+/// C0..C<c-1> (received check bits); outputs O0.. (corrected data) and ERR
+/// (syndrome nonzero).
+netlist make_sec_corrector(std::size_t data_bits,
+                           const std::string& name = "sec");
+
+/// SEC/DED variant with an overall parity input "OP" and an extra output
+/// "DERR" flagging an (uncorrectable) double error.
+netlist make_secded_corrector(std::size_t data_bits,
+                              const std::string& name = "secded");
+
+/// c499-like: 32-bit SEC in XOR form; c1355-like: same function with XORs
+/// expanded to NAND networks; c1908-like: 16-bit SEC/DED.
+netlist make_c499_like();
+netlist make_c1355_like();
+netlist make_c1908_like();
+
+// --- reference model ---------------------------------------------------------
+
+/// Check bits for a data word (encoder side of the same code).
+std::uint64_t hamming_encode(std::uint64_t data, std::size_t data_bits);
+
+struct sec_verdict {
+    std::uint64_t corrected = 0;
+    bool error = false;        ///< syndrome nonzero
+    bool double_error = false; ///< SEC/DED only
+};
+
+/// Decode a received (data, check) pair; `overall_parity` is the received
+/// overall parity bit for SEC/DED (ignored when ded == false).
+sec_verdict hamming_decode(std::uint64_t data, std::uint64_t check,
+                           std::size_t data_bits, bool ded = false,
+                           bool overall_parity = false);
+
+}  // namespace wrpt

@@ -1,0 +1,101 @@
+#include "gen/interrupt.h"
+
+#include "gen/wordlib.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+netlist make_interrupt_controller(const std::string& name) {
+    netlist nl(name);
+    const bus e = add_input_bus(nl, "E", 9);
+    const bus a = add_input_bus(nl, "A", 9);
+    const bus b = add_input_bus(nl, "B", 9);
+    const bus c = add_input_bus(nl, "C", 9);
+
+    const bus ea = and_bus(nl, a, e);
+    const bus eb = and_bus(nl, b, e);
+    const bus ec = and_bus(nl, c, e);
+
+    const node_id any_a = any_set(nl, ea);
+    const node_id any_b = any_set(nl, eb);
+    const node_id any_c = any_set(nl, ec);
+
+    const node_id not_a = nl.add_unary(gate_kind::not_, any_a);
+    const node_id not_b = nl.add_unary(gate_kind::not_, any_b);
+    const node_id grant_a = any_a;
+    const node_id grant_b = nl.add_binary(gate_kind::and_, not_a, any_b);
+    const node_id grant_c =
+        nl.add_gate(gate_kind::and_, {not_a, not_b, any_c});
+
+    // Winning bank's request lines.
+    bus win(9);
+    for (std::size_t i = 0; i < 9; ++i) {
+        const node_id ta = nl.add_binary(gate_kind::and_, grant_a, ea[i]);
+        const node_id tb = nl.add_binary(gate_kind::and_, grant_b, eb[i]);
+        const node_id tc = nl.add_binary(gate_kind::and_, grant_c, ec[i]);
+        win[i] = nl.add_gate(gate_kind::or_, {ta, tb, tc});
+    }
+
+    // Priority encode: highest index wins. hi[i] = win[i] & ~(win above i).
+    bus hi(9);
+    node_id above = null_node;  // OR of win[8..i+1]
+    for (std::size_t k = 0; k < 9; ++k) {
+        const std::size_t i = 8 - k;
+        if (above == null_node) {
+            hi[i] = win[i];
+        } else {
+            const node_id none_above = nl.add_unary(gate_kind::not_, above);
+            hi[i] = nl.add_binary(gate_kind::and_, win[i], none_above);
+        }
+        above = (above == null_node) ? win[i]
+                                     : nl.add_binary(gate_kind::or_, above, win[i]);
+    }
+
+    // Binary channel index from the one-hot vector.
+    bus ch;
+    for (std::size_t j = 0; j < 4; ++j) {
+        std::vector<node_id> taps;
+        for (std::size_t i = 0; i < 9; ++i)
+            if ((i >> j) & 1u) taps.push_back(hi[i]);
+        ch.push_back(taps.empty() ? nl.add_const(false)
+                                  : nl.add_tree(gate_kind::or_, taps));
+    }
+
+    nl.mark_output(grant_a, "PA");
+    nl.mark_output(grant_b, "PB");
+    nl.mark_output(grant_c, "PC");
+    mark_output_bus(nl, ch, "CH");
+    nl.validate();
+    return nl;
+}
+
+netlist make_c432_like() { return make_interrupt_controller("c432_like"); }
+
+interrupt_verdict interrupt_reference(unsigned enable, unsigned req_a,
+                                      unsigned req_b, unsigned req_c) {
+    const unsigned mask = 0x1ffu;
+    enable &= mask;
+    const unsigned ea = req_a & enable & mask;
+    const unsigned eb = req_b & enable & mask;
+    const unsigned ec = req_c & enable & mask;
+    interrupt_verdict v;
+    unsigned win = 0;
+    if (ea != 0) {
+        v.grant_a = true;
+        win = ea;
+    } else if (eb != 0) {
+        v.grant_b = true;
+        win = eb;
+    } else if (ec != 0) {
+        v.grant_c = true;
+        win = ec;
+    }
+    if (win != 0) {
+        unsigned i = 8;
+        while (((win >> i) & 1u) == 0) --i;
+        v.channel = i;
+    }
+    return v;
+}
+
+}  // namespace wrpt

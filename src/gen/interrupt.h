@@ -1,0 +1,33 @@
+// Priority interrupt controller — the c432-like suite member.
+//
+// The ISCAS'85 benchmark c432 is a 27-channel interrupt controller
+// (36 inputs, 7 outputs). We generate a controller with the same shape:
+// three banks of nine request lines plus a nine-bit channel enable mask.
+// Bank A has priority over B over C; within the winning bank the highest
+// enabled channel wins. Outputs: per-bank grant flags and the 4-bit binary
+// index of the winning channel.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Build the controller. Inputs: E0..E8 (channel enables), A0..A8, B0..B8,
+/// C0..C8 (requests). Outputs: PA, PB, PC (grants), CH0..CH3 (channel).
+netlist make_interrupt_controller(const std::string& name = "intctl");
+
+/// c432-like suite member (36 inputs, 7 outputs).
+netlist make_c432_like();
+
+/// Reference model for tests.
+struct interrupt_verdict {
+    bool grant_a = false, grant_b = false, grant_c = false;
+    unsigned channel = 0;  ///< 4-bit index; 0 when no grant
+};
+interrupt_verdict interrupt_reference(unsigned enable, unsigned req_a,
+                                      unsigned req_b, unsigned req_c);
+
+}  // namespace wrpt

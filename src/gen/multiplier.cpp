@@ -1,0 +1,58 @@
+#include "gen/multiplier.h"
+
+#include "gen/wordlib.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+netlist make_multiplier(std::size_t width_a, std::size_t width_b,
+                        const std::string& name) {
+    require(width_a >= 2 && width_b >= 1, "make_multiplier: width_a >= 2");
+    require(width_a + width_b <= 62, "make_multiplier: width beyond reference");
+    netlist nl(name);
+    const bus a = add_input_bus(nl, "A", width_a);
+    const bus b = add_input_bus(nl, "B", width_b);
+
+    const std::size_t pw = width_a + width_b;
+    bus product(pw, null_node);
+
+    // Accumulate partial products row by row: acc holds the running sum of
+    // rows 0..j-1 shifted right so that acc[0] aligns with product bit j.
+    bus acc;
+    for (std::size_t j = 0; j < width_b; ++j) {
+        bus row;
+        row.reserve(width_a);
+        for (std::size_t i = 0; i < width_a; ++i)
+            row.push_back(nl.add_binary(gate_kind::and_, a[i], b[j]));
+        if (j == 0) {
+            acc = row;
+        } else {
+            const add_result sum = ripple_add(nl, acc, row);
+            acc = sum.sum;
+            acc.push_back(sum.carry_out);
+        }
+        // The low bit of the accumulator is final: it is product bit j.
+        product[j] = acc.front();
+        acc.erase(acc.begin());
+    }
+    // Remaining accumulator bits are the high product bits.
+    for (std::size_t k = 0; k < acc.size() && width_b + k < pw; ++k)
+        product[width_b + k] = acc[k];
+    for (std::size_t k = 0; k < pw; ++k)
+        if (product[k] == null_node) product[k] = nl.add_const(false);
+
+    mark_output_bus(nl, product, "P");
+    nl.validate();
+    return nl;
+}
+
+netlist make_c6288_like() { return make_multiplier(16, 16, "c6288_like"); }
+
+std::uint64_t multiply_reference(std::uint64_t a, std::uint64_t b,
+                                 std::size_t width_a, std::size_t width_b) {
+    const std::uint64_t ma = (1ULL << width_a) - 1;
+    const std::uint64_t mb = (1ULL << width_b) - 1;
+    return (a & ma) * (b & mb);
+}
+
+}  // namespace wrpt

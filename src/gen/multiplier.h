@@ -1,0 +1,28 @@
+// Combinational array multiplier — the c6288-like suite member.
+//
+// The ISCAS'85 benchmark c6288 is a 16x16 array multiplier (2406 gates).
+// We generate the classic parallel array: an AND partial-product matrix
+// accumulated row by row with ripple-carry adders. Same function, same
+// structural character (deep reconvergent carry logic), comparable size.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Build an n x m array multiplier. Inputs "A0..", "B0..";
+/// outputs "P0..P<n+m-1>".
+netlist make_multiplier(std::size_t width_a, std::size_t width_b,
+                        const std::string& name = "multiplier");
+
+/// 16x16 array multiplier, the c6288-like suite member.
+netlist make_c6288_like();
+
+/// Reference model for tests.
+std::uint64_t multiply_reference(std::uint64_t a, std::uint64_t b,
+                                 std::size_t width_a, std::size_t width_b);
+
+}  // namespace wrpt

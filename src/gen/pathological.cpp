@@ -1,0 +1,19 @@
+#include "gen/pathological.h"
+
+#include "gen/wordlib.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+netlist make_pathological(std::size_t width, const std::string& name) {
+    require(width >= 2, "make_pathological: width must be >= 2");
+    netlist nl(name);
+    const bus x = add_input_bus(nl, "X", width);
+    nl.mark_output(nl.add_tree(gate_kind::and_, x), "ALLONE");
+    nl.mark_output(nl.add_tree(gate_kind::nor_, x), "ALLZERO");
+    nl.mark_output(parity(nl, x), "PAR");
+    nl.validate();
+    return nl;
+}
+
+}  // namespace wrpt

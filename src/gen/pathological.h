@@ -1,0 +1,26 @@
+// The pathological circuit class of the paper's section 5.3.
+//
+// "Circuits can be constructed which cannot be processed by optimization
+//  ... if there are pairs of faults [where] each has a very low detection
+//  probability and the Hamming distance between the test sets of these
+//  faults is very large."
+//
+// make_pathological builds exactly that: one wide AND (detected only near
+// the all-ones input) and one wide NOR (detected only near all-zeros) over
+// the same inputs. A single weight tuple cannot make both likely; the
+// partitioned optimizer (src/opt/partition.h) solves it with two sessions.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Inputs X0..X<width-1>; outputs ALLONE = AND(X), ALLZERO = NOR(X), and
+/// PAR = parity(X) (so every input fault stays detectable).
+netlist make_pathological(std::size_t width,
+                          const std::string& name = "pathological");
+
+}  // namespace wrpt

@@ -1,0 +1,55 @@
+#include "gen/random_circuit.h"
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace wrpt {
+
+netlist make_random_circuit(const random_circuit_spec& spec) {
+    require(spec.inputs >= 2, "random circuit: need at least two inputs");
+    require(spec.max_arity >= 2, "random circuit: max_arity >= 2");
+    rng r(spec.seed);
+    netlist nl("random_" + std::to_string(spec.seed));
+
+    std::vector<node_id> pool;
+    for (std::size_t i = 0; i < spec.inputs; ++i)
+        pool.push_back(nl.add_input("X" + std::to_string(i)));
+
+    static constexpr gate_kind choices[] = {
+        gate_kind::and_, gate_kind::or_,  gate_kind::nand_, gate_kind::nor_,
+        gate_kind::xor_, gate_kind::not_, gate_kind::xnor_, gate_kind::buf,
+    };
+    const std::size_t kind_count = spec.allow_xor ? 8 : 6;
+
+    for (std::size_t g = 0; g < spec.gates; ++g) {
+        const gate_kind k = choices[r.next_below(kind_count)];
+        std::size_t arity;
+        if (k == gate_kind::not_ || k == gate_kind::buf) {
+            arity = 1;
+        } else if (k == gate_kind::xor_ || k == gate_kind::xnor_) {
+            arity = 2 + r.next_below(2);  // 2..3
+        } else {
+            arity = 2 + r.next_below(spec.max_arity - 1);  // 2..max_arity
+        }
+        std::vector<node_id> fi;
+        for (std::size_t i = 0; i < arity; ++i)
+            fi.push_back(pool[r.next_below(pool.size())]);
+        pool.push_back(nl.add_gate(k, fi));
+    }
+
+    // Export every fanout-free node so nothing is dead. (There is always at
+    // least one: the last gate.)
+    std::size_t out_index = 0;
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        if (nl.fanout_count(n) == 0 && nl.kind(n) != gate_kind::input)
+            nl.mark_output(n, "Y" + std::to_string(out_index++));
+    }
+    if (out_index == 0)  // degenerate: everything consumed (gates == 0)
+        nl.mark_output(pool.back(), "Y0");
+    nl.validate();
+    return nl;
+}
+
+}  // namespace wrpt

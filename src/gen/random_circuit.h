@@ -1,0 +1,23 @@
+// Seeded random combinational circuits for property-based tests.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct random_circuit_spec {
+    std::size_t inputs = 8;
+    std::size_t gates = 64;
+    std::size_t max_arity = 4;     ///< for and/or/nand/nor (xor capped at 3)
+    std::uint64_t seed = 1;
+    bool allow_xor = true;
+};
+
+/// Generate a random DAG respecting the spec. Every fanout-free node is
+/// exported as a primary output, so no logic is dead.
+netlist make_random_circuit(const random_circuit_spec& spec);
+
+}  // namespace wrpt

@@ -1,0 +1,149 @@
+#include "gen/suite.h"
+
+#include "gen/comparator.h"
+#include "gen/datapath.h"
+#include "gen/divider.h"
+#include "gen/ecc.h"
+#include "gen/interrupt.h"
+#include "gen/multiplier.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+const std::vector<suite_entry>& benchmark_suite() {
+    static const std::vector<suite_entry> suite = [] {
+        std::vector<suite_entry> s;
+
+        suite_entry s1;
+        s1.name = "S1";
+        s1.hard = true;
+        s1.build = [] { return make_s1(); };
+        s1.substitution =
+            "24-bit comparator, six SN7485-style slices (as in the paper)";
+        s1.paper_table1_length = 5.6e8;
+        s1.paper_sim_patterns = 12000;
+        s1.paper_conventional_coverage = 80.7;
+        s1.paper_optimized_length = 3.5e4;
+        s1.paper_optimized_coverage = 99.7;
+        s1.paper_cpu_seconds = 300;
+        s.push_back(std::move(s1));
+
+        suite_entry s2;
+        s2.name = "S2";
+        s2.hard = true;
+        s2.build = [] { return make_s2(); };
+        s2.substitution =
+            "combinational restoring array divider, 32-bit dividend / "
+            "16-bit divisor";
+        s2.paper_table1_length = 2.0e11;
+        s2.paper_sim_patterns = 12000;
+        s2.paper_conventional_coverage = 77.2;
+        s2.paper_optimized_length = 4.0e4;
+        s2.paper_optimized_coverage = 99.7;
+        s2.paper_cpu_seconds = 600;
+        s.push_back(std::move(s2));
+
+        suite_entry c432;
+        c432.name = "c432";
+        c432.build = [] { return make_c432_like(); };
+        c432.substitution = "27-channel priority interrupt controller";
+        c432.paper_table1_length = 2.5e3;
+        s.push_back(std::move(c432));
+
+        suite_entry c499;
+        c499.name = "c499";
+        c499.build = [] { return make_c499_like(); };
+        c499.substitution = "32-bit Hamming SEC corrector (XOR form)";
+        c499.paper_table1_length = 1.9e3;
+        s.push_back(std::move(c499));
+
+        suite_entry c880;
+        c880.name = "c880";
+        c880.build = [] { return make_c880_like(); };
+        c880.substitution = "8-bit ALU datapath";
+        c880.paper_table1_length = 3.7e4;
+        s.push_back(std::move(c880));
+
+        suite_entry c1355;
+        c1355.name = "c1355";
+        c1355.build = [] { return make_c1355_like(); };
+        c1355.substitution = "32-bit Hamming SEC corrector, XORs as NANDs";
+        c1355.paper_table1_length = 2.2e6;
+        s.push_back(std::move(c1355));
+
+        suite_entry c1908;
+        c1908.name = "c1908";
+        c1908.build = [] { return make_c1908_like(); };
+        c1908.substitution = "16-bit Hamming SEC/DED corrector";
+        c1908.paper_table1_length = 6.2e4;
+        s.push_back(std::move(c1908));
+
+        suite_entry c2670;
+        c2670.name = "c2670";
+        c2670.hard = true;
+        c2670.build = [] { return make_c2670_like(); };
+        c2670.substitution =
+            "12-bit ALU gated by a 16-bit equality comparator";
+        c2670.paper_table1_length = 1.1e7;
+        c2670.paper_sim_patterns = 4000;
+        c2670.paper_conventional_coverage = 88.0;
+        c2670.paper_optimized_length = 6.9e4;
+        c2670.paper_optimized_coverage = 99.7;
+        c2670.paper_cpu_seconds = 1200;
+        s.push_back(std::move(c2670));
+
+        suite_entry c3540;
+        c3540.name = "c3540";
+        c3540.build = [] { return make_c3540_like(); };
+        c3540.substitution = "8-bit binary/BCD ALU with 16-bit equality block";
+        c3540.paper_table1_length = 2.3e6;
+        s.push_back(std::move(c3540));
+
+        suite_entry c5315;
+        c5315.name = "c5315";
+        c5315.build = [] { return make_c5315_like(); };
+        c5315.substitution = "dual 9-bit ALU datapath with comparator";
+        c5315.paper_table1_length = 5.3e4;
+        s.push_back(std::move(c5315));
+
+        suite_entry c6288;
+        c6288.name = "c6288";
+        c6288.build = [] { return make_c6288_like(); };
+        c6288.substitution = "16x16 array multiplier (as the original)";
+        c6288.paper_table1_length = 1.9e3;
+        s.push_back(std::move(c6288));
+
+        suite_entry c7552;
+        c7552.name = "c7552";
+        c7552.hard = true;
+        c7552.build = [] { return make_c7552_like(); };
+        c7552.substitution =
+            "34-bit adder/comparator/parity datapath with equality-gated "
+            "outputs";
+        c7552.paper_table1_length = 4.9e11;
+        c7552.paper_sim_patterns = 4096;
+        c7552.paper_conventional_coverage = 93.9;
+        c7552.paper_optimized_length = 1.2e5;
+        c7552.paper_optimized_coverage = 98.9;
+        c7552.paper_cpu_seconds = 2000;
+        s.push_back(std::move(c7552));
+
+        return s;
+    }();
+    return suite;
+}
+
+std::vector<suite_entry> hard_suite() {
+    std::vector<suite_entry> out;
+    for (const auto& e : benchmark_suite())
+        if (e.hard) out.push_back(e);
+    return out;
+}
+
+netlist build_suite_circuit(const std::string& name) {
+    for (const auto& e : benchmark_suite())
+        if (e.name == name) return e.build();
+    throw invalid_input("build_suite_circuit: unknown circuit '" + name + "'");
+}
+
+}  // namespace wrpt

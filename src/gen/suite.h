@@ -1,0 +1,42 @@
+// Registry of the paper's benchmark suite (Tables 1-5).
+//
+// Each entry names the circuit as the paper does, the generator that builds
+// our substitute (see DESIGN.md section 2), and the values the paper
+// reports, so the benches can print paper-vs-measured side by side.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct suite_entry {
+    std::string name;        ///< paper's circuit name (S1, S2, c432, ...)
+    bool hard = false;       ///< starred in the paper: random-pattern resistant
+    std::function<netlist()> build;
+    std::string substitution;  ///< one-line note: what we build instead
+
+    // Paper-reported numbers (0 when the paper gives none for this circuit).
+    double paper_table1_length = 0.0;       ///< conventional test length
+    std::uint64_t paper_sim_patterns = 0;   ///< Tables 2/4 pattern count
+    double paper_conventional_coverage = 0.0;  ///< Table 2 (%)
+    double paper_optimized_length = 0.0;       ///< Table 3
+    double paper_optimized_coverage = 0.0;     ///< Table 4 (%)
+    double paper_cpu_seconds = 0.0;            ///< Table 5 (Siemens 7561)
+};
+
+/// The twelve circuits of Table 1 in paper order.
+const std::vector<suite_entry>& benchmark_suite();
+
+/// The four starred (random-pattern-resistant) circuits of Tables 2-5.
+std::vector<suite_entry> hard_suite();
+
+/// Build a suite circuit by its paper name; throws invalid_input if unknown.
+netlist build_suite_circuit(const std::string& name);
+
+}  // namespace wrpt

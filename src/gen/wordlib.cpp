@@ -1,0 +1,222 @@
+#include "gen/wordlib.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+bus add_input_bus(netlist& nl, const std::string& prefix, std::size_t width) {
+    bus b;
+    b.reserve(width);
+    for (std::size_t i = 0; i < width; ++i)
+        b.push_back(nl.add_input(prefix + std::to_string(i)));
+    return b;
+}
+
+void mark_output_bus(netlist& nl, const bus& b, const std::string& prefix) {
+    for (std::size_t i = 0; i < b.size(); ++i)
+        nl.mark_output(b[i], prefix + std::to_string(i));
+}
+
+bus constant_bus(netlist& nl, std::uint64_t value, std::size_t width) {
+    bus b;
+    b.reserve(width);
+    for (std::size_t i = 0; i < width; ++i)
+        b.push_back(nl.add_const(((value >> i) & 1ULL) != 0));
+    return b;
+}
+
+node_id mux2(netlist& nl, node_id sel, node_id a0, node_id a1) {
+    const node_id nsel = nl.add_unary(gate_kind::not_, sel);
+    const node_id t0 = nl.add_binary(gate_kind::and_, nsel, a0);
+    const node_id t1 = nl.add_binary(gate_kind::and_, sel, a1);
+    return nl.add_binary(gate_kind::or_, t0, t1);
+}
+
+bus mux2_bus(netlist& nl, node_id sel, const bus& a0, const bus& a1) {
+    require(a0.size() == a1.size(), "mux2_bus: width mismatch");
+    // Share the select inverter across all bits.
+    const node_id nsel = nl.add_unary(gate_kind::not_, sel);
+    bus out;
+    out.reserve(a0.size());
+    for (std::size_t i = 0; i < a0.size(); ++i) {
+        const node_id t0 = nl.add_binary(gate_kind::and_, nsel, a0[i]);
+        const node_id t1 = nl.add_binary(gate_kind::and_, sel, a1[i]);
+        out.push_back(nl.add_binary(gate_kind::or_, t0, t1));
+    }
+    return out;
+}
+
+bus invert_bus(netlist& nl, const bus& a) {
+    bus out;
+    out.reserve(a.size());
+    for (node_id n : a) out.push_back(nl.add_unary(gate_kind::not_, n));
+    return out;
+}
+
+bus xor_bus(netlist& nl, const bus& a, const bus& b) {
+    require(a.size() == b.size(), "xor_bus: width mismatch");
+    bus out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.push_back(nl.add_binary(gate_kind::xor_, a[i], b[i]));
+    return out;
+}
+
+bus and_bus(netlist& nl, const bus& a, const bus& b) {
+    require(a.size() == b.size(), "and_bus: width mismatch");
+    bus out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.push_back(nl.add_binary(gate_kind::and_, a[i], b[i]));
+    return out;
+}
+
+adder_bits half_adder(netlist& nl, node_id a, node_id b) {
+    return {nl.add_binary(gate_kind::xor_, a, b),
+            nl.add_binary(gate_kind::and_, a, b)};
+}
+
+adder_bits full_adder(netlist& nl, node_id a, node_id b, node_id cin) {
+    const node_id axb = nl.add_binary(gate_kind::xor_, a, b);
+    const node_id sum = nl.add_binary(gate_kind::xor_, axb, cin);
+    const node_id t0 = nl.add_binary(gate_kind::and_, a, b);
+    const node_id t1 = nl.add_binary(gate_kind::and_, axb, cin);
+    const node_id carry = nl.add_binary(gate_kind::or_, t0, t1);
+    return {sum, carry};
+}
+
+add_result ripple_add(netlist& nl, const bus& a, const bus& b, node_id cin) {
+    require(!a.empty() && !b.empty(), "ripple_add: empty bus");
+    const std::size_t width = std::max(a.size(), b.size());
+    add_result r;
+    r.sum.reserve(width);
+    node_id carry = cin;
+    for (std::size_t i = 0; i < width; ++i) {
+        const node_id ai = i < a.size() ? a[i] : null_node;
+        const node_id bi = i < b.size() ? b[i] : null_node;
+        adder_bits cell{};
+        if (ai != null_node && bi != null_node) {
+            cell = (carry == null_node) ? half_adder(nl, ai, bi)
+                                        : full_adder(nl, ai, bi, carry);
+        } else {
+            const node_id present = ai != null_node ? ai : bi;
+            if (carry == null_node) {
+                cell = {present, null_node};
+            } else {
+                cell = half_adder(nl, present, carry);
+            }
+        }
+        r.sum.push_back(cell.sum);
+        carry = cell.carry;
+    }
+    r.carry_out =
+        (carry == null_node) ? nl.add_const(false) : carry;
+    return r;
+}
+
+sub_result ripple_sub(netlist& nl, const bus& a, const bus& b) {
+    require(a.size() == b.size() && !a.empty(), "ripple_sub: width mismatch");
+    sub_result r;
+    r.diff.reserve(a.size());
+    node_id borrow = null_node;  // no borrow yet
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // diff = a ^ b ^ borrow ; borrow' = (~a & b) | (~(a ^ b) & borrow)
+        const node_id axb = nl.add_binary(gate_kind::xor_, a[i], b[i]);
+        const node_id na = nl.add_unary(gate_kind::not_, a[i]);
+        const node_id nab = nl.add_binary(gate_kind::and_, na, b[i]);
+        if (borrow == null_node) {
+            r.diff.push_back(axb);
+            borrow = nab;
+        } else {
+            r.diff.push_back(nl.add_binary(gate_kind::xor_, axb, borrow));
+            const node_id naxb = nl.add_unary(gate_kind::not_, axb);
+            const node_id keep = nl.add_binary(gate_kind::and_, naxb, borrow);
+            borrow = nl.add_binary(gate_kind::or_, nab, keep);
+        }
+    }
+    r.borrow_out = borrow;
+    return r;
+}
+
+node_id equality(netlist& nl, const bus& a, const bus& b) {
+    require(a.size() == b.size() && !a.empty(), "equality: width mismatch");
+    std::vector<node_id> eq_bits;
+    eq_bits.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        eq_bits.push_back(nl.add_binary(gate_kind::xnor_, a[i], b[i]));
+    return nl.add_tree(gate_kind::and_, eq_bits);
+}
+
+compare_result magnitude_compare(netlist& nl, const bus& a, const bus& b) {
+    require(a.size() == b.size() && !a.empty(),
+            "magnitude_compare: width mismatch");
+    // MSB-first prefix chain: gt = OR_i (eq_{msb..i+1} & a_i & ~b_i).
+    const std::size_t w = a.size();
+    std::vector<node_id> eq_bits(w);
+    for (std::size_t i = 0; i < w; ++i)
+        eq_bits[i] = nl.add_binary(gate_kind::xnor_, a[i], b[i]);
+    std::vector<node_id> gt_terms, lt_terms;
+    node_id prefix_eq = null_node;  // equality of all bits above current
+    for (std::size_t k = 0; k < w; ++k) {
+        const std::size_t i = w - 1 - k;  // from MSB down
+        const node_id nb = nl.add_unary(gate_kind::not_, b[i]);
+        const node_id na = nl.add_unary(gate_kind::not_, a[i]);
+        node_id gt_i = nl.add_binary(gate_kind::and_, a[i], nb);
+        node_id lt_i = nl.add_binary(gate_kind::and_, na, b[i]);
+        if (prefix_eq != null_node) {
+            gt_i = nl.add_binary(gate_kind::and_, prefix_eq, gt_i);
+            lt_i = nl.add_binary(gate_kind::and_, prefix_eq, lt_i);
+        }
+        gt_terms.push_back(gt_i);
+        lt_terms.push_back(lt_i);
+        prefix_eq = (prefix_eq == null_node)
+                        ? eq_bits[i]
+                        : nl.add_binary(gate_kind::and_, prefix_eq, eq_bits[i]);
+    }
+    compare_result r;
+    r.eq = prefix_eq;
+    r.gt = nl.add_tree(gate_kind::or_, gt_terms);
+    r.lt = nl.add_tree(gate_kind::or_, lt_terms);
+    return r;
+}
+
+node_id parity(netlist& nl, const bus& b) {
+    require(!b.empty(), "parity: empty bus");
+    return nl.add_tree(gate_kind::xor_, b);
+}
+
+node_id any_set(netlist& nl, const bus& b) {
+    require(!b.empty(), "any_set: empty bus");
+    return nl.add_tree(gate_kind::or_, b);
+}
+
+node_id all_set(netlist& nl, const bus& b) {
+    require(!b.empty(), "all_set: empty bus");
+    return nl.add_tree(gate_kind::and_, b);
+}
+
+bus slice(const bus& b, std::size_t lo, std::size_t len) {
+    require(lo + len <= b.size(), "slice: out of range");
+    return bus(b.begin() + static_cast<std::ptrdiff_t>(lo),
+               b.begin() + static_cast<std::ptrdiff_t>(lo + len));
+}
+
+namespace ref {
+
+std::vector<bool> to_bits(std::uint64_t value, std::size_t width) {
+    std::vector<bool> bits(width);
+    for (std::size_t i = 0; i < width; ++i) bits[i] = ((value >> i) & 1ULL) != 0;
+    return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        if (bits[i]) v |= (1ULL << i);
+    return v;
+}
+
+}  // namespace ref
+}  // namespace wrpt

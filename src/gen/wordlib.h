@@ -1,0 +1,98 @@
+// Shared word-level building blocks for the circuit generators.
+//
+// A `bus` is a little-endian vector of node ids (index 0 = LSB). All
+// builders append gates to a caller-supplied netlist and return the nodes
+// carrying the result.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Little-endian word of netlist nodes (index 0 = least significant bit).
+using bus = std::vector<node_id>;
+
+/// Create `width` primary inputs named "<prefix>0".."<prefix><width-1>".
+bus add_input_bus(netlist& nl, const std::string& prefix, std::size_t width);
+
+/// Mark each bus bit as primary output "<prefix>0"...
+void mark_output_bus(netlist& nl, const bus& b, const std::string& prefix);
+
+/// Bus of constant nodes carrying `value` (LSB first).
+bus constant_bus(netlist& nl, std::uint64_t value, std::size_t width);
+
+/// 2:1 multiplexer: returns a0 when sel=0, a1 when sel=1.
+node_id mux2(netlist& nl, node_id sel, node_id a0, node_id a1);
+
+/// Bitwise 2:1 multiplexer over equally sized buses.
+bus mux2_bus(netlist& nl, node_id sel, const bus& a0, const bus& a1);
+
+/// Bitwise unary/binary operations over buses.
+bus invert_bus(netlist& nl, const bus& a);
+bus xor_bus(netlist& nl, const bus& a, const bus& b);
+bus and_bus(netlist& nl, const bus& a, const bus& b);
+
+struct adder_bits {
+    node_id sum = null_node;
+    node_id carry = null_node;
+};
+
+/// Half adder (sum, carry) and full adder.
+adder_bits half_adder(netlist& nl, node_id a, node_id b);
+adder_bits full_adder(netlist& nl, node_id a, node_id b, node_id cin);
+
+struct add_result {
+    bus sum;             ///< width = max(|a|, |b|)
+    node_id carry_out = null_node;
+};
+
+/// Ripple-carry adder a + b (+ cin). Buses may differ in width; the shorter
+/// one is zero-extended.
+add_result ripple_add(netlist& nl, const bus& a, const bus& b,
+                      node_id cin = null_node);
+
+struct sub_result {
+    bus diff;            ///< width = |a|
+    node_id borrow_out = null_node;  ///< 1 iff a < b (unsigned)
+};
+
+/// Ripple-borrow subtractor a - b (unsigned); buses must have equal width.
+sub_result ripple_sub(netlist& nl, const bus& a, const bus& b);
+
+/// Wide equality: AND-tree over bitwise XNOR. Buses must have equal width.
+node_id equality(netlist& nl, const bus& a, const bus& b);
+
+struct compare_result {
+    node_id eq = null_node;
+    node_id gt = null_node;  ///< a > b (unsigned)
+    node_id lt = null_node;  ///< a < b (unsigned)
+};
+
+/// Unsigned magnitude comparator built from a prefix-equality chain
+/// (the classic cascadable comparator structure, MSB first).
+compare_result magnitude_compare(netlist& nl, const bus& a, const bus& b);
+
+/// Parity (XOR tree) over a bus.
+node_id parity(netlist& nl, const bus& b);
+
+/// OR-tree "any bit set" / AND-tree "all bits set".
+node_id any_set(netlist& nl, const bus& b);
+node_id all_set(netlist& nl, const bus& b);
+
+/// Select a slice [lo, lo+len) of a bus.
+bus slice(const bus& b, std::size_t lo, std::size_t len);
+
+/// Evaluate reference arithmetic helpers used by generator tests.
+namespace ref {
+/// Extract `width` bits from `value` as vector<bool>, LSB first.
+std::vector<bool> to_bits(std::uint64_t value, std::size_t width);
+/// Assemble bits (LSB first) into an integer.
+std::uint64_t from_bits(const std::vector<bool>& bits);
+}  // namespace ref
+
+}  // namespace wrpt

@@ -1,0 +1,228 @@
+#include "io/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+struct raw_gate {
+    gate_kind kind = gate_kind::buf;
+    std::vector<std::string> fanin_names;
+    int line = 0;
+};
+
+struct raw_design {
+    std::vector<std::string> input_order;
+    std::vector<std::string> output_order;
+    // Definition order preserved for deterministic ids.
+    std::vector<std::string> def_order;
+    std::unordered_map<std::string, raw_gate> defs;
+};
+
+raw_design parse_lines(std::istream& in) {
+    raw_design d;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments.
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty()) continue;
+
+        const auto open = line.find('(');
+        const auto close = line.rfind(')');
+        const auto eq = line.find('=');
+
+        auto fail = [&](const std::string& why) {
+            throw invalid_input("bench line " + std::to_string(lineno) + ": " + why);
+        };
+
+        if (eq == std::string::npos) {
+            // INPUT(x) or OUTPUT(y)
+            if (open == std::string::npos || close == std::string::npos ||
+                close < open)
+                fail("expected INPUT(...)/OUTPUT(...) or assignment");
+            const std::string head = trim(line.substr(0, open));
+            const std::string arg = trim(line.substr(open + 1, close - open - 1));
+            if (arg.empty()) fail("empty signal name");
+            std::string upper(head);
+            std::transform(upper.begin(), upper.end(), upper.begin(),
+                           [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+            if (upper == "INPUT")
+                d.input_order.push_back(arg);
+            else if (upper == "OUTPUT")
+                d.output_order.push_back(arg);
+            else
+                fail("unknown directive '" + head + "'");
+            continue;
+        }
+
+        // name = KIND(a, b, ...)
+        const std::string target = trim(line.substr(0, eq));
+        if (target.empty()) fail("missing target name");
+        if (open == std::string::npos || close == std::string::npos || open < eq)
+            fail("expected KIND(args) on right hand side");
+        const std::string kind_text = trim(line.substr(eq + 1, open - eq - 1));
+        raw_gate g;
+        g.line = lineno;
+        if (!gate_kind_from_string(kind_text, g.kind))
+            fail("unknown gate type '" + kind_text + "'");
+        if (g.kind == gate_kind::input)
+            fail("INPUT is a directive, not a gate type");
+        const std::string args = line.substr(open + 1, close - open - 1);
+        std::stringstream ss(args);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            item = trim(item);
+            if (!item.empty()) g.fanin_names.push_back(item);
+        }
+        if (!d.defs.emplace(target, std::move(g)).second)
+            fail("signal '" + target + "' defined twice");
+        d.def_order.push_back(target);
+    }
+    return d;
+}
+
+}  // namespace
+
+netlist read_bench(std::istream& in, const std::string& name) {
+    const raw_design d = parse_lines(in);
+    netlist nl(name);
+
+    std::unordered_map<std::string, node_id> ids;
+    for (const auto& input_name : d.input_order) {
+        require(!ids.contains(input_name),
+                "bench: input '" + input_name + "' declared twice");
+        require(!d.defs.contains(input_name),
+                "bench: input '" + input_name + "' also defined as gate");
+        ids.emplace(input_name, nl.add_input(input_name));
+    }
+
+    // Iterative DFS topological insertion (definitions may be out of order).
+    enum class mark : std::uint8_t { none, visiting, done };
+    std::unordered_map<std::string, mark> marks;
+    std::vector<std::pair<std::string, std::size_t>> stack;  // (name, next fanin)
+
+    auto define = [&](const std::string& root) {
+        if (ids.contains(root)) return;
+        stack.emplace_back(root, 0);
+        while (!stack.empty()) {
+            auto& [cur, next] = stack.back();
+            auto it = d.defs.find(cur);
+            if (it == d.defs.end())
+                throw invalid_input("bench: signal '" + cur + "' is never defined");
+            const raw_gate& g = it->second;
+            if (next == 0) {
+                const mark m = marks[cur];
+                if (m == mark::visiting)
+                    throw invalid_input("bench: combinational cycle through '" +
+                                        cur + "'");
+                marks[cur] = mark::visiting;
+            }
+            bool descended = false;
+            while (next < g.fanin_names.size()) {
+                const std::string& fname = g.fanin_names[next];
+                ++next;
+                if (!ids.contains(fname)) {
+                    if (marks[fname] == mark::visiting)
+                        throw invalid_input(
+                            "bench: combinational cycle through '" + fname + "'");
+                    stack.emplace_back(fname, 0);
+                    descended = true;
+                    break;
+                }
+            }
+            if (descended) continue;
+            // All fanins available: create the gate.
+            std::vector<node_id> fi;
+            fi.reserve(g.fanin_names.size());
+            for (const auto& fname : g.fanin_names) fi.push_back(ids.at(fname));
+            ids.emplace(cur, nl.add_gate(g.kind, fi, cur));
+            marks[cur] = mark::done;
+            stack.pop_back();
+        }
+    };
+
+    for (const auto& def_name : d.def_order) define(def_name);
+    for (const auto& out_name : d.output_order) {
+        auto it = ids.find(out_name);
+        require(it != ids.end(),
+                "bench: output '" + out_name + "' is never defined");
+        nl.mark_output(it->second, out_name);
+    }
+    nl.validate();
+    return nl;
+}
+
+netlist read_bench_string(const std::string& text, const std::string& name) {
+    std::istringstream in(text);
+    return read_bench(in, name);
+}
+
+netlist read_bench_file(const std::string& path) {
+    std::ifstream in(path);
+    require(in.good(), "read_bench_file: cannot open '" + path + "'");
+    return read_bench(in, path);
+}
+
+void write_bench(std::ostream& out, const netlist& nl) {
+    auto name_of = [&nl](node_id n) {
+        const std::string& nm = nl.node_name(n);
+        return nm.empty() ? "n" + std::to_string(n) : nm;
+    };
+    out << "# " << nl.name() << "\n";
+    out << "# " << nl.input_count() << " inputs, " << nl.output_count()
+        << " outputs, " << (nl.node_count() - nl.input_count()) << " gates\n";
+    for (node_id i : nl.inputs()) out << "INPUT(" << name_of(i) << ")\n";
+    // Outputs are exported under their output names; when that differs
+    // from the driving signal's name, a buffer alias keeps the .bench
+    // well-formed.
+    std::vector<std::pair<std::string, std::string>> aliases;
+    for (node_id o : nl.outputs()) {
+        const std::string& oname = nl.output_name(o);
+        out << "OUTPUT(" << oname << ")\n";
+        if (oname != name_of(o)) aliases.emplace_back(oname, name_of(o));
+    }
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        if (nl.kind(n) == gate_kind::input) continue;
+        out << name_of(n) << " = " << to_string(nl.kind(n)) << "(";
+        const auto fi = nl.fanins(n);
+        for (std::size_t k = 0; k < fi.size(); ++k) {
+            if (k) out << ", ";
+            out << name_of(fi[k]);
+        }
+        out << ")\n";
+    }
+    for (const auto& [oname, signal] : aliases)
+        out << oname << " = BUF(" << signal << ")\n";
+}
+
+std::string write_bench_string(const netlist& nl) {
+    std::ostringstream out;
+    write_bench(out, nl);
+    return out.str();
+}
+
+void write_bench_file(const std::string& path, const netlist& nl) {
+    std::ofstream out(path);
+    require(out.good(), "write_bench_file: cannot open '" + path + "'");
+    write_bench(out, nl);
+}
+
+}  // namespace wrpt

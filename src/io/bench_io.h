@@ -1,0 +1,40 @@
+// ISCAS'89 ".bench" netlist format reader and writer.
+//
+// The format used for the public ISCAS benchmark distributions:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//   G17 = NOT(G10)
+//
+// Definitions may appear in any order; the reader topologically sorts them.
+// Combinational subset only (DFF lines are rejected).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Parse a .bench description from a stream. Throws invalid_input on
+/// malformed text, unknown gate types, undefined signals, or cycles.
+netlist read_bench(std::istream& in, const std::string& name = "bench");
+
+/// Parse a .bench description from a string.
+netlist read_bench_string(const std::string& text,
+                          const std::string& name = "bench");
+
+/// Parse a .bench file from disk.
+netlist read_bench_file(const std::string& path);
+
+/// Write a netlist in .bench syntax. Unnamed internal nodes receive
+/// synthetic names ("n<id>"). The output round-trips through read_bench.
+void write_bench(std::ostream& out, const netlist& nl);
+std::string write_bench_string(const netlist& nl);
+void write_bench_file(const std::string& path, const netlist& nl);
+
+}  // namespace wrpt

@@ -1,0 +1,68 @@
+#include "io/weights_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+weight_vector uniform_weights(const netlist& nl, double p) {
+    require(p >= 0.0 && p <= 1.0, "uniform_weights: p out of [0,1]");
+    return weight_vector(nl.input_count(), p);
+}
+
+weight_vector read_weights(std::istream& in, const netlist& nl) {
+    weight_vector w(nl.input_count(), -1.0);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string name;
+        double p = 0.0;
+        if (!(ss >> name)) continue;  // blank line
+        require(static_cast<bool>(ss >> p),
+                "weights line " + std::to_string(lineno) + ": missing probability");
+        require(p >= 0.0 && p <= 1.0,
+                "weights line " + std::to_string(lineno) + ": probability out of [0,1]");
+        const node_id n = nl.find(name);
+        require(n != null_node && nl.kind(n) == gate_kind::input,
+                "weights line " + std::to_string(lineno) + ": '" + name +
+                    "' is not a primary input");
+        const std::size_t idx = nl.input_index(n);
+        require(w[idx] < 0.0, "weights: input '" + name + "' assigned twice");
+        w[idx] = p;
+    }
+    for (std::size_t i = 0; i < w.size(); ++i)
+        require(w[i] >= 0.0, "weights: input '" +
+                                 nl.node_name(nl.inputs()[i]) + "' unassigned");
+    return w;
+}
+
+weight_vector read_weights_file(const std::string& path, const netlist& nl) {
+    std::ifstream in(path);
+    require(in.good(), "read_weights_file: cannot open '" + path + "'");
+    return read_weights(in, nl);
+}
+
+void write_weights(std::ostream& out, const netlist& nl,
+                   const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "write_weights: weight count differs from input count");
+    out << "# optimized input probabilities for " << nl.name() << "\n";
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        out << nl.node_name(nl.inputs()[i]) << " " << weights[i] << "\n";
+}
+
+void write_weights_file(const std::string& path, const netlist& nl,
+                        const weight_vector& weights) {
+    std::ofstream out(path);
+    require(out.good(), "write_weights_file: cannot open '" + path + "'");
+    write_weights(out, nl, weights);
+}
+
+}  // namespace wrpt

@@ -1,0 +1,34 @@
+// Reading and writing input-probability ("weight") files.
+//
+// Format: one "input_name probability" pair per line, '#' comments.
+// This is the artifact the paper prints in its appendix (optimized input
+// probabilities for S1 and C7552).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Weight vector ordered like netlist::inputs().
+using weight_vector = std::vector<double>;
+
+/// Uniform weights (the conventional equiprobable random test).
+weight_vector uniform_weights(const netlist& nl, double p = 0.5);
+
+/// Parse weights for `nl` from a stream; every input must be assigned
+/// exactly once and probabilities must lie in [0,1].
+weight_vector read_weights(std::istream& in, const netlist& nl);
+weight_vector read_weights_file(const std::string& path, const netlist& nl);
+
+/// Write weights in appendix style (input name, probability).
+void write_weights(std::ostream& out, const netlist& nl,
+                   const weight_vector& weights);
+void write_weights_file(const std::string& path, const netlist& nl,
+                        const weight_vector& weights);
+
+}  // namespace wrpt

@@ -1,0 +1,79 @@
+// Gate primitives of the combinational network model.
+//
+// The model matches the paper's setting (section 2.1): a combinational
+// network C with nodes K, primary inputs I and primary outputs O. Gates are
+// the usual Boolean primitives; sequential elements are assumed to be
+// configured into scan/LFSR structures by the surrounding BIST scheme and
+// are therefore outside the model.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wrpt {
+
+/// Identifier of a node (gate or primary input) within one netlist.
+/// Node ids are dense and topologically ordered by construction: every
+/// fanin id is smaller than the gate's own id.
+using node_id = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr node_id null_node = 0xffffffffu;
+
+/// Supported gate functions.
+enum class gate_kind : std::uint8_t {
+    input,   ///< primary input, no fanins
+    const0,  ///< constant 0, no fanins
+    const1,  ///< constant 1, no fanins
+    buf,     ///< identity, 1 fanin
+    not_,    ///< inversion, 1 fanin
+    and_,    ///< conjunction, >= 1 fanins
+    nand_,   ///< negated conjunction, >= 1 fanins
+    or_,     ///< disjunction, >= 1 fanins
+    nor_,    ///< negated disjunction, >= 1 fanins
+    xor_,    ///< parity, >= 1 fanins
+    xnor_,   ///< negated parity, >= 1 fanins
+};
+
+/// Printable name of a gate kind (stable; used by the .bench writer).
+std::string_view to_string(gate_kind kind);
+
+/// Parse a gate kind name (case-insensitive); returns true on success.
+bool gate_kind_from_string(std::string_view text, gate_kind& out);
+
+/// Number of fanins this kind requires; 0 for fixed-arity-0 kinds,
+/// 1 for buf/not, and 2+ meaning "at least one" for the n-ary kinds.
+inline bool kind_has_fanins(gate_kind kind) {
+    return kind != gate_kind::input && kind != gate_kind::const0 &&
+           kind != gate_kind::const1;
+}
+
+/// True for and/nand/or/nor: gates with a controlling input value.
+inline bool kind_has_controlling_value(gate_kind kind) {
+    return kind == gate_kind::and_ || kind == gate_kind::nand_ ||
+           kind == gate_kind::or_ || kind == gate_kind::nor_;
+}
+
+/// Controlling input value of an and/nand/or/nor gate
+/// (0 for and/nand, 1 for or/nor). Precondition: kind_has_controlling_value.
+inline bool controlling_value(gate_kind kind) {
+    return kind == gate_kind::or_ || kind == gate_kind::nor_;
+}
+
+/// True if the gate's output is the inversion of the underlying
+/// monotone/parity body (not, nand, nor, xnor).
+inline bool kind_inverts(gate_kind kind) {
+    return kind == gate_kind::not_ || kind == gate_kind::nand_ ||
+           kind == gate_kind::nor_ || kind == gate_kind::xnor_;
+}
+
+/// Evaluate a gate over 64 patterns in parallel (one bit per pattern).
+/// `fanins` points at the fanin words, `count` is the fanin count.
+std::uint64_t eval_gate_words(gate_kind kind, const std::uint64_t* fanins,
+                              std::size_t count);
+
+/// Evaluate a gate on scalar booleans (reference semantics for tests).
+bool eval_gate_bool(gate_kind kind, const bool* fanins, std::size_t count);
+
+}  // namespace wrpt

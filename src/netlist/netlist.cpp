@@ -1,0 +1,341 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+// --- gate.h free functions --------------------------------------------------
+
+std::string_view to_string(gate_kind kind) {
+    switch (kind) {
+        case gate_kind::input: return "INPUT";
+        case gate_kind::const0: return "CONST0";
+        case gate_kind::const1: return "CONST1";
+        case gate_kind::buf: return "BUF";
+        case gate_kind::not_: return "NOT";
+        case gate_kind::and_: return "AND";
+        case gate_kind::nand_: return "NAND";
+        case gate_kind::or_: return "OR";
+        case gate_kind::nor_: return "NOR";
+        case gate_kind::xor_: return "XOR";
+        case gate_kind::xnor_: return "XNOR";
+    }
+    return "?";
+}
+
+bool gate_kind_from_string(std::string_view text, gate_kind& out) {
+    std::string upper(text.size(), '\0');
+    std::transform(text.begin(), text.end(), upper.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    struct entry {
+        std::string_view name;
+        gate_kind kind;
+    };
+    static constexpr entry table[] = {
+        {"INPUT", gate_kind::input}, {"CONST0", gate_kind::const0},
+        {"CONST1", gate_kind::const1}, {"BUF", gate_kind::buf},
+        {"BUFF", gate_kind::buf},      {"NOT", gate_kind::not_},
+        {"INV", gate_kind::not_},      {"AND", gate_kind::and_},
+        {"NAND", gate_kind::nand_},    {"OR", gate_kind::or_},
+        {"NOR", gate_kind::nor_},      {"XOR", gate_kind::xor_},
+        {"XNOR", gate_kind::xnor_},
+    };
+    for (const auto& e : table) {
+        if (upper == e.name) {
+            out = e.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t eval_gate_words(gate_kind kind, const std::uint64_t* fanins,
+                              std::size_t count) {
+    switch (kind) {
+        case gate_kind::input:
+            // Inputs carry externally assigned words; evaluating one is a bug.
+            throw error("eval_gate_words: primary input has no gate function");
+        case gate_kind::const0: return 0;
+        case gate_kind::const1: return ~0ULL;
+        case gate_kind::buf: return fanins[0];
+        case gate_kind::not_: return ~fanins[0];
+        case gate_kind::and_:
+        case gate_kind::nand_: {
+            std::uint64_t acc = ~0ULL;
+            for (std::size_t i = 0; i < count; ++i) acc &= fanins[i];
+            return kind == gate_kind::and_ ? acc : ~acc;
+        }
+        case gate_kind::or_:
+        case gate_kind::nor_: {
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < count; ++i) acc |= fanins[i];
+            return kind == gate_kind::or_ ? acc : ~acc;
+        }
+        case gate_kind::xor_:
+        case gate_kind::xnor_: {
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < count; ++i) acc ^= fanins[i];
+            return kind == gate_kind::xor_ ? acc : ~acc;
+        }
+    }
+    throw error("eval_gate_words: unknown gate kind");
+}
+
+bool eval_gate_bool(gate_kind kind, const bool* fanins, std::size_t count) {
+    std::vector<std::uint64_t> words(count);
+    for (std::size_t i = 0; i < count; ++i) words[i] = fanins[i] ? ~0ULL : 0ULL;
+    return (eval_gate_words(kind, words.data(), count) & 1ULL) != 0;
+}
+
+// --- netlist -----------------------------------------------------------------
+
+node_id netlist::new_node(gate_kind kind, std::span<const node_id> fanins,
+                          const std::string& name) {
+    const auto id = static_cast<node_id>(kinds_.size());
+    require(kinds_.size() < null_node, "netlist: node capacity exceeded");
+    for (node_id f : fanins)
+        require(f < id, "netlist: fanin does not exist yet (topological order)");
+    if (!name.empty()) {
+        auto [it, inserted] = by_name_.emplace(name, id);
+        (void)it;
+        require(inserted, "netlist: duplicate node name '" + name + "'");
+    }
+    kinds_.push_back(kind);
+    fanin_offset_.push_back(static_cast<std::uint32_t>(fanin_pool_.size()));
+    fanin_pool_.insert(fanin_pool_.end(), fanins.begin(), fanins.end());
+    std::uint32_t lvl = 0;
+    for (node_id f : fanins) lvl = std::max(lvl, levels_[f] + 1);
+    levels_.push_back(lvl);
+    node_names_.push_back(name);
+    fanouts_built_ = false;
+    return id;
+}
+
+node_id netlist::add_input(const std::string& name) {
+    require(!name.empty(), "netlist::add_input: inputs must be named");
+    const node_id id = new_node(gate_kind::input, {}, name);
+    input_index_.emplace(id, inputs_.size());
+    inputs_.push_back(id);
+    return id;
+}
+
+node_id netlist::add_gate(gate_kind kind, std::span<const node_id> fanins,
+                          const std::string& name) {
+    require(kind != gate_kind::input, "netlist::add_gate: use add_input");
+    if (kind == gate_kind::const0 || kind == gate_kind::const1)
+        require(fanins.empty(), "netlist::add_gate: constants take no fanins");
+    else if (kind == gate_kind::buf || kind == gate_kind::not_)
+        require(fanins.size() == 1, "netlist::add_gate: buf/not take one fanin");
+    else
+        require(!fanins.empty(), "netlist::add_gate: n-ary gate needs fanins");
+    return new_node(kind, fanins, name);
+}
+
+node_id netlist::add_gate(gate_kind kind, std::initializer_list<node_id> fanins,
+                          const std::string& name) {
+    return add_gate(kind, std::span<const node_id>(fanins.begin(), fanins.size()),
+                    name);
+}
+
+node_id netlist::add_unary(gate_kind kind, node_id a, const std::string& name) {
+    return add_gate(kind, {a}, name);
+}
+
+node_id netlist::add_binary(gate_kind kind, node_id a, node_id b,
+                            const std::string& name) {
+    return add_gate(kind, {a, b}, name);
+}
+
+node_id netlist::add_const(bool value, const std::string& name) {
+    return add_gate(value ? gate_kind::const1 : gate_kind::const0, {}, name);
+}
+
+void netlist::mark_output(node_id node, const std::string& name) {
+    require(node < node_count(), "netlist::mark_output: no such node");
+    require(!name.empty(), "netlist::mark_output: outputs must be named");
+    require(!output_names_.contains(node),
+            "netlist::mark_output: node already an output");
+    for (const auto& [n, nm] : output_names_)
+        require(nm != name, "netlist::mark_output: duplicate output name");
+    outputs_.push_back(node);
+    output_names_.emplace(node, name);
+}
+
+node_id netlist::add_tree(gate_kind kind, std::span<const node_id> leaves) {
+    require(!leaves.empty(), "netlist::add_tree: need at least one leaf");
+    require(kind_has_fanins(kind) && kind != gate_kind::buf &&
+                kind != gate_kind::not_,
+            "netlist::add_tree: kind must be n-ary");
+    if (leaves.size() == 1) {
+        if (kind_inverts(kind)) return add_unary(gate_kind::not_, leaves[0]);
+        return leaves[0];
+    }
+    // Build the body with the non-inverting version and invert once at the
+    // root; that keeps internal nodes monotone (xor stays xor).
+    gate_kind body = kind;
+    switch (kind) {
+        case gate_kind::nand_: body = gate_kind::and_; break;
+        case gate_kind::nor_: body = gate_kind::or_; break;
+        case gate_kind::xnor_: body = gate_kind::xor_; break;
+        default: break;
+    }
+    std::vector<node_id> layer(leaves.begin(), leaves.end());
+    while (layer.size() > 1) {
+        std::vector<node_id> next;
+        next.reserve((layer.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(add_binary(body, layer[i], layer[i + 1]));
+        if (layer.size() % 2 != 0) next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    if (kind_inverts(kind)) return add_unary(gate_kind::not_, layer[0]);
+    return layer[0];
+}
+
+std::span<const node_id> netlist::fanins(node_id n) const {
+    const std::uint32_t begin = fanin_offset_[n];
+    const std::uint32_t end = (n + 1 < fanin_offset_.size())
+                                  ? fanin_offset_[n + 1]
+                                  : static_cast<std::uint32_t>(fanin_pool_.size());
+    return {fanin_pool_.data() + begin, fanin_pool_.data() + end};
+}
+
+std::size_t netlist::fanin_count(node_id n) const { return fanins(n).size(); }
+
+std::size_t netlist::input_index(node_id n) const {
+    auto it = input_index_.find(n);
+    return it == input_index_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
+bool netlist::is_output(node_id n) const { return output_names_.contains(n); }
+
+const std::string& netlist::node_name(node_id n) const { return node_names_[n]; }
+
+const std::string& netlist::output_name(node_id n) const {
+    static const std::string empty;
+    auto it = output_names_.find(n);
+    return it == output_names_.end() ? empty : it->second;
+}
+
+node_id netlist::find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? null_node : it->second;
+}
+
+std::size_t netlist::level(node_id n) const { return levels_[n]; }
+
+std::size_t netlist::depth() const {
+    std::uint32_t d = 0;
+    for (std::uint32_t l : levels_) d = std::max(d, l);
+    return d;
+}
+
+void netlist::ensure_fanouts() const {
+    if (fanouts_built_) return;
+    fanout_offset_.assign(node_count() + 1, 0);
+    for (node_id n = 0; n < node_count(); ++n)
+        for (node_id f : fanins(n)) ++fanout_offset_[f + 1];
+    for (std::size_t i = 1; i < fanout_offset_.size(); ++i)
+        fanout_offset_[i] += fanout_offset_[i - 1];
+    fanout_pool_.assign(fanin_pool_.size(), 0);
+    std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                      fanout_offset_.end() - 1);
+    for (node_id n = 0; n < node_count(); ++n)
+        for (node_id f : fanins(n)) fanout_pool_[cursor[f]++] = n;
+    fanouts_built_ = true;
+}
+
+std::span<const node_id> netlist::fanouts(node_id n) const {
+    ensure_fanouts();
+    return {fanout_pool_.data() + fanout_offset_[n],
+            fanout_pool_.data() + fanout_offset_[n + 1]};
+}
+
+std::vector<node_id> netlist::fanin_cone(node_id n) const {
+    std::vector<bool> seen(node_count(), false);
+    std::vector<node_id> stack{n};
+    seen[n] = true;
+    while (!stack.empty()) {
+        const node_id cur = stack.back();
+        stack.pop_back();
+        for (node_id f : fanins(cur)) {
+            if (!seen[f]) {
+                seen[f] = true;
+                stack.push_back(f);
+            }
+        }
+    }
+    std::vector<node_id> cone;
+    for (node_id i = 0; i < node_count(); ++i)
+        if (seen[i]) cone.push_back(i);
+    return cone;
+}
+
+std::vector<node_id> netlist::fanout_cone(node_id n) const {
+    ensure_fanouts();
+    std::vector<bool> seen(node_count(), false);
+    std::vector<node_id> stack{n};
+    seen[n] = true;
+    while (!stack.empty()) {
+        const node_id cur = stack.back();
+        stack.pop_back();
+        for (node_id f : fanouts(cur)) {
+            if (!seen[f]) {
+                seen[f] = true;
+                stack.push_back(f);
+            }
+        }
+    }
+    std::vector<node_id> cone;
+    for (node_id i = 0; i < node_count(); ++i)
+        if (seen[i]) cone.push_back(i);
+    return cone;
+}
+
+netlist_stats netlist::stats() const {
+    netlist_stats s;
+    s.node_count = node_count();
+    s.input_count = inputs_.size();
+    s.output_count = outputs_.size();
+    s.per_kind.assign(static_cast<std::size_t>(gate_kind::xnor_) + 1, 0);
+    for (gate_kind k : kinds_) ++s.per_kind[static_cast<std::size_t>(k)];
+    s.gate_count = s.node_count - s.input_count;
+    // Fault sites: every node output (stem) plus every fanout branch of
+    // nodes with more than one consumer.
+    s.line_count = s.node_count;
+    for (node_id n = 0; n < node_count(); ++n) {
+        const std::size_t fo = fanouts(n).size();
+        if (fo > 1) s.line_count += fo;
+    }
+    s.depth = depth();
+    return s;
+}
+
+void netlist::validate() const {
+    for (node_id n = 0; n < node_count(); ++n) {
+        const auto fi = fanins(n);
+        switch (kind(n)) {
+            case gate_kind::input:
+            case gate_kind::const0:
+            case gate_kind::const1:
+                require(fi.empty(), "validate: nullary node has fanins");
+                break;
+            case gate_kind::buf:
+            case gate_kind::not_:
+                require(fi.size() == 1, "validate: unary node arity");
+                break;
+            default:
+                require(!fi.empty(), "validate: n-ary node without fanins");
+        }
+        for (node_id f : fi) require(f < n, "validate: fanin order violated");
+    }
+    for (node_id o : outputs_)
+        require(o < node_count(), "validate: dangling output");
+    require(!inputs_.empty(), "validate: netlist without primary inputs");
+    require(!outputs_.empty(), "validate: netlist without primary outputs");
+}
+
+}  // namespace wrpt

@@ -1,0 +1,246 @@
+#include "netlist/transform.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+/// xor2 via four NAND gates: t = nand(a,b); xor = nand(nand(a,t), nand(b,t)).
+node_id nand_xor2(netlist& out, node_id a, node_id b) {
+    const node_id t = out.add_binary(gate_kind::nand_, a, b);
+    const node_id u = out.add_binary(gate_kind::nand_, a, t);
+    const node_id v = out.add_binary(gate_kind::nand_, b, t);
+    return out.add_binary(gate_kind::nand_, u, v);
+}
+
+}  // namespace
+
+netlist expand_xor(const netlist& nl) {
+    netlist out(nl.name() + "_nand");
+    std::vector<node_id> map(nl.node_count(), null_node);
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const gate_kind k = nl.kind(n);
+        if (k == gate_kind::input) {
+            map[n] = out.add_input(nl.node_name(n));
+            continue;
+        }
+        std::vector<node_id> fi;
+        for (node_id f : nl.fanins(n)) fi.push_back(map[f]);
+        if (k == gate_kind::xor_ || k == gate_kind::xnor_) {
+            node_id acc = fi[0];
+            for (std::size_t i = 1; i < fi.size(); ++i)
+                acc = nand_xor2(out, acc, fi[i]);
+            if (fi.size() == 1 && k == gate_kind::xor_) {
+                // Single-input xor is a buffer.
+                acc = out.add_unary(gate_kind::buf, acc);
+            }
+            if (k == gate_kind::xnor_) acc = out.add_unary(gate_kind::not_, acc);
+            map[n] = acc;
+        } else {
+            map[n] = out.add_gate(k, fi);
+        }
+    }
+    for (node_id o : nl.outputs()) {
+        node_id m = map[o];
+        // A node may implement several outputs after mapping; keep 1:1 by
+        // inserting buffers on duplicates.
+        if (out.is_output(m)) m = out.add_unary(gate_kind::buf, m);
+        out.mark_output(m, nl.output_name(o));
+    }
+    out.validate();
+    return out;
+}
+
+netlist limit_arity(const netlist& nl, std::size_t max_arity) {
+    require(max_arity >= 2, "limit_arity: max_arity must be >= 2");
+    netlist out(nl.name());
+    std::vector<node_id> map(nl.node_count(), null_node);
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const gate_kind k = nl.kind(n);
+        if (k == gate_kind::input) {
+            map[n] = out.add_input(nl.node_name(n));
+            continue;
+        }
+        std::vector<node_id> fi;
+        for (node_id f : nl.fanins(n)) fi.push_back(map[f]);
+        if (fi.size() <= max_arity) {
+            map[n] = out.add_gate(k, fi);
+            continue;
+        }
+        switch (k) {
+            case gate_kind::and_:
+            case gate_kind::or_:
+            case gate_kind::xor_:
+            case gate_kind::nand_:
+            case gate_kind::nor_:
+            case gate_kind::xnor_:
+                map[n] = out.add_tree(k, fi);
+                break;
+            default:
+                map[n] = out.add_gate(k, fi);
+        }
+    }
+    for (node_id o : nl.outputs()) {
+        node_id m = map[o];
+        if (out.is_output(m)) m = out.add_unary(gate_kind::buf, m);
+        out.mark_output(m, nl.output_name(o));
+    }
+    out.validate();
+    return out;
+}
+
+namespace {
+
+/// Mapping target during constant propagation: either a node alias or a
+/// known constant value.
+struct folded {
+    bool is_const = false;
+    bool value = false;
+    node_id node = null_node;
+};
+
+}  // namespace
+
+netlist propagate_constants(const netlist& nl) {
+    netlist out(nl.name());
+    std::vector<folded> map(nl.node_count());
+
+    node_id const_nodes[2] = {null_node, null_node};
+    auto const_node = [&](bool v) {
+        auto& slot = const_nodes[v ? 1 : 0];
+        if (slot == null_node) slot = out.add_const(v);
+        return slot;
+    };
+    auto materialize = [&](const folded& f) {
+        return f.is_const ? const_node(f.value) : f.node;
+    };
+
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const gate_kind k = nl.kind(n);
+        folded& slot = map[n];
+        switch (k) {
+            case gate_kind::input:
+                slot.node = out.add_input(nl.node_name(n));
+                continue;
+            case gate_kind::const0:
+            case gate_kind::const1:
+                slot.is_const = true;
+                slot.value = (k == gate_kind::const1);
+                continue;
+            case gate_kind::buf:
+                slot = map[nl.fanins(n)[0]];
+                continue;
+            case gate_kind::not_: {
+                const folded& f = map[nl.fanins(n)[0]];
+                if (f.is_const) {
+                    slot.is_const = true;
+                    slot.value = !f.value;
+                } else {
+                    slot.node = out.add_unary(gate_kind::not_, f.node);
+                }
+                continue;
+            }
+            default: break;
+        }
+
+        // n-ary gates: partial evaluation.
+        const bool is_xor_family =
+            (k == gate_kind::xor_ || k == gate_kind::xnor_);
+        std::vector<node_id> live;
+        bool flip = kind_inverts(k);
+        bool annihilated = false;
+        const bool ctrl =
+            kind_has_controlling_value(k) ? controlling_value(k) : false;
+        for (node_id fi : nl.fanins(n)) {
+            const folded& f = map[fi];
+            if (!f.is_const) {
+                live.push_back(f.node);
+                continue;
+            }
+            if (is_xor_family) {
+                if (f.value) flip = !flip;
+            } else if (f.value == ctrl) {
+                annihilated = true;  // controlling constant
+            }
+            // Non-controlling constants are simply dropped.
+        }
+        if (!is_xor_family && annihilated) {
+            // Controlling constant in -> output = ctrl (and/or), then invert.
+            slot.is_const = true;
+            slot.value = kind_inverts(k) ? !ctrl : ctrl;
+            continue;
+        }
+        if (live.empty()) {
+            slot.is_const = true;
+            if (is_xor_family) {
+                slot.value = flip;
+            } else {
+                // Empty and/or: identity element, then inversion.
+                const bool identity = !ctrl;  // and: 1, or: 0
+                slot.value = kind_inverts(k) ? !identity : identity;
+            }
+            continue;
+        }
+        if (live.size() == 1) {
+            const bool invert = is_xor_family ? flip : kind_inverts(k);
+            slot.node = invert ? out.add_unary(gate_kind::not_, live[0]) : live[0];
+            continue;
+        }
+        gate_kind nk = k;
+        if (is_xor_family)
+            nk = flip ? gate_kind::xnor_ : gate_kind::xor_;
+        slot.node = out.add_gate(nk, live);
+    }
+
+    for (node_id o : nl.outputs()) {
+        node_id m = materialize(map[o]);
+        if (out.is_output(m)) m = out.add_unary(gate_kind::buf, m);
+        out.mark_output(m, nl.output_name(o));
+    }
+    out.validate();
+    return sweep_dead(out);
+}
+
+netlist sweep_dead(const netlist& nl) {
+    std::vector<bool> keep(nl.node_count(), false);
+    std::vector<node_id> stack;
+    for (node_id o : nl.outputs()) {
+        if (!keep[o]) {
+            keep[o] = true;
+            stack.push_back(o);
+        }
+    }
+    while (!stack.empty()) {
+        const node_id n = stack.back();
+        stack.pop_back();
+        for (node_id f : nl.fanins(n)) {
+            if (!keep[f]) {
+                keep[f] = true;
+                stack.push_back(f);
+            }
+        }
+    }
+    netlist out(nl.name());
+    std::vector<node_id> map(nl.node_count(), null_node);
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        if (nl.kind(n) == gate_kind::input) {
+            map[n] = out.add_input(nl.node_name(n));  // inputs always kept
+            continue;
+        }
+        if (!keep[n]) continue;
+        std::vector<node_id> fi;
+        for (node_id f : nl.fanins(n)) fi.push_back(map[f]);
+        map[n] = out.add_gate(nl.kind(n), fi, nl.node_name(n));
+    }
+    for (node_id o : nl.outputs()) {
+        node_id m = map[o];
+        if (out.is_output(m)) m = out.add_unary(gate_kind::buf, m);
+        out.mark_output(m, nl.output_name(o));
+    }
+    out.validate();
+    return out;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,32 @@
+// Structure-changing, function-preserving netlist transformations.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Rebuild `nl` with every XOR/XNOR gate expanded into the classic
+/// four-NAND network (pairwise, chained for wider gates). The result is
+/// functionally equivalent but structurally different — the relationship
+/// between the ISCAS'85 benchmarks c499 (XOR form) and c1355 (NAND form).
+netlist expand_xor(const netlist& nl);
+
+/// Rebuild `nl` replacing wide AND/OR/NAND/NOR gates (arity > max_arity)
+/// with balanced trees of gates of at most `max_arity` inputs.
+netlist limit_arity(const netlist& nl, std::size_t max_arity);
+
+/// Constant propagation + buffer collapsing + dead-logic sweep.
+///
+/// Folds gates with constant fanins (and(0,x) -> 0, xor(1,x) -> not x, ...),
+/// collapses buffers, and removes logic not in the fanin cone of any output.
+/// Primary inputs are always kept, even if they become disconnected. The
+/// generators run this as a final step so that structurally trivial
+/// redundancies (stuck-at faults on folded constant lines) do not pollute
+/// the fault list — the paper's "some redundancies are removed".
+netlist propagate_constants(const netlist& nl);
+
+/// Keep only nodes reachable from the outputs (plus all primary inputs).
+netlist sweep_dead(const netlist& nl);
+
+}  // namespace wrpt

@@ -1,0 +1,104 @@
+#include "opt/minimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+/// First and second derivative of J at y, scaled by exp(+min exponent) so
+/// that the signs and the Newton ratio stay meaningful even when every raw
+/// term underflows. d1/d2 are proportional to J' and J''.
+struct derivatives {
+    double d1 = 0.0;
+    double d2 = 0.0;
+};
+
+derivatives scaled_derivatives(std::span<const affine_fault> faults, double n,
+                               double y) {
+    double min_e = std::numeric_limits<double>::infinity();
+    for (const auto& f : faults) {
+        const double e = n * (f.p0 + y * (f.p1 - f.p0));
+        min_e = std::min(min_e, e);
+    }
+    derivatives der;
+    if (!std::isfinite(min_e)) return der;
+    for (const auto& f : faults) {
+        const double d = f.p1 - f.p0;
+        const double e = n * (f.p0 + y * d);
+        const double t = std::exp(-(e - min_e));
+        der.d1 += -n * d * t;
+        der.d2 += n * n * d * d * t;
+    }
+    return der;
+}
+
+double objective_at(std::span<const affine_fault> faults, double n, double y) {
+    double j = 0.0;
+    for (const auto& f : faults) j += std::exp(-n * (f.p0 + y * (f.p1 - f.p0)));
+    return j;
+}
+
+}  // namespace
+
+minimize_result minimize_single_input(std::span<const affine_fault> faults,
+                                      double n, double lo, double hi) {
+    require(lo >= 0.0 && hi <= 1.0 && lo < hi,
+            "minimize_single_input: invalid interval");
+    require(n >= 0.0, "minimize_single_input: negative test length");
+
+    minimize_result res;
+    bool any_dependence = false;
+    for (const auto& f : faults)
+        if (f.p1 != f.p0) any_dependence = true;
+    if (faults.empty() || !any_dependence || n == 0.0) {
+        res.y = lo + (hi - lo) / 2.0;
+        res.objective = objective_at(faults, n, res.y);
+        return res;
+    }
+
+    // Boundary minima: J is convex, so the sign of J' at the ends decides.
+    if (scaled_derivatives(faults, n, lo).d1 >= 0.0) {
+        res.y = lo;
+        res.objective = objective_at(faults, n, lo);
+        return res;
+    }
+    if (scaled_derivatives(faults, n, hi).d1 <= 0.0) {
+        res.y = hi;
+        res.objective = objective_at(faults, n, hi);
+        return res;
+    }
+
+    // Interior minimum: guarded Newton (formula 15) with a shrinking
+    // bracket [a, b] where J'(a) < 0 < J'(b).
+    double a = lo, b = hi;
+    double y = lo + (hi - lo) / 2.0;
+    for (std::size_t it = 0; it < 200; ++it) {
+        ++res.iterations;
+        const derivatives der = scaled_derivatives(faults, n, y);
+        if (der.d1 < 0.0)
+            a = y;
+        else
+            b = y;
+        double next;
+        if (der.d2 > 0.0 && std::isfinite(der.d1)) {
+            next = y - der.d1 / der.d2;  // formula (15)
+            if (!(next > a && next < b)) next = a + (b - a) / 2.0;
+        } else {
+            next = a + (b - a) / 2.0;
+        }
+        if (std::abs(next - y) < 1e-12 || (b - a) < 1e-10) {
+            y = next;
+            break;
+        }
+        y = next;
+    }
+    res.y = std::clamp(y, lo, hi);
+    res.objective = objective_at(faults, n, res.y);
+    return res;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,31 @@
+// The paper's objective function (section 2.3).
+//
+// delta_N(X) = prod_f (1 - (1-p_f(X))^N)              (formula 8)
+// is the probability that N random patterns drawn with input probabilities
+// X detect every fault. Its negative logarithm is approximated by
+//
+//   J_N(X) = sum_f exp(-N * p_f(X))                   (formula 9/10)
+//
+// and a random test of confidence `c` needs J_N(X) <= Q(c) := -ln c.
+
+#pragma once
+
+#include <span>
+
+namespace wrpt {
+
+/// Q such that J_N <= Q guarantees confidence >= c (c in (0,1)).
+double confidence_to_q(double confidence);
+
+/// Inverse of confidence_to_q.
+double q_to_confidence(double q);
+
+/// J_N over the given detection probabilities. N is a real (test lengths
+/// beyond 2^63 occur for random-resistant circuits; see Table 1).
+double objective_jn(std::span<const double> detection_probs, double n);
+
+/// Exact confidence prod(1 - (1-p)^N) — for tests comparing the
+/// approximation quality of J_N (formula 8 vs 9).
+double exact_confidence(std::span<const double> detection_probs, double n);
+
+}  // namespace wrpt

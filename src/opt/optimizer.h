@@ -1,0 +1,104 @@
+// OPTIMIZE (paper section 4): the full coordinate-descent procedure that
+// computes one optimized probability per primary input.
+//
+// Loop structure exactly as printed in the paper:
+//
+//   X := starting vector
+//   ANALYSIS(X,F); SORT(F); NORMALIZE(N_new, nf)
+//   while (N_old - N_new) > alpha:
+//       N_old := N_new
+//       for each input i:
+//           PREPARE(X, i, nf, F, F_0_1)   // p_f(X,0|i), p_f(X,1|i), f in F^
+//           MINIMIZE(F_0_1, N_new, y)     // guarded Newton, formula 15
+//           x_i := y
+//       ANALYSIS(X,F); SORT(F); NORMALIZE(N_new, nf)
+//
+// with the paper's two efficiency observations: only the nf hardest faults
+// enter MINIMIZE, and PREPARE costs two testability analyses per input.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "io/weights_io.h"
+#include "netlist/netlist.h"
+#include "prob/detect.h"
+
+namespace wrpt {
+
+struct optimize_options {
+    double confidence = 0.999;  ///< random-test confidence delta
+    /// Stop when a full sweep improves the test length by at most alpha
+    /// (the paper's user-defined stopping parameter).
+    double alpha = 0.0;
+    std::size_t max_sweeps = 12;
+    /// Optimized probabilities are confined to [weight_min, weight_max];
+    /// 0/1 would make an input stuck-at fault undetectable (Lemma 2).
+    double weight_min = 0.05;
+    double weight_max = 0.95;
+    /// Snap each optimized weight to a multiple of `grid` (the paper's
+    /// appendix lists multiples of 0.05); 0 keeps continuous weights.
+    double grid = 0.05;
+    /// Cap on |F^| passed to MINIMIZE, guarding against degenerate
+    /// normalizations.
+    std::size_t max_relevant_faults = 2048;
+    /// F^ contains every fault whose objective term is within
+    /// exp(-relevance_window) of the hardest fault's term (at the current
+    /// N), but at least the nf faults NORMALIZE reports. A generous window
+    /// keeps MINIMIZE from over-fitting the single hardest fault.
+    double relevance_window = 80.0;
+    /// Symmetric circuits make the all-equal starting vector a stationary
+    /// point of every coordinate (e.g. a comparator at 0.5: each equality
+    /// term is flat in each single weight). When a sweep changes nothing,
+    /// probe three deterministic perturbations and continue from the best.
+    bool saddle_escape = true;
+    double saddle_perturbation = 0.1;
+    /// Per-sweep trust region: a coordinate moves at most this far from its
+    /// current value. The affine model (Lemma 1) is exact for exact
+    /// detection probabilities but only a secant approximation for
+    /// analytic estimators; capping the step keeps the sweep stable.
+    double trust_step = 0.2;
+};
+
+struct sweep_record {
+    double test_length = 0.0;
+    std::size_t relevant_faults = 0;
+};
+
+struct optimize_result {
+    weight_vector weights;            ///< optimized input probabilities
+    double initial_test_length = 0.0; ///< N at the starting vector
+    double final_test_length = 0.0;   ///< N at the optimized vector
+    bool feasible = false;            ///< false if undetectable faults remain
+    std::size_t zero_prob_faults = 0; ///< faults with p=0 under the estimator
+    std::vector<sweep_record> history;///< N after each sweep
+    std::size_t analysis_calls = 0;   ///< estimator invocations (cost model)
+};
+
+/// Run the optimizing procedure. `faults` should already exclude proven
+/// redundancies (the paper assumes every fault of F is detectable); faults
+/// the estimator scores 0 are excluded from NORMALIZE and reported.
+optimize_result optimize_weights(const netlist& nl,
+                                 const std::vector<fault>& faults,
+                                 detect_estimator& analysis,
+                                 const weight_vector& start,
+                                 const optimize_options& options = {});
+
+/// Convenience: ANALYSIS + NORMALIZE at fixed weights (no optimization) —
+/// the "conventional test length" computation behind Table 1.
+struct test_length_report {
+    bool feasible = false;
+    double test_length = 0.0;
+    std::size_t relevant_faults = 0;
+    std::size_t zero_prob_faults = 0;
+    double hardest_probability = 0.0;
+};
+test_length_report required_test_length(const netlist& nl,
+                                        const std::vector<fault>& faults,
+                                        detect_estimator& analysis,
+                                        const weight_vector& weights,
+                                        double confidence = 0.999);
+
+}  // namespace wrpt

@@ -1,0 +1,170 @@
+#include "opt/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/objective.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+int sign_of(double x, double eps = 1e-15) {
+    if (x > eps) return 1;
+    if (x < -eps) return -1;
+    return 0;
+}
+
+}  // namespace
+
+partitioned_result optimize_partitioned(const netlist& nl,
+                                        const std::vector<fault>& faults,
+                                        detect_estimator& analysis,
+                                        const weight_vector& start,
+                                        const partition_options& options) {
+    require(options.max_partitions >= 1, "partition: max_partitions >= 1");
+    partitioned_result res;
+
+    // Baseline: the plain single-session optimization.
+    const optimize_result single =
+        optimize_weights(nl, faults, analysis, start, options.opt);
+    res.single_session_length = single.final_test_length;
+
+    // Identify faults that stay hard under the single optimized tuple.
+    const double q = confidence_to_q(options.opt.confidence);
+    const std::vector<double> probs =
+        analysis.estimate(nl, faults, single.weights);
+    std::vector<std::size_t> hard;
+    std::vector<std::size_t> easy;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const double p = probs[i];
+        const bool is_hard =
+            p <= 0.0 ||
+            (single.final_test_length > 0.0 &&
+             std::log(1.0 / q) / p >
+                 options.hard_length_ratio * single.final_test_length);
+        (is_hard ? hard : easy).push_back(i);
+    }
+
+    auto single_session = [&] {
+        test_session s;
+        s.weights = single.weights;
+        s.test_length = single.final_test_length;
+        s.fault_indices.resize(faults.size());
+        for (std::size_t i = 0; i < faults.size(); ++i) s.fault_indices[i] = i;
+        res.sessions.push_back(std::move(s));
+        res.total_length = single.final_test_length;
+        res.partitioned = false;
+    };
+    if (hard.size() < 2 || options.max_partitions == 1) {
+        single_session();
+        return res;
+    }
+
+    // Preference signatures: sign of dp_f/dx_i for every fault. Hard faults
+    // drive the clustering; easy faults are later routed to the session
+    // whose direction agrees with them, so that moderately hard "shoulder"
+    // faults of a conflicting family do not sabotage another session.
+    std::vector<std::vector<int>> signature(
+        faults.size(), std::vector<int>(nl.input_count(), 0));
+    for (std::size_t i = 0; i < nl.input_count(); ++i) {
+        weight_vector y0 = single.weights;
+        y0[i] = 0.0;
+        weight_vector y1 = single.weights;
+        y1[i] = 1.0;
+        const std::vector<double> p0 = analysis.estimate(nl, faults, y0);
+        const std::vector<double> p1 = analysis.estimate(nl, faults, y1);
+        for (std::size_t k = 0; k < faults.size(); ++k)
+            signature[k][i] = sign_of(p1[k] - p0[k]);
+    }
+
+    // Greedy agreement clustering, hardest fault first.
+    std::vector<std::size_t> hard_order(hard.size());
+    for (std::size_t k = 0; k < hard.size(); ++k) hard_order[k] = k;
+    std::sort(hard_order.begin(), hard_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return probs[hard[a]] < probs[hard[b]];
+              });
+
+    struct cluster {
+        std::vector<double> direction;    // accumulated signature
+        std::vector<std::size_t> members; // original fault indices
+    };
+    std::vector<cluster> clusters;
+    auto affinity = [&](const cluster& c, std::size_t fault_index) {
+        double score = 0.0;
+        for (std::size_t i = 0; i < nl.input_count(); ++i)
+            score += static_cast<double>(sign_of(c.direction[i])) *
+                     static_cast<double>(signature[fault_index][i]);
+        return score;
+    };
+    for (std::size_t k : hard_order) {
+        const std::size_t fi = hard[k];
+        double best_score = -1e300;
+        std::size_t best = 0;
+        for (std::size_t c = 0; c < clusters.size(); ++c) {
+            const double score = affinity(clusters[c], fi);
+            if (score > best_score) {
+                best_score = score;
+                best = c;
+            }
+        }
+        if (clusters.empty() ||
+            (best_score < 0.0 && clusters.size() < options.max_partitions)) {
+            cluster c;
+            c.direction.assign(nl.input_count(), 0.0);
+            clusters.push_back(std::move(c));
+            best = clusters.size() - 1;
+        }
+        for (std::size_t i = 0; i < nl.input_count(); ++i)
+            clusters[best].direction[i] += signature[fi][i];
+        clusters[best].members.push_back(fi);
+    }
+
+    if (clusters.size() < 2) {
+        single_session();
+        return res;
+    }
+
+    // Route every easy fault to the session whose direction it agrees with
+    // (ties go to the first session). This keeps the moderately hard
+    // "shoulder" faults of one family out of the other family's session.
+    std::vector<std::vector<std::size_t>> session_easy(clusters.size());
+    for (std::size_t fi : easy) {
+        double best_score = -1e300;
+        std::size_t best = 0;
+        for (std::size_t c = 0; c < clusters.size(); ++c) {
+            const double score = affinity(clusters[c], fi);
+            if (score > best_score) {
+                best_score = score;
+                best = c;
+            }
+        }
+        session_easy[best].push_back(fi);
+    }
+
+    // One optimized session per cluster.
+    res.partitioned = true;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        std::vector<std::size_t> target_indices = session_easy[c];
+        for (std::size_t fi : clusters[c].members)
+            target_indices.push_back(fi);
+        std::sort(target_indices.begin(), target_indices.end());
+
+        std::vector<fault> target;
+        target.reserve(target_indices.size());
+        for (std::size_t i : target_indices) target.push_back(faults[i]);
+
+        const optimize_result part =
+            optimize_weights(nl, target, analysis, single.weights, options.opt);
+        test_session s;
+        s.weights = part.weights;
+        s.test_length = part.final_test_length;
+        s.fault_indices = std::move(target_indices);
+        res.total_length += s.test_length;
+        res.sessions.push_back(std::move(s));
+    }
+    return res;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,45 @@
+#include "opt/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+weight_vector quantize_grid(const weight_vector& w, double grid, double lo,
+                            double hi) {
+    require(grid > 0.0, "quantize_grid: grid must be positive");
+    require(lo < hi, "quantize_grid: invalid clamp range");
+    weight_vector out;
+    out.reserve(w.size());
+    for (double x : w)
+        out.push_back(std::clamp(std::round(x / grid) * grid, lo, hi));
+    return out;
+}
+
+std::vector<double> lfsr_weight_alphabet(int stages) {
+    require(stages >= 1 && stages <= 30, "lfsr_weight_alphabet: stages range");
+    std::vector<double> alphabet;
+    for (int m = stages; m >= 1; --m)
+        alphabet.push_back(std::ldexp(1.0, -m));  // 2^-m (AND of m bits)
+    for (int m = 2; m <= stages; ++m)
+        alphabet.push_back(1.0 - std::ldexp(1.0, -m));  // OR of m bits
+    std::sort(alphabet.begin(), alphabet.end());
+    return alphabet;
+}
+
+weight_vector quantize_lfsr(const weight_vector& w, int stages) {
+    const std::vector<double> alphabet = lfsr_weight_alphabet(stages);
+    weight_vector out;
+    out.reserve(w.size());
+    for (double x : w) {
+        double best = alphabet.front();
+        for (double a : alphabet)
+            if (std::abs(a - x) < std::abs(best - x)) best = a;
+        out.push_back(best);
+    }
+    return out;
+}
+
+}  // namespace wrpt

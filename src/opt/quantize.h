@@ -1,0 +1,28 @@
+// Weight quantization for hardware weighted-pattern generators.
+//
+// A weighted LFSR generator realizes probabilities of the form k/2^m (by
+// ANDing/ORing m LFSR bits, or by thresholding an m-bit LFSR word). This
+// module snaps continuous optimized weights to realizable grids and
+// re-evaluates the resulting test length — the trade-off studied by the
+// quantization ablation bench.
+
+#pragma once
+
+#include "io/weights_io.h"
+
+namespace wrpt {
+
+/// Snap every weight to the nearest multiple of `grid`, clamped to
+/// [lo, hi]. grid must be positive.
+weight_vector quantize_grid(const weight_vector& w, double grid, double lo,
+                            double hi);
+
+/// Snap every weight to the nearest value in {2^-m, ..., 1/2, ...,
+/// 1 - 2^-m}: the weights realizable by ANDing / ORing up to `stages`
+/// LFSR bits (stages >= 1).
+weight_vector quantize_lfsr(const weight_vector& w, int stages);
+
+/// All weights realizable with `stages` AND/OR stages, ascending.
+std::vector<double> lfsr_weight_alphabet(int stages);
+
+}  // namespace wrpt

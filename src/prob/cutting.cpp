@@ -1,0 +1,93 @@
+#include "prob/cutting.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+probability_interval interval_not(probability_interval a) {
+    return {1.0 - a.high, 1.0 - a.low};
+}
+
+probability_interval interval_xor2(probability_interval a,
+                                   probability_interval b) {
+    // f(p,q) = p + q - 2pq is bilinear: extrema at the corners.
+    const double c[4] = {
+        a.low + b.low - 2.0 * a.low * b.low,
+        a.low + b.high - 2.0 * a.low * b.high,
+        a.high + b.low - 2.0 * a.high * b.low,
+        a.high + b.high - 2.0 * a.high * b.high,
+    };
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+}  // namespace
+
+std::vector<probability_interval> cutting_signal_bounds(
+    const netlist& nl, const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "cutting_signal_bounds: weight count mismatch");
+
+    // Every branch of every multi-fanout stem is cut to [0,1]. This is the
+    // sound formulation: after cutting, each remaining tree's leaves have
+    // global fanout one, so they are independent of the cut stems' values,
+    // and the corner-evaluated intervals provably contain the true
+    // probability. (Keeping "the first branch" live is NOT sound: for
+    // y = xor(s, s) it would yield [p, 1-p], excluding the true value 0.)
+    std::vector<probability_interval> iv(nl.node_count());
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const auto fi = nl.fanins(n);
+        std::vector<probability_interval> pin(fi.size());
+        for (std::size_t k = 0; k < fi.size(); ++k) {
+            const node_id d = fi[k];
+            if (nl.fanout_count(d) > 1) {
+                pin[k] = {0.0, 1.0};  // cut line
+                continue;
+            }
+            pin[k] = iv[d];
+        }
+        switch (nl.kind(n)) {
+            case gate_kind::input: {
+                const double w = weights[nl.input_index(n)];
+                iv[n] = {w, w};
+                break;
+            }
+            case gate_kind::const0: iv[n] = {0.0, 0.0}; break;
+            case gate_kind::const1: iv[n] = {1.0, 1.0}; break;
+            case gate_kind::buf: iv[n] = pin[0]; break;
+            case gate_kind::not_: iv[n] = interval_not(pin[0]); break;
+            case gate_kind::and_:
+            case gate_kind::nand_: {
+                probability_interval acc{1.0, 1.0};
+                for (const auto& x : pin) {
+                    acc.low *= x.low;
+                    acc.high *= x.high;
+                }
+                iv[n] = (nl.kind(n) == gate_kind::nand_) ? interval_not(acc) : acc;
+                break;
+            }
+            case gate_kind::or_:
+            case gate_kind::nor_: {
+                probability_interval acc{0.0, 0.0};
+                for (const auto& x : pin) {
+                    acc.low = 1.0 - (1.0 - acc.low) * (1.0 - x.low);
+                    acc.high = 1.0 - (1.0 - acc.high) * (1.0 - x.high);
+                }
+                iv[n] = (nl.kind(n) == gate_kind::nor_) ? interval_not(acc) : acc;
+                break;
+            }
+            case gate_kind::xor_:
+            case gate_kind::xnor_: {
+                probability_interval acc{0.0, 0.0};
+                for (const auto& x : pin) acc = interval_xor2(acc, x);
+                iv[n] = (nl.kind(n) == gate_kind::xnor_) ? interval_not(acc) : acc;
+                break;
+            }
+        }
+    }
+    return iv;
+}
+
+}  // namespace wrpt

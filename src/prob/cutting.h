@@ -1,0 +1,33 @@
+// The cutting algorithm [BDS84 / Savir]: guaranteed lower/upper bounds on
+// signal probabilities.
+//
+// Reconvergent fanout branches are "cut" and replaced by the full interval
+// [0,1]; the remaining structure is a tree, over which interval arithmetic
+// is exact. The resulting bounds always contain the true probability.
+
+#pragma once
+
+#include <vector>
+
+#include "io/weights_io.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct probability_interval {
+    double low = 0.0;
+    double high = 1.0;
+
+    bool contains(double p, double eps = 1e-12) const {
+        return p >= low - eps && p <= high + eps;
+    }
+    double width() const { return high - low; }
+};
+
+/// Interval per node. Every fanout branch of a multi-fanout stem is cut to
+/// [0,1]; the remaining forest propagates interval arithmetic (exact on
+/// trees, conservative bounds under reconvergence).
+std::vector<probability_interval> cutting_signal_bounds(
+    const netlist& nl, const weight_vector& weights);
+
+}  // namespace wrpt

@@ -1,0 +1,217 @@
+#include "prob/detect.h"
+
+#include <bit>
+
+#include "bdd/bdd.h"
+#include "prob/observability.h"
+#include "prob/signal_prob.h"
+#include "prob/stafan.h"
+#include "sim/logic_sim.h"
+#include "sim/patterns.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+std::vector<double> cop_detect_estimator::estimate(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights) {
+    const std::vector<double> p = cop_signal_probabilities(nl, weights);
+    const observability_result obs = cop_observabilities(nl, p);
+
+    std::vector<double> out;
+    out.reserve(faults.size());
+    for (const fault& f : faults) {
+        const node_id site = fault_site_driver(nl, f);
+        // Activation: the line must carry the opposite of the stuck value.
+        const double act = stuck_value(f.value) ? 1.0 - p[site] : p[site];
+        const double o =
+            f.is_stem() ? obs.stem[f.where]
+                        : obs.pin_obs(f.where, static_cast<std::size_t>(f.pin));
+        out.push_back(act * o);
+    }
+    return out;
+}
+
+exact_detect_estimator::exact_detect_estimator(std::size_t node_limit)
+    : node_limit_(node_limit) {}
+
+exact_detect_estimator::~exact_detect_estimator() = default;
+
+namespace {
+
+std::uint64_t fault_cache_key(const fault& f) {
+    return (static_cast<std::uint64_t>(f.where) << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.pin + 1))
+            << 1) |
+           (stuck_value(f.value) ? 1u : 0u);
+}
+
+}  // namespace
+
+std::vector<double> exact_detect_estimator::estimate(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "exact estimator: weight count mismatch");
+    bool cached = cached_nl_ == &nl;
+    if (cached) {
+        for (const fault& f : faults) {
+            if (!ref_by_fault_.contains(fault_cache_key(f))) {
+                cached = false;
+                break;
+            }
+        }
+    }
+    if (!cached) rebuild(nl, faults);
+    std::vector<double> out;
+    out.reserve(faults.size());
+    for (const fault& f : faults)
+        out.push_back(
+            mgr_->sat_probability(ref_by_fault_.at(fault_cache_key(f)), weights));
+    return out;
+}
+
+void exact_detect_estimator::rebuild(const netlist& nl,
+                                     const std::vector<fault>& faults) {
+    mgr_ = std::make_unique<bdd_manager>(
+        static_cast<std::uint32_t>(nl.input_count()), node_limit_);
+    bdd_manager& mgr = *mgr_;
+    const std::vector<bdd_manager::ref> good = build_node_bdds(mgr, nl);
+
+    ref_by_fault_.clear();
+    ref_by_fault_.reserve(faults.size() * 2);
+    std::vector<bdd_manager::ref> fval(nl.node_count());
+    std::vector<bool> changed(nl.node_count());
+
+    for (const fault& f : faults) {
+        // Rebuild the fanout cone of the fault with the line forced.
+        std::fill(changed.begin(), changed.end(), false);
+        const bdd_manager::ref forced =
+            stuck_value(f.value) ? bdd_manager::one() : bdd_manager::zero();
+
+        node_id start;
+        if (f.is_stem()) {
+            start = f.where;
+            fval[start] = forced;
+        } else {
+            start = f.where;
+            // Re-evaluate the gate with pin f.pin forced.
+            const auto fi = nl.fanins(start);
+            std::vector<bdd_manager::ref> args(fi.size());
+            for (std::size_t k = 0; k < fi.size(); ++k) args[k] = good[fi[k]];
+            args[static_cast<std::size_t>(f.pin)] = forced;
+            fval[start] = [&] {
+                bdd_manager::ref acc;
+                switch (nl.kind(start)) {
+                    case gate_kind::buf: return args[0];
+                    case gate_kind::not_: return mgr.lnot(args[0]);
+                    case gate_kind::and_:
+                    case gate_kind::nand_:
+                        acc = bdd_manager::one();
+                        for (auto a : args) acc = mgr.land(acc, a);
+                        return nl.kind(start) == gate_kind::nand_ ? mgr.lnot(acc)
+                                                                  : acc;
+                    case gate_kind::or_:
+                    case gate_kind::nor_:
+                        acc = bdd_manager::zero();
+                        for (auto a : args) acc = mgr.lor(acc, a);
+                        return nl.kind(start) == gate_kind::nor_ ? mgr.lnot(acc)
+                                                                 : acc;
+                    case gate_kind::xor_:
+                    case gate_kind::xnor_:
+                        acc = bdd_manager::zero();
+                        for (auto a : args) acc = mgr.lxor(acc, a);
+                        return nl.kind(start) == gate_kind::xnor_ ? mgr.lnot(acc)
+                                                                  : acc;
+                    default:
+                        throw error("exact estimator: fault pin on pinless node");
+                }
+            }();
+        }
+        changed[start] = true;
+
+        for (node_id n = start + 1; n < nl.node_count(); ++n) {
+            const auto fi = nl.fanins(n);
+            bool touched = false;
+            for (node_id x : fi)
+                if (changed[x]) {
+                    touched = true;
+                    break;
+                }
+            if (!touched) continue;
+            auto arg = [&](node_id x) { return changed[x] ? fval[x] : good[x]; };
+            bdd_manager::ref acc;
+            switch (nl.kind(n)) {
+                case gate_kind::buf: acc = arg(fi[0]); break;
+                case gate_kind::not_: acc = mgr.lnot(arg(fi[0])); break;
+                case gate_kind::and_:
+                case gate_kind::nand_:
+                    acc = bdd_manager::one();
+                    for (node_id x : fi) acc = mgr.land(acc, arg(x));
+                    if (nl.kind(n) == gate_kind::nand_) acc = mgr.lnot(acc);
+                    break;
+                case gate_kind::or_:
+                case gate_kind::nor_:
+                    acc = bdd_manager::zero();
+                    for (node_id x : fi) acc = mgr.lor(acc, arg(x));
+                    if (nl.kind(n) == gate_kind::nor_) acc = mgr.lnot(acc);
+                    break;
+                case gate_kind::xor_:
+                case gate_kind::xnor_:
+                    acc = bdd_manager::zero();
+                    for (node_id x : fi) acc = mgr.lxor(acc, arg(x));
+                    if (nl.kind(n) == gate_kind::xnor_) acc = mgr.lnot(acc);
+                    break;
+                default: continue;  // inputs/consts unaffected
+            }
+            if (acc != good[n]) {
+                fval[n] = acc;
+                changed[n] = true;
+            }
+        }
+
+        bdd_manager::ref detect = bdd_manager::zero();
+        for (node_id o : nl.outputs())
+            if (changed[o]) detect = mgr.lor(detect, mgr.lxor(good[o], fval[o]));
+        ref_by_fault_[fault_cache_key(f)] = detect;
+    }
+    cached_nl_ = &nl;
+}
+
+std::vector<double> mc_detect_estimator::estimate(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "mc estimator: weight count mismatch");
+    simulator sim(nl);
+    weighted_random_source source(weights, seed_);
+    std::vector<std::uint64_t> hits(faults.size(), 0);
+    std::vector<std::uint64_t> words;
+    std::uint64_t applied = 0;
+    while (applied < patterns_) {
+        source.next_block(words);
+        sim.simulate(words);
+        const std::uint64_t block =
+            std::min<std::uint64_t>(64, patterns_ - applied);
+        const std::uint64_t valid =
+            block == 64 ? ~0ULL : ((1ULL << block) - 1);
+        for (std::size_t i = 0; i < faults.size(); ++i)
+            hits[i] += static_cast<std::uint64_t>(
+                std::popcount(sim.detect_mask(faults[i]) & valid));
+        applied += block;
+    }
+    std::vector<double> out(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        out[i] = static_cast<double>(hits[i]) / static_cast<double>(applied);
+    return out;
+}
+
+std::unique_ptr<detect_estimator> make_estimator(const std::string& name) {
+    if (name == "cop") return std::make_unique<cop_detect_estimator>();
+    if (name == "exact-bdd") return std::make_unique<exact_detect_estimator>();
+    if (name == "monte-carlo") return std::make_unique<mc_detect_estimator>();
+    if (name == "stafan") return std::make_unique<stafan_detect_estimator>();
+    throw invalid_input("make_estimator: unknown estimator '" + name + "'");
+}
+
+}  // namespace wrpt

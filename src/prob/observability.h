@@ -1,0 +1,34 @@
+// COP-style observability analysis (backward pass).
+//
+// obs(line) approximates the probability that a value change on the line
+// propagates to some primary output, under the same independence
+// assumption as cop_signal_probabilities. Exact on fanout-free circuits
+// with and/or/not (trees), an estimate elsewhere.
+
+#pragma once
+
+#include <vector>
+
+#include "io/weights_io.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct observability_result {
+    /// Stem observability per node.
+    std::vector<double> stem;
+    /// Pin observability: pin_offset[g] + k indexes pin k of gate g.
+    std::vector<double> pin;
+    std::vector<std::uint32_t> pin_offset;
+
+    double pin_obs(node_id gate, std::size_t k) const {
+        return pin[pin_offset[gate] + k];
+    }
+};
+
+/// Compute observabilities given node signal probabilities (from
+/// cop_signal_probabilities or any other engine).
+observability_result cop_observabilities(const netlist& nl,
+                                         const std::vector<double>& node_prob);
+
+}  // namespace wrpt

@@ -1,0 +1,111 @@
+#include "prob/redundancy.h"
+
+#include "bdd/bdd.h"
+#include "prob/detect.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+/// Ternary constant analysis: 0, 1, or unknown per node.
+enum class tri : std::uint8_t { zero, one, unknown };
+
+std::vector<tri> constant_lines(const netlist& nl) {
+    std::vector<tri> v(nl.node_count(), tri::unknown);
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const auto fi = nl.fanins(n);
+        switch (nl.kind(n)) {
+            case gate_kind::input: break;
+            case gate_kind::const0: v[n] = tri::zero; break;
+            case gate_kind::const1: v[n] = tri::one; break;
+            case gate_kind::buf: v[n] = v[fi[0]]; break;
+            case gate_kind::not_:
+                if (v[fi[0]] == tri::zero) v[n] = tri::one;
+                else if (v[fi[0]] == tri::one) v[n] = tri::zero;
+                break;
+            case gate_kind::and_:
+            case gate_kind::nand_:
+            case gate_kind::or_:
+            case gate_kind::nor_: {
+                const bool ctrl = controlling_value(nl.kind(n));
+                const tri ctrl_tri = ctrl ? tri::one : tri::zero;
+                bool has_ctrl = false;
+                bool all_known = true;
+                for (node_id x : fi) {
+                    if (v[x] == ctrl_tri) has_ctrl = true;
+                    if (v[x] == tri::unknown) all_known = false;
+                }
+                if (has_ctrl) {
+                    const bool out = kind_inverts(nl.kind(n)) ? !ctrl : ctrl;
+                    v[n] = out ? tri::one : tri::zero;
+                } else if (all_known) {
+                    // All inputs at the non-controlling value.
+                    const bool body = !ctrl;
+                    const bool out =
+                        kind_inverts(nl.kind(n)) ? !body : body;
+                    v[n] = out ? tri::one : tri::zero;
+                }
+                break;
+            }
+            case gate_kind::xor_:
+            case gate_kind::xnor_: {
+                bool all_known = true;
+                bool parity = (nl.kind(n) == gate_kind::xnor_);
+                for (node_id x : fi) {
+                    if (v[x] == tri::unknown) {
+                        all_known = false;
+                        break;
+                    }
+                    if (v[x] == tri::one) parity = !parity;
+                }
+                if (all_known) v[n] = parity ? tri::one : tri::zero;
+                break;
+            }
+        }
+    }
+    return v;
+}
+
+}  // namespace
+
+std::vector<bool> prove_redundant(const netlist& nl,
+                                  const std::vector<fault>& faults,
+                                  const redundancy_options& options) {
+    std::vector<bool> redundant(faults.size(), false);
+
+    // Cheap structural proof: a stuck-at-v fault on a line whose fault-free
+    // value is the constant v can never be activated.
+    const std::vector<tri> constants = constant_lines(nl);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const node_id site = fault_site_driver(nl, faults[i]);
+        const tri c = constants[site];
+        if (c == tri::unknown) continue;
+        const bool value = (c == tri::one);
+        if (value == stuck_value(faults[i].value)) redundant[i] = true;
+    }
+
+    if (!options.use_bdd_proof) return redundant;
+
+    // Complete proof for the remaining faults: detection function == false.
+    try {
+        exact_detect_estimator exact(options.bdd_node_limit);
+        std::vector<fault> open;
+        std::vector<std::size_t> open_index;
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (!redundant[i]) {
+                open.push_back(faults[i]);
+                open_index.push_back(i);
+            }
+        }
+        const weight_vector half(nl.input_count(), 0.5);
+        const std::vector<double> p = exact.estimate(nl, open, half);
+        for (std::size_t k = 0; k < open.size(); ++k)
+            if (p[k] == 0.0) redundant[open_index[k]] = true;
+    } catch (const budget_exhausted&) {
+        // Budget exceeded: keep the structural results only. This mirrors
+        // the paper: "there may be redundancies left which cannot be found".
+    }
+    return redundant;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,34 @@
+// Redundancy identification.
+//
+// The paper (discussion under Table 2): "an estimation with the exact value
+// 0 or 1 of a signal probability by PROTEST is a proof (not an
+// estimation!) of redundancy. But of course not in all cases a fixed
+// signal value can be detected this way". We provide both that cheap proof
+// (constant lines under strictly-interior input probabilities can only
+// arise structurally) and, budget permitting, the complete BDD proof
+// (detection function identically false). Coverage figures are then
+// reported "only with respect to those faults which are not proven to be
+// undetectable due to redundancy", as the paper does.
+
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+struct redundancy_options {
+    bool use_bdd_proof = true;
+    std::size_t bdd_node_limit = 1u << 21;
+};
+
+/// One flag per fault: true if the fault is *proven* undetectable.
+/// Never flags a detectable fault (proof, not estimation); may miss
+/// redundancies when the BDD budget is exhausted.
+std::vector<bool> prove_redundant(const netlist& nl,
+                                  const std::vector<fault>& faults,
+                                  const redundancy_options& options = {});
+
+}  // namespace wrpt

@@ -1,0 +1,86 @@
+#include "prob/signal_prob.h"
+
+#include <cmath>
+
+#include "sim/logic_sim.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+std::vector<double> cop_signal_probabilities(const netlist& nl,
+                                             const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "cop_signal_probabilities: weight count mismatch");
+    std::vector<double> p(nl.node_count(), 0.0);
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        const auto fi = nl.fanins(n);
+        switch (nl.kind(n)) {
+            case gate_kind::input:
+                p[n] = weights[nl.input_index(n)];
+                break;
+            case gate_kind::const0: p[n] = 0.0; break;
+            case gate_kind::const1: p[n] = 1.0; break;
+            case gate_kind::buf: p[n] = p[fi[0]]; break;
+            case gate_kind::not_: p[n] = 1.0 - p[fi[0]]; break;
+            case gate_kind::and_:
+            case gate_kind::nand_: {
+                double acc = 1.0;
+                for (node_id x : fi) acc *= p[x];
+                p[n] = (nl.kind(n) == gate_kind::nand_) ? 1.0 - acc : acc;
+                break;
+            }
+            case gate_kind::or_:
+            case gate_kind::nor_: {
+                double acc = 1.0;
+                for (node_id x : fi) acc *= 1.0 - p[x];
+                p[n] = (nl.kind(n) == gate_kind::nor_) ? acc : 1.0 - acc;
+                break;
+            }
+            case gate_kind::xor_:
+            case gate_kind::xnor_: {
+                double acc = 0.0;  // parity-true probability
+                for (node_id x : fi) acc = acc + p[x] - 2.0 * acc * p[x];
+                p[n] = (nl.kind(n) == gate_kind::xnor_) ? 1.0 - acc : acc;
+                break;
+            }
+        }
+    }
+    return p;
+}
+
+std::vector<double> exact_signal_probabilities_enum(const netlist& nl,
+                                                    const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "exact_signal_probabilities_enum: weight count mismatch");
+    require(nl.input_count() <= 24,
+            "exact_signal_probabilities_enum: too many inputs for enumeration");
+    const std::size_t ins = nl.input_count();
+    std::vector<double> p(nl.node_count(), 0.0);
+    simulator sim(nl);
+    std::vector<std::uint64_t> words(ins);
+    const std::uint64_t total = 1ULL << ins;
+    // Evaluate 64 assignments per block; weight each assignment by the
+    // product of its input-literal probabilities.
+    for (std::uint64_t base = 0; base < total; base += 64) {
+        const std::uint64_t block =
+            std::min<std::uint64_t>(64, total - base);
+        for (std::size_t i = 0; i < ins; ++i) {
+            std::uint64_t w = 0;
+            for (std::uint64_t b = 0; b < block; ++b)
+                if (((base + b) >> i) & 1ULL) w |= (1ULL << b);
+            words[i] = w;
+        }
+        sim.simulate(words);
+        for (std::uint64_t b = 0; b < block; ++b) {
+            double weight = 1.0;
+            for (std::size_t i = 0; i < ins; ++i)
+                weight *= (((base + b) >> i) & 1ULL) ? weights[i]
+                                                     : 1.0 - weights[i];
+            for (node_id n = 0; n < nl.node_count(); ++n)
+                if ((sim.value(n) >> b) & 1ULL) p[n] += weight;
+        }
+    }
+    return p;
+}
+
+}  // namespace wrpt

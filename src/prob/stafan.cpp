@@ -1,0 +1,131 @@
+#include "prob/stafan.h"
+
+#include <bit>
+
+#include "sim/logic_sim.h"
+#include "sim/patterns.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
+                           std::uint64_t patterns, std::uint64_t seed) {
+    require(patterns >= 64, "stafan_count: needs at least one block");
+    stafan_counts sc;
+    sc.pin_offset.assign(nl.node_count() + 1, 0);
+    for (node_id n = 0; n < nl.node_count(); ++n)
+        sc.pin_offset[n + 1] =
+            sc.pin_offset[n] + static_cast<std::uint32_t>(nl.fanin_count(n));
+
+    std::vector<std::uint64_t> ones(nl.node_count(), 0);
+    std::vector<std::uint64_t> sens(sc.pin_offset.back(), 0);
+
+    simulator sim(nl);
+    weighted_random_source source(weights, seed);
+    std::vector<std::uint64_t> words;
+    std::uint64_t applied = 0;
+    while (applied < patterns) {
+        source.next_block(words);
+        sim.simulate(words);
+        const std::uint64_t block =
+            std::min<std::uint64_t>(64, patterns - applied);
+        const std::uint64_t valid = block == 64 ? ~0ULL : ((1ULL << block) - 1);
+
+        for (node_id n = 0; n < nl.node_count(); ++n) {
+            ones[n] +=
+                static_cast<std::uint64_t>(std::popcount(sim.value(n) & valid));
+            const auto fi = nl.fanins(n);
+            if (fi.empty()) continue;
+            switch (nl.kind(n)) {
+                case gate_kind::buf:
+                case gate_kind::not_:
+                    sens[sc.pin_offset[n]] +=
+                        static_cast<std::uint64_t>(std::popcount(valid));
+                    break;
+                case gate_kind::and_:
+                case gate_kind::nand_:
+                case gate_kind::or_:
+                case gate_kind::nor_: {
+                    // Pin k is one-level sensitized when all other pins hold
+                    // the non-controlling value.
+                    const bool ctrl = controlling_value(nl.kind(n));
+                    for (std::size_t k = 0; k < fi.size(); ++k) {
+                        std::uint64_t mask = valid;
+                        for (std::size_t j = 0; j < fi.size() && mask; ++j) {
+                            if (j == k) continue;
+                            const std::uint64_t v = sim.value(fi[j]);
+                            mask &= ctrl ? ~v : v;
+                        }
+                        sens[sc.pin_offset[n] + k] +=
+                            static_cast<std::uint64_t>(std::popcount(mask));
+                    }
+                    break;
+                }
+                case gate_kind::xor_:
+                case gate_kind::xnor_:
+                    for (std::size_t k = 0; k < fi.size(); ++k)
+                        sens[sc.pin_offset[n] + k] +=
+                            static_cast<std::uint64_t>(std::popcount(valid));
+                    break;
+                default:
+                    break;
+            }
+        }
+        applied += block;
+    }
+
+    sc.patterns = applied;
+    // Laplace smoothing: events never observed in N patterns are reported
+    // at ~1/(2N) instead of 0, so rare-but-possible conditions keep a
+    // nonzero (and optimizable) estimate instead of being dropped as
+    // undetectable.
+    const double n = static_cast<double>(applied);
+    sc.one_controllability.resize(nl.node_count());
+    for (node_id id = 0; id < nl.node_count(); ++id)
+        sc.one_controllability[id] =
+            (static_cast<double>(ones[id]) + 0.5) / (n + 1.0);
+    sc.pin_sensitization.resize(sens.size());
+    for (std::size_t i = 0; i < sens.size(); ++i)
+        sc.pin_sensitization[i] = (static_cast<double>(sens[i]) + 0.5) / (n + 1.0);
+    return sc;
+}
+
+std::vector<double> stafan_detect_estimator::estimate(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights) {
+    const stafan_counts sc = stafan_count(nl, weights, patterns_, seed_);
+
+    // Backward observability chaining over the counted sensitizations.
+    std::vector<double> stem(nl.node_count(), 0.0);
+    std::vector<double> pin(sc.pin_sensitization.size(), 0.0);
+    for (node_id step = nl.node_count(); step-- > 0;) {
+        const node_id n = step;
+        double miss = nl.is_output(n) ? 0.0 : 1.0;
+        for (node_id g : nl.fanouts(n)) {
+            const auto fi = nl.fanins(g);
+            for (std::size_t k = 0; k < fi.size(); ++k)
+                if (fi[k] == n) miss *= 1.0 - pin[sc.pin_offset[g] + k];
+        }
+        stem[n] = 1.0 - miss;
+        const auto fi = nl.fanins(n);
+        for (std::size_t k = 0; k < fi.size(); ++k)
+            pin[sc.pin_offset[n] + k] =
+                stem[n] * sc.pin_sensitization[sc.pin_offset[n] + k];
+    }
+
+    std::vector<double> out;
+    out.reserve(faults.size());
+    for (const fault& f : faults) {
+        const node_id site = fault_site_driver(nl, f);
+        const double c1 = sc.one_controllability[site];
+        const double act = stuck_value(f.value) ? 1.0 - c1 : c1;
+        const double o =
+            f.is_stem() ? stem[f.where]
+                        : pin[sc.pin_offset[f.where] +
+                              static_cast<std::size_t>(f.pin)];
+        out.push_back(act * o);
+    }
+    return out;
+}
+
+}  // namespace wrpt

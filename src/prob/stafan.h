@@ -1,0 +1,46 @@
+// STAFAN-style detection probability estimation [AgJa84].
+//
+// Controllabilities and one-level sensitization probabilities are *counted*
+// during fault-free simulation of random patterns instead of being computed
+// analytically; observabilities are then chained backwards as in COP. This
+// follows Jain/Agrawal's "STAFAN: An Alternative to Fault Simulation"
+// (DAC 1984) with one simplification documented in DESIGN.md: we do not
+// split observability by signal value (O0/O1), we chain a single
+// sensitization ratio per pin.
+
+#pragma once
+
+#include <cstdint>
+
+#include "prob/detect.h"
+
+namespace wrpt {
+
+class stafan_detect_estimator final : public detect_estimator {
+public:
+    explicit stafan_detect_estimator(std::uint64_t patterns = 4096,
+                                     std::uint64_t seed = 0x57afa)
+        : patterns_(patterns), seed_(seed) {}
+
+    std::string name() const override { return "stafan"; }
+    std::vector<double> estimate(const netlist& nl,
+                                 const std::vector<fault>& faults,
+                                 const weight_vector& weights) override;
+
+private:
+    std::uint64_t patterns_;
+    std::uint64_t seed_;
+};
+
+/// Counted statistics exposed for tests.
+struct stafan_counts {
+    std::vector<double> one_controllability;   ///< C1 per node
+    std::vector<double> pin_sensitization;     ///< per pin (offset layout)
+    std::vector<std::uint32_t> pin_offset;
+    std::uint64_t patterns = 0;
+};
+
+stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
+                           std::uint64_t patterns, std::uint64_t seed);
+
+}  // namespace wrpt

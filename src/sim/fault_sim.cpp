@@ -1,0 +1,92 @@
+#include "sim/fault_sim.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logic_sim.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+std::size_t fault_sim_result::detected_within(std::uint64_t n) const {
+    std::size_t count = 0;
+    for (const auto& fd : first_detected)
+        if (fd.has_value() && *fd < n) ++count;
+    return count;
+}
+
+fault_sim_result run_fault_simulation(const netlist& nl,
+                                      const std::vector<fault>& faults,
+                                      pattern_source& source,
+                                      const fault_sim_options& options) {
+    require(options.max_patterns > 0, "fault sim: max_patterns must be > 0");
+    simulator sim(nl);
+    fault_sim_result res;
+    res.first_detected.assign(faults.size(), std::nullopt);
+
+    // Live list holds indices of still-undetected faults (fault dropping).
+    std::vector<std::size_t> live(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) live[i] = i;
+
+    std::vector<std::uint64_t> words;
+    std::uint64_t applied = 0;
+    while (applied < options.max_patterns && !live.empty()) {
+        source.next_block(words);
+        sim.simulate(words);
+        const std::uint64_t block_size =
+            std::min<std::uint64_t>(64, options.max_patterns - applied);
+        const std::uint64_t valid_mask =
+            block_size == 64 ? ~0ULL : ((1ULL << block_size) - 1);
+
+        std::size_t keep = 0;
+        for (std::size_t idx = 0; idx < live.size(); ++idx) {
+            const std::size_t fi = live[idx];
+            const std::uint64_t mask = sim.detect_mask(faults[fi]) & valid_mask;
+            if (mask == 0) {
+                live[keep++] = fi;
+                continue;
+            }
+            if (!res.first_detected[fi].has_value()) {
+                const int bit = std::countr_zero(mask);
+                res.first_detected[fi] =
+                    applied + static_cast<std::uint64_t>(bit);
+                ++res.detected_count;
+            }
+            if (!options.drop_detected) live[keep++] = fi;
+        }
+        live.resize(keep);
+        applied += block_size;
+    }
+    res.patterns_applied = applied;
+    return res;
+}
+
+fault_sim_result run_weighted_fault_simulation(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights, std::uint64_t seed,
+    const fault_sim_options& options) {
+    require(weights.size() == nl.input_count(),
+            "fault sim: weight count != input count");
+    weighted_random_source source(weights, seed);
+    return run_fault_simulation(nl, faults, source, options);
+}
+
+std::vector<std::pair<std::uint64_t, double>> coverage_curve(
+    const fault_sim_result& result, std::size_t universe) {
+    std::vector<std::pair<std::uint64_t, double>> curve;
+    std::uint64_t n = 16;
+    while (n < result.patterns_applied) {
+        curve.emplace_back(n, 100.0 *
+                                  static_cast<double>(result.detected_within(n)) /
+                                  static_cast<double>(universe == 0 ? 1 : universe));
+        n *= 2;
+    }
+    curve.emplace_back(result.patterns_applied,
+                       100.0 *
+                           static_cast<double>(
+                               result.detected_within(result.patterns_applied)) /
+                           static_cast<double>(universe == 0 ? 1 : universe));
+    return curve;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,158 @@
+#include "sim/logic_sim.h"
+
+#include "util/error.h"
+
+namespace wrpt {
+
+simulator::simulator(const netlist& nl) : nl_(&nl) {
+    nl.validate();
+    const std::size_t n = nl.node_count();
+    good_.assign(n, 0);
+    faulty_.assign(n, 0);
+    has_faulty_.assign(n, 0);
+    queued_.assign(n, 0);
+    buckets_.resize(nl.depth() + 1);
+    output_diff_.assign(nl.output_count(), 0);
+    // Force fanout construction up front so detect_mask is allocation-free.
+    if (n > 0) (void)nl.fanouts(0);
+}
+
+void simulator::simulate(std::span<const std::uint64_t> input_words) {
+    require(input_words.size() == nl_->input_count(),
+            "simulator::simulate: word count != input count");
+    const netlist& nl = *nl_;
+    for (std::size_t i = 0; i < input_words.size(); ++i)
+        good_[nl.inputs()[i]] = input_words[i];
+    std::vector<std::uint64_t> fanin_words;
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        if (nl.kind(n) == gate_kind::input) continue;
+        const auto fi = nl.fanins(n);
+        fanin_words.resize(fi.size());
+        for (std::size_t k = 0; k < fi.size(); ++k)
+            fanin_words[k] = good_[fi[k]];
+        good_[n] = eval_gate_words(nl.kind(n), fanin_words.data(), fi.size());
+    }
+}
+
+std::uint64_t simulator::eval_node(node_id n,
+                                   const std::vector<std::uint64_t>& faulty) const {
+    const netlist& nl = *nl_;
+    const auto fi = nl.fanins(n);
+    std::uint64_t words[64];
+    require(fi.size() <= 64, "simulator: gate arity beyond kernel limit");
+    for (std::size_t k = 0; k < fi.size(); ++k) {
+        const node_id f = fi[k];
+        words[k] = has_faulty_[f] ? faulty[f] : good_[f];
+    }
+    return eval_gate_words(nl.kind(n), words, fi.size());
+}
+
+void simulator::schedule(node_id n) {
+    if (!queued_[n]) {
+        queued_[n] = 1;
+        buckets_[nl_->level(n)].push_back(n);
+    }
+}
+
+std::uint64_t simulator::detect_mask(const fault& f) {
+    const netlist& nl = *nl_;
+    std::fill(output_diff_.begin(), output_diff_.end(), 0);
+
+    const std::uint64_t forced = stuck_value(f.value) ? ~0ULL : 0ULL;
+    std::uint64_t detected = 0;
+    std::size_t start_level = 0;
+
+    auto mark = [&](node_id n, std::uint64_t value) {
+        faulty_[n] = value;
+        has_faulty_[n] = 1;
+        touched_.push_back(n);
+        for (node_id fo : nl.fanouts(n)) schedule(fo);
+    };
+
+    if (f.is_stem()) {
+        const node_id n = f.where;
+        if ((good_[n] ^ forced) == 0) return 0;  // fault never activated
+        mark(n, forced);
+        if (nl.is_output(n)) detected |= good_[n] ^ forced;
+        start_level = nl.level(n);
+    } else {
+        // Branch fault: only gate f.where sees the forced value on pin f.pin.
+        const node_id g = f.where;
+        const auto fi = nl.fanins(g);
+        std::uint64_t words[64];
+        require(fi.size() <= 64, "simulator: gate arity beyond kernel limit");
+        for (std::size_t k = 0; k < fi.size(); ++k) words[k] = good_[fi[k]];
+        words[static_cast<std::size_t>(f.pin)] = forced;
+        const std::uint64_t v = eval_gate_words(nl.kind(g), words, fi.size());
+        if (v == good_[g]) return 0;
+        mark(g, v);
+        queued_[g] = 0;  // g itself is final; only its fanouts propagate
+        if (nl.is_output(g)) detected |= good_[g] ^ v;
+        start_level = nl.level(g);
+    }
+
+    // Levelized wavefront: every edge increases the level, so processing
+    // buckets in ascending level order finalizes each node exactly once.
+    for (std::size_t lvl = start_level; lvl < buckets_.size(); ++lvl) {
+        auto& bucket = buckets_[lvl];
+        for (std::size_t idx = 0; idx < bucket.size(); ++idx) {
+            const node_id n = bucket[idx];
+            queued_[n] = 0;
+            if (has_faulty_[n]) continue;  // the injected node stays forced
+            const std::uint64_t v = eval_node(n, faulty_);
+            if (v == good_[n]) continue;
+            mark(n, v);
+            if (nl.is_output(n)) detected |= good_[n] ^ v;
+        }
+        bucket.clear();
+    }
+
+    // Record per-output differences, then reset scratch state.
+    if (detected != 0) {
+        for (std::size_t o = 0; o < nl.output_count(); ++o) {
+            const node_id out = nl.outputs()[o];
+            if (has_faulty_[out]) output_diff_[o] = good_[out] ^ faulty_[out];
+        }
+    }
+    for (node_id n : touched_) has_faulty_[n] = 0;
+    touched_.clear();
+    return detected;
+}
+
+std::vector<bool> evaluate(const netlist& nl, const std::vector<bool>& inputs) {
+    require(inputs.size() == nl.input_count(),
+            "evaluate: input size mismatch");
+    simulator sim(nl);
+    std::vector<std::uint64_t> words(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        words[i] = inputs[i] ? 1ULL : 0ULL;
+    sim.simulate(words);
+    std::vector<bool> out;
+    out.reserve(nl.output_count());
+    for (node_id o : nl.outputs()) out.push_back((sim.value(o) & 1ULL) != 0);
+    return out;
+}
+
+std::vector<bool> evaluate_with_fault(const netlist& nl,
+                                      const std::vector<bool>& inputs,
+                                      const fault& f) {
+    require(inputs.size() == nl.input_count(),
+            "evaluate_with_fault: input size mismatch");
+    simulator sim(nl);
+    std::vector<std::uint64_t> words(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        words[i] = inputs[i] ? 1ULL : 0ULL;
+    sim.simulate(words);
+    const std::uint64_t mask = sim.detect_mask(f);
+    std::vector<bool> out;
+    out.reserve(nl.output_count());
+    for (std::size_t o = 0; o < nl.output_count(); ++o) {
+        bool good_bit = (sim.value(nl.outputs()[o]) & 1ULL) != 0;
+        const bool flipped = (sim.last_output_diff()[o] & 1ULL) != 0;
+        out.push_back(flipped ? !good_bit : good_bit);
+    }
+    (void)mask;
+    return out;
+}
+
+}  // namespace wrpt

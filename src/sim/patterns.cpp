@@ -1,0 +1,49 @@
+#include "sim/patterns.h"
+
+#include "util/error.h"
+
+namespace wrpt {
+
+weighted_random_source::weighted_random_source(weight_vector weights,
+                                               std::uint64_t seed,
+                                               int resolution_bits)
+    : weights_(std::move(weights)), rng_(seed), resolution_bits_(resolution_bits) {
+    require(resolution_bits_ >= 1 && resolution_bits_ <= 32,
+            "weighted_random_source: resolution out of range");
+    for (double w : weights_)
+        require(w >= 0.0 && w <= 1.0, "weighted_random_source: weight out of [0,1]");
+}
+
+void weighted_random_source::next_block(std::vector<std::uint64_t>& words) {
+    words.resize(weights_.size());
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+        words[i] = rng_.biased_word(weights_[i], resolution_bits_);
+}
+
+explicit_pattern_source::explicit_pattern_source(
+    std::vector<std::vector<bool>> patterns)
+    : patterns_(std::move(patterns)) {
+    require(!patterns_.empty(), "explicit_pattern_source: no patterns");
+    const std::size_t width = patterns_.front().size();
+    for (const auto& p : patterns_)
+        require(p.size() == width, "explicit_pattern_source: ragged patterns");
+}
+
+void explicit_pattern_source::next_block(std::vector<std::uint64_t>& words) {
+    const std::size_t width = patterns_.front().size();
+    words.assign(width, 0);
+    for (int b = 0; b < 64 && cursor_ < patterns_.size(); ++b, ++cursor_) {
+        const auto& p = patterns_[cursor_];
+        for (std::size_t i = 0; i < width; ++i)
+            if (p[i]) words[i] |= (1ULL << b);
+    }
+}
+
+std::vector<bool> draw_pattern(rng& r, const weight_vector& weights) {
+    std::vector<bool> p(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        p[i] = r.next_bool(weights[i]);
+    return p;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,56 @@
+// Pattern sources for simulation: weighted random blocks and explicit sets.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/weights_io.h"
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace wrpt {
+
+/// Produces blocks of 64 patterns (one word per primary input).
+class pattern_source {
+public:
+    virtual ~pattern_source() = default;
+    /// Fill `words` (size = input count) with the next 64 patterns.
+    virtual void next_block(std::vector<std::uint64_t>& words) = 0;
+};
+
+/// Weighted random patterns: input i is 1 with probability weights[i],
+/// quantized to 2^-resolution_bits (the precision a weighted-LFSR pattern
+/// generator realizes in hardware).
+class weighted_random_source final : public pattern_source {
+public:
+    weighted_random_source(weight_vector weights, std::uint64_t seed,
+                           int resolution_bits = 16);
+    void next_block(std::vector<std::uint64_t>& words) override;
+
+    const weight_vector& weights() const { return weights_; }
+
+private:
+    weight_vector weights_;
+    rng rng_;
+    int resolution_bits_;
+};
+
+/// Explicit pattern list (each pattern = one bool per input). Cycles with
+/// zero padding on the tail block.
+class explicit_pattern_source final : public pattern_source {
+public:
+    explicit explicit_pattern_source(std::vector<std::vector<bool>> patterns);
+    void next_block(std::vector<std::uint64_t>& words) override;
+
+    std::size_t pattern_count() const { return patterns_.size(); }
+
+private:
+    std::vector<std::vector<bool>> patterns_;
+    std::size_t cursor_ = 0;
+};
+
+/// Draw a single pattern (bool per input) from weighted probabilities.
+std::vector<bool> draw_pattern(rng& r, const weight_vector& weights);
+
+}  // namespace wrpt

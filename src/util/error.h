@@ -1,0 +1,40 @@
+// Error handling primitives shared by all wrpt modules.
+//
+// The library reports contract violations and malformed inputs with
+// exceptions derived from wrpt::error, so callers can distinguish library
+// failures from std:: failures.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wrpt {
+
+/// Base class of all exceptions thrown by the wrpt library.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a netlist, fault list, or other input fails validation.
+class invalid_input : public error {
+public:
+    explicit invalid_input(const std::string& what) : error(what) {}
+};
+
+/// Thrown when a resource budget (e.g. BDD node limit) is exhausted.
+class budget_exhausted : public error {
+public:
+    explicit budget_exhausted(const std::string& what) : error(what) {}
+};
+
+/// Check a runtime condition; throw invalid_input with `msg` on failure.
+///
+/// Used for validating external inputs (netlists, files, user parameters),
+/// not for internal invariants (those use assert).
+inline void require(bool condition, const std::string& msg) {
+    if (!condition) throw invalid_input(msg);
+}
+
+}  // namespace wrpt

@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+rng::rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64_next(sm);
+    // xoshiro256** must not start from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t rng::next_word() {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+}
+
+double rng::next_double() {
+    return static_cast<double>(next_word() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t rng::next_below(std::uint64_t bound) {
+    require(bound > 0, "rng::next_below: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+    std::uint64_t w = next_word();
+    while (w >= limit) w = next_word();
+    return w % bound;
+}
+
+bool rng::next_bool(double p) { return next_double() < p; }
+
+std::uint64_t rng::biased_word(double p, int resolution_bits) {
+    require(resolution_bits >= 1 && resolution_bits <= 32,
+            "rng::biased_word: resolution_bits out of range");
+    if (p <= 0.0) return 0;
+    if (p >= 1.0) return ~0ULL;
+    const auto steps = static_cast<std::uint64_t>(1) << resolution_bits;
+    auto q = static_cast<std::uint64_t>(std::lround(p * static_cast<double>(steps)));
+    if (q == 0) return 0;
+    if (q >= steps) return ~0ULL;
+    // Fold binary digits of q/steps from least significant upward.
+    std::uint64_t acc = 0;
+    for (int i = resolution_bits - 1; i >= 0; --i) {
+        const std::uint64_t w = next_word();
+        const bool digit = (q >> (resolution_bits - 1 - i)) & 1ULL;
+        // Digit b_{i+1} (paper-order folding): see header.
+        acc = digit ? (w | acc) : (w & acc);
+    }
+    return acc;
+}
+
+double quantize_probability(double p, int resolution_bits) {
+    require(resolution_bits >= 1 && resolution_bits <= 32,
+            "quantize_probability: resolution_bits out of range");
+    if (p <= 0.0) return 0.0;
+    if (p >= 1.0) return 1.0;
+    const auto steps = static_cast<double>(static_cast<std::uint64_t>(1) << resolution_bits);
+    return std::lround(p * steps) / steps;
+}
+
+std::uint64_t popcount(const std::vector<std::uint64_t>& words) {
+    std::uint64_t total = 0;
+    for (std::uint64_t w : words) total += static_cast<std::uint64_t>(std::popcount(w));
+    return total;
+}
+
+}  // namespace wrpt

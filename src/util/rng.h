@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// Provides xoshiro256** (fast, high quality, 2^256-1 period) seeded through
+// splitmix64, plus helpers central to weighted random pattern simulation:
+// 64-bit words whose bits are independent Bernoulli(p) variables, generated
+// with a logarithmic number of base words (the classic binary-expansion
+// trick used in weighted-pattern BIST hardware).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wrpt {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** generator. Deterministic for a given seed.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Next raw 64-bit word, all bits unbiased.
+    std::uint64_t next_word();
+
+    /// UniformReal in [0,1) with 53-bit resolution.
+    double next_double();
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// One Bernoulli(p) draw.
+    bool next_bool(double p);
+
+    /// 64-bit word whose bits are i.i.d. Bernoulli(p), with p quantized to
+    /// a multiple of 2^-resolution_bits (resolution_bits in [1,32]).
+    ///
+    /// Uses resolution_bits base words: write p = 0.b1 b2 ... bk in binary
+    /// and fold from the least significant digit,
+    ///   acc <- b_i ? (w | acc) : (w & acc),
+    /// which realizes P(bit set) = p exactly at the given resolution.
+    std::uint64_t biased_word(double p, int resolution_bits = 16);
+
+    /// Satisfies UniformRandomBitGenerator so <random> adaptors work.
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next_word(); }
+
+private:
+    std::uint64_t s_[4];
+};
+
+/// Quantize probability p to the nearest multiple of 2^-resolution_bits,
+/// clamped to [0, 1].
+double quantize_probability(double p, int resolution_bits);
+
+/// Population count over a vector of words.
+std::uint64_t popcount(const std::vector<std::uint64_t>& words);
+
+}  // namespace wrpt

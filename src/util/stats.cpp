@@ -1,0 +1,55 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+void running_stats::add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double running_stats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+proportion_interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                    double z) {
+    require(trials > 0, "wilson_interval: trials must be positive");
+    require(successes <= trials, "wilson_interval: successes exceed trials");
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double margin =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double mean_of(const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+    require(a.size() == b.size(), "max_abs_diff: size mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,44 @@
+// Small statistics helpers used by estimators, tests and benches.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wrpt {
+
+/// Running mean / variance accumulator (Welford).
+class running_stats {
+public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const;
+    /// Unbiased sample variance; 0 if fewer than two samples.
+    double variance() const;
+    double stddev() const;
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Two-sided confidence interval on a proportion.
+struct proportion_interval {
+    double low = 0.0;
+    double high = 1.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// level given by z (1.96 ~ 95%, 3.29 ~ 99.9%). trials must be > 0.
+proportion_interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                    double z = 1.96);
+
+/// Mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& xs);
+
+/// Maximum absolute difference between two equally sized vectors.
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace wrpt

@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace wrpt {
+
+text_table::text_table(std::string title) : title_(std::move(title)) {}
+
+void text_table::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+    if (!header_.empty())
+        require(row.size() == header_.size(),
+                "text_table::add_row: row width differs from header");
+    rows_.push_back(std::move(row));
+}
+
+std::string text_table::to_string() const {
+    std::vector<std::size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string>& row) {
+        if (widths.size() < row.size()) widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty()) absorb(header_);
+    for (const auto& row : rows_) absorb(row);
+
+    std::ostringstream out;
+    if (!title_.empty()) out << title_ << '\n';
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) out << "  ";
+            out << row[i];
+            if (i + 1 < row.size())
+                out << std::string(widths[i] - row[i].size(), ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const text_table& t) {
+    return os << t.to_string();
+}
+
+std::string format_sci(double value, int significant) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*e", std::max(0, significant - 1), value);
+    return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+    std::string digits = std::to_string(value);
+    std::string out;
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+}  // namespace wrpt

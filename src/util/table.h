@@ -1,0 +1,45 @@
+// ASCII table formatting used by benches and examples to print
+// paper-style result tables.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wrpt {
+
+/// Column-aligned ASCII table with a title, header row and data rows.
+///
+/// Usage:
+///   text_table t("Table 1: Necessary test lengths");
+///   t.set_header({"Circuit", "Required test length"});
+///   t.add_row({"S1", "5.6e8"});
+///   std::cout << t;
+class text_table {
+public:
+    explicit text_table(std::string title = {});
+
+    void set_header(std::vector<std::string> header);
+    void add_row(std::vector<std::string> row);
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with single-space-padded columns and a rule under the header.
+    std::string to_string() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const text_table& t);
+
+/// Format helpers for table cells.
+std::string format_sci(double value, int significant = 2);   // "5.6e+08"
+std::string format_fixed(double value, int decimals = 1);    // "99.7"
+std::string format_count(std::uint64_t value);               // "12,000"
+
+}  // namespace wrpt

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the performance tables.
+
+#pragma once
+
+#include <chrono>
+
+namespace wrpt {
+
+/// Simple steady-clock stopwatch; starts on construction.
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+
+    void restart() { start_ = clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace wrpt

@@ -1,0 +1,95 @@
+// Shared test helpers: random-vector equivalence checking between netlists.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace wrpt::testing {
+
+/// Simulate `nl` on one 64-pattern random block; returns output words keyed
+/// by output name.
+inline std::map<std::string, std::uint64_t> random_block_outputs(
+    const netlist& nl, rng& r) {
+    simulator sim(nl);
+    std::vector<std::uint64_t> words(nl.input_count());
+    for (auto& w : words) w = r.next_word();
+    sim.simulate(words);
+    std::map<std::string, std::uint64_t> out;
+    for (node_id o : nl.outputs()) out[nl.output_name(o)] = sim.value(o);
+    return out;
+}
+
+/// Check functional equivalence of two netlists with identical input names
+/// (same order) and identical output names, over `blocks` random blocks.
+inline void expect_equivalent(const netlist& a, const netlist& b,
+                              int blocks = 8, std::uint64_t seed = 0xe9123) {
+    ASSERT_EQ(a.input_count(), b.input_count());
+    ASSERT_EQ(a.output_count(), b.output_count());
+    for (std::size_t i = 0; i < a.input_count(); ++i)
+        ASSERT_EQ(a.node_name(a.inputs()[i]), b.node_name(b.inputs()[i]));
+    rng ra(seed), rb(seed);
+    for (int t = 0; t < blocks; ++t) {
+        const auto oa = random_block_outputs(a, ra);
+        const auto ob = random_block_outputs(b, rb);
+        ASSERT_EQ(oa.size(), ob.size());
+        for (const auto& [name, word] : oa) {
+            auto it = ob.find(name);
+            ASSERT_NE(it, ob.end()) << "missing output " << name;
+            EXPECT_EQ(word, it->second) << "output " << name << " differs";
+        }
+    }
+}
+
+/// Drive a circuit with integer-encoded buses: helper building one pattern.
+/// Bus inputs must be named <prefix>0..<prefix><n-1>.
+inline void set_bus(const netlist& nl, std::vector<bool>& pattern,
+                    const std::string& prefix, std::uint64_t value,
+                    std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i) {
+        const node_id n = nl.find(prefix + std::to_string(i));
+        ASSERT_NE(n, null_node) << prefix << i;
+        pattern[nl.input_index(n)] = ((value >> i) & 1ULL) != 0;
+    }
+}
+
+inline void set_bit(const netlist& nl, std::vector<bool>& pattern,
+                    const std::string& name, bool value) {
+    const node_id n = nl.find(name);
+    ASSERT_NE(n, null_node) << name;
+    pattern[nl.input_index(n)] = value;
+}
+
+/// Read an integer off named outputs <prefix>0..<prefix><n-1>.
+inline std::uint64_t get_bus(const netlist& nl, const std::vector<bool>& outs,
+                             const std::string& prefix, std::size_t width) {
+    // Build output name -> position map once per call (tests only).
+    std::map<std::string, std::size_t> pos;
+    for (std::size_t o = 0; o < nl.output_count(); ++o)
+        pos[nl.output_name(nl.outputs()[o])] = o;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+        const auto it = pos.find(prefix + std::to_string(i));
+        EXPECT_NE(it, pos.end()) << prefix << i;
+        if (it != pos.end() && outs[it->second]) v |= (1ULL << i);
+    }
+    return v;
+}
+
+inline bool get_bit(const netlist& nl, const std::vector<bool>& outs,
+                    const std::string& name) {
+    for (std::size_t o = 0; o < nl.output_count(); ++o)
+        if (nl.output_name(nl.outputs()[o]) == name) return outs[o];
+    ADD_FAILURE() << "no output named " << name;
+    return false;
+}
+
+}  // namespace wrpt::testing

@@ -1,0 +1,149 @@
+// Tests for the ROBDD engine: Boolean identities, exact weighted
+// probabilities vs enumeration, node budgets.
+
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.h"
+#include "sim/logic_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace wrpt {
+namespace {
+
+TEST(bdd, terminals_and_vars) {
+    bdd_manager m(3);
+    EXPECT_EQ(m.lnot(bdd_manager::zero()), bdd_manager::one());
+    EXPECT_EQ(m.lnot(bdd_manager::one()), bdd_manager::zero());
+    const auto x = m.var(0);
+    EXPECT_EQ(m.lnot(m.lnot(x)), x);
+    EXPECT_THROW(m.var(3), invalid_input);
+}
+
+TEST(bdd, boolean_identities) {
+    bdd_manager m(3);
+    const auto a = m.var(0), b = m.var(1), c = m.var(2);
+    EXPECT_EQ(m.land(a, a), a);
+    EXPECT_EQ(m.land(a, m.lnot(a)), bdd_manager::zero());
+    EXPECT_EQ(m.lor(a, m.lnot(a)), bdd_manager::one());
+    EXPECT_EQ(m.lxor(a, a), bdd_manager::zero());
+    EXPECT_EQ(m.lxnor(a, a), bdd_manager::one());
+    // De Morgan.
+    EXPECT_EQ(m.lnot(m.land(a, b)), m.lor(m.lnot(a), m.lnot(b)));
+    // Associativity / commutativity give identical canonical nodes.
+    EXPECT_EQ(m.land(a, m.land(b, c)), m.land(m.land(a, b), c));
+    EXPECT_EQ(m.lor(a, b), m.lor(b, a));
+    // Shannon: f = (a & f|a=1) | (~a & f|a=0) implicitly via ite.
+    EXPECT_EQ(m.ite(a, b, c), m.lor(m.land(a, b), m.land(m.lnot(a), c)));
+}
+
+TEST(bdd, sat_fraction_known_functions) {
+    bdd_manager m(4);
+    const auto a = m.var(0), b = m.var(1), c = m.var(2), d = m.var(3);
+    EXPECT_DOUBLE_EQ(m.sat_fraction(bdd_manager::zero()), 0.0);
+    EXPECT_DOUBLE_EQ(m.sat_fraction(bdd_manager::one()), 1.0);
+    EXPECT_DOUBLE_EQ(m.sat_fraction(a), 0.5);
+    EXPECT_DOUBLE_EQ(m.sat_fraction(m.land(a, b)), 0.25);
+    const auto and4 = m.land(m.land(a, b), m.land(c, d));
+    EXPECT_DOUBLE_EQ(m.sat_fraction(and4), 1.0 / 16.0);
+    const auto parity = m.lxor(m.lxor(a, b), m.lxor(c, d));
+    EXPECT_DOUBLE_EQ(m.sat_fraction(parity), 0.5);
+}
+
+TEST(bdd, weighted_probability) {
+    bdd_manager m(2);
+    const auto a = m.var(0), b = m.var(1);
+    const double w[2] = {0.2, 0.7};
+    EXPECT_NEAR(m.sat_probability(m.land(a, b), w), 0.14, 1e-12);
+    EXPECT_NEAR(m.sat_probability(m.lor(a, b), w), 0.2 + 0.7 - 0.14, 1e-12);
+    EXPECT_NEAR(m.sat_probability(m.lxor(a, b), w),
+                0.2 * 0.3 + 0.8 * 0.7, 1e-12);
+}
+
+TEST(bdd, node_limit_throws) {
+    bdd_manager m(24, 64);  // absurdly small budget
+    auto acc = bdd_manager::zero();
+    EXPECT_THROW(
+        {
+            for (std::uint32_t v = 0; v + 1 < 24; v += 2)
+                acc = m.lor(acc, m.land(m.var(v), m.var(v + 1)));
+        },
+        budget_exhausted);
+}
+
+class bdd_seeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(bdd_seeds, node_bdds_match_simulation) {
+    random_circuit_spec spec;
+    spec.inputs = 8;
+    spec.gates = 60;
+    spec.seed = GetParam();
+    const netlist nl = make_random_circuit(spec);
+    bdd_manager m(8);
+    const auto refs = build_node_bdds(m, nl);
+
+    // Exhaustive: every assignment, every node.
+    simulator sim(nl);
+    for (std::uint64_t base = 0; base < 256; base += 64) {
+        std::vector<std::uint64_t> words(8);
+        for (std::size_t i = 0; i < 8; ++i) {
+            std::uint64_t w = 0;
+            for (std::uint64_t b = 0; b < 64; ++b)
+                if (((base + b) >> i) & 1ULL) w |= (1ULL << b);
+            words[i] = w;
+        }
+        sim.simulate(words);
+        for (std::uint64_t b = 0; b < 64; ++b) {
+            double point[8];
+            for (std::size_t i = 0; i < 8; ++i)
+                point[i] = (((base + b) >> i) & 1ULL) ? 1.0 : 0.0;
+            for (node_id n = 0; n < nl.node_count(); ++n) {
+                const bool sim_bit = ((sim.value(n) >> b) & 1ULL) != 0;
+                const double p = m.sat_probability(refs[n], point);
+                ASSERT_EQ(sim_bit, p > 0.5)
+                    << "seed " << spec.seed << " node " << n;
+            }
+        }
+    }
+}
+
+TEST_P(bdd_seeds, weighted_probability_matches_enumeration) {
+    random_circuit_spec spec;
+    spec.inputs = 7;
+    spec.gates = 40;
+    spec.seed = GetParam() + 1000;
+    const netlist nl = make_random_circuit(spec);
+    bdd_manager m(7);
+    const auto refs = build_node_bdds(m, nl);
+
+    rng r(spec.seed);
+    std::vector<double> w(7);
+    for (auto& x : w) x = 0.05 + 0.9 * r.next_double();
+
+    // Enumerate all 128 assignments and accumulate weighted truth.
+    std::vector<double> expect(nl.node_count(), 0.0);
+    for (std::uint64_t v = 0; v < 128; ++v) {
+        std::vector<bool> in(7);
+        double weight = 1.0;
+        for (std::size_t i = 0; i < 7; ++i) {
+            in[i] = ((v >> i) & 1ULL) != 0;
+            weight *= in[i] ? w[i] : 1.0 - w[i];
+        }
+        simulator sim(nl);
+        std::vector<std::uint64_t> words(7);
+        for (std::size_t i = 0; i < 7; ++i) words[i] = in[i] ? 1 : 0;
+        sim.simulate(words);
+        for (node_id n = 0; n < nl.node_count(); ++n)
+            if (sim.value(n) & 1ULL) expect[n] += weight;
+    }
+    for (node_id n = 0; n < nl.node_count(); ++n)
+        EXPECT_NEAR(m.sat_probability(refs[n], w), expect[n], 1e-9)
+            << "node " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, bdd_seeds, ::testing::Values(1, 5, 9, 14));
+
+}  // namespace
+}  // namespace wrpt

@@ -1,0 +1,145 @@
+// Tests for the .bench reader/writer and weights files.
+
+#include "io/bench_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/comparator.h"
+#include "gen/random_circuit.h"
+#include "helpers.h"
+#include "io/weights_io.h"
+#include "sim/logic_sim.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+using ::wrpt::testing::expect_equivalent;
+
+constexpr const char* simple_bench = R"(
+# a tiny circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G10 = NAND(G1, G2)
+G17 = NOR(G10, G3)
+)";
+
+TEST(bench_reader, parses_simple_circuit) {
+    const netlist nl = read_bench_string(simple_bench, "tiny");
+    EXPECT_EQ(nl.input_count(), 3u);
+    EXPECT_EQ(nl.output_count(), 1u);
+    EXPECT_EQ(nl.kind(nl.find("G10")), gate_kind::nand_);
+    EXPECT_EQ(nl.kind(nl.find("G17")), gate_kind::nor_);
+    // NAND(0,0)=1, NOR(1,0)=0.
+    EXPECT_EQ(evaluate(nl, {false, false, false})[0], false);
+    // NAND(1,1)=0, NOR(0,0)=1.
+    EXPECT_EQ(evaluate(nl, {true, true, false})[0], true);
+}
+
+TEST(bench_reader, handles_out_of_order_definitions) {
+    const std::string text = R"(
+OUTPUT(y)
+y = AND(m, n)
+m = NOT(a)
+INPUT(a)
+INPUT(b)
+n = OR(a, b)
+)";
+    const netlist nl = read_bench_string(text);
+    EXPECT_EQ(nl.node_count(), 5u);
+    EXPECT_EQ(evaluate(nl, {false, true})[0], true);  // ~0 & (0|1)
+}
+
+TEST(bench_reader, rejects_cycles) {
+    const std::string text = R"(
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = NOT(x)
+)";
+    EXPECT_THROW(read_bench_string(text), invalid_input);
+}
+
+TEST(bench_reader, rejects_undefined_signal) {
+    EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+                 invalid_input);
+}
+
+TEST(bench_reader, rejects_unknown_gate) {
+    EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"),
+                 invalid_input);
+}
+
+TEST(bench_reader, rejects_duplicate_definition) {
+    const std::string text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+y = BUF(a)
+)";
+    EXPECT_THROW(read_bench_string(text), invalid_input);
+}
+
+TEST(bench_reader, rejects_undefined_output) {
+    EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(nope)\n"), invalid_input);
+}
+
+TEST(bench_reader, comments_and_blank_lines_ignored) {
+    const std::string text =
+        "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = NOT(a)\n";
+    EXPECT_NO_THROW(read_bench_string(text));
+}
+
+TEST(bench_writer, round_trips_generated_circuit) {
+    random_circuit_spec spec;
+    spec.inputs = 7;
+    spec.gates = 60;
+    spec.seed = 99;
+    const netlist nl = make_random_circuit(spec);
+    const netlist back = read_bench_string(write_bench_string(nl), nl.name());
+    expect_equivalent(nl, back);
+}
+
+TEST(bench_writer, round_trips_comparator) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8");
+    const netlist back = read_bench_string(write_bench_string(nl));
+    expect_equivalent(nl, back);
+}
+
+TEST(weights_io, round_trip) {
+    const netlist nl = read_bench_string(simple_bench);
+    weight_vector w{0.25, 0.5, 0.95};
+    std::ostringstream out;
+    write_weights(out, nl, w);
+    std::istringstream in(out.str());
+    const weight_vector back = read_weights(in, nl);
+    ASSERT_EQ(back.size(), w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(back[i], w[i], 1e-9);
+}
+
+TEST(weights_io, uniform_weights) {
+    const netlist nl = read_bench_string(simple_bench);
+    const weight_vector w = uniform_weights(nl, 0.5);
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w[0], 0.5);
+    EXPECT_THROW(uniform_weights(nl, 1.5), invalid_input);
+}
+
+TEST(weights_io, rejects_bad_files) {
+    const netlist nl = read_bench_string(simple_bench);
+    std::istringstream missing("G1 0.5\nG2 0.5\n");  // G3 unassigned
+    EXPECT_THROW(read_weights(missing, nl), invalid_input);
+    std::istringstream twice("G1 0.5\nG1 0.6\nG2 0.5\nG3 0.5\n");
+    EXPECT_THROW(read_weights(twice, nl), invalid_input);
+    std::istringstream range("G1 1.5\nG2 0.5\nG3 0.5\n");
+    EXPECT_THROW(read_weights(range, nl), invalid_input);
+    std::istringstream unknown("G1 0.5\nG2 0.5\nG3 0.5\nG10 0.5\n");
+    EXPECT_THROW(read_weights(unknown, nl), invalid_input);
+}
+
+}  // namespace
+}  // namespace wrpt

@@ -1,0 +1,319 @@
+// Functional tests of the arithmetic generators against reference models:
+// wordlib blocks, the SN7485-style comparator (S1), the restoring array
+// divider (S2) and the array multiplier (c6288-like).
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "gen/comparator.h"
+#include "gen/divider.h"
+#include "gen/multiplier.h"
+#include "gen/wordlib.h"
+#include "helpers.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace wrpt {
+namespace {
+
+using ::wrpt::testing::get_bit;
+using ::wrpt::testing::get_bus;
+using ::wrpt::testing::set_bus;
+
+// --- wordlib blocks ----------------------------------------------------------
+
+TEST(wordlib, ripple_add_exhaustive_4bit) {
+    netlist nl("add4");
+    const bus a = add_input_bus(nl, "A", 4);
+    const bus b = add_input_bus(nl, "B", 4);
+    const add_result r = ripple_add(nl, a, b);
+    mark_output_bus(nl, r.sum, "S");
+    nl.mark_output(r.carry_out, "CO");
+    nl.validate();
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t y = 0; y < 16; ++y) {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "A", x, 4);
+            set_bus(nl, in, "B", y, 4);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "S", 4), (x + y) & 0xf);
+            EXPECT_EQ(get_bit(nl, out, "CO"), ((x + y) >> 4) != 0);
+        }
+    }
+}
+
+TEST(wordlib, ripple_add_mixed_width_and_cin) {
+    netlist nl("addmix");
+    const bus a = add_input_bus(nl, "A", 6);
+    const bus b = add_input_bus(nl, "B", 3);
+    const node_id cin = nl.add_input("CIN");
+    const add_result r = ripple_add(nl, a, b, cin);
+    mark_output_bus(nl, r.sum, "S");
+    nl.mark_output(r.carry_out, "CO");
+    nl.validate();
+    rng rg(17);
+    for (int t = 0; t < 200; ++t) {
+        const std::uint64_t x = rg.next_below(64), y = rg.next_below(8);
+        const bool c = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", x, 6);
+        set_bus(nl, in, "B", y, 3);
+        ::wrpt::testing::set_bit(nl, in, "CIN", c);
+        const auto out = evaluate(nl, in);
+        const std::uint64_t total = x + y + (c ? 1 : 0);
+        EXPECT_EQ(get_bus(nl, out, "S", 6), total & 0x3f);
+        EXPECT_EQ(get_bit(nl, out, "CO"), (total >> 6) != 0);
+    }
+}
+
+TEST(wordlib, ripple_sub_exhaustive_4bit) {
+    netlist nl("sub4");
+    const bus a = add_input_bus(nl, "A", 4);
+    const bus b = add_input_bus(nl, "B", 4);
+    const sub_result r = ripple_sub(nl, a, b);
+    mark_output_bus(nl, r.diff, "D");
+    nl.mark_output(r.borrow_out, "BO");
+    nl.validate();
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t y = 0; y < 16; ++y) {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "A", x, 4);
+            set_bus(nl, in, "B", y, 4);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "D", 4), (x - y) & 0xf);
+            EXPECT_EQ(get_bit(nl, out, "BO"), x < y);
+        }
+    }
+}
+
+TEST(wordlib, compare_and_equality_random) {
+    netlist nl("cmp6");
+    const bus a = add_input_bus(nl, "A", 6);
+    const bus b = add_input_bus(nl, "B", 6);
+    const compare_result c = magnitude_compare(nl, a, b);
+    nl.mark_output(c.eq, "EQ");
+    nl.mark_output(c.gt, "GT");
+    nl.mark_output(c.lt, "LT");
+    nl.mark_output(equality(nl, a, b), "EQ2");
+    nl.validate();
+    rng rg(23);
+    for (int t = 0; t < 300; ++t) {
+        // Half the trials force equality, which is rare otherwise.
+        const std::uint64_t x = rg.next_below(64);
+        const std::uint64_t y = (t % 2 == 0) ? x : rg.next_below(64);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", x, 6);
+        set_bus(nl, in, "B", y, 6);
+        const auto out = evaluate(nl, in);
+        EXPECT_EQ(get_bit(nl, out, "EQ"), x == y);
+        EXPECT_EQ(get_bit(nl, out, "GT"), x > y);
+        EXPECT_EQ(get_bit(nl, out, "LT"), x < y);
+        EXPECT_EQ(get_bit(nl, out, "EQ2"), x == y);
+    }
+}
+
+TEST(wordlib, parity_mux_invert) {
+    netlist nl("misc");
+    const bus a = add_input_bus(nl, "A", 5);
+    const node_id sel = nl.add_input("SEL");
+    nl.mark_output(parity(nl, a), "P");
+    const bus inv = invert_bus(nl, a);
+    nl.mark_output(mux2(nl, sel, a[0], inv[0]), "M");
+    nl.mark_output(any_set(nl, a), "ANY");
+    nl.mark_output(all_set(nl, a), "ALL");
+    nl.validate();
+    rng rg(31);
+    for (int t = 0; t < 200; ++t) {
+        const std::uint64_t x = rg.next_below(32);
+        const bool s = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", x, 5);
+        ::wrpt::testing::set_bit(nl, in, "SEL", s);
+        const auto out = evaluate(nl, in);
+        EXPECT_EQ(get_bit(nl, out, "P"), (std::popcount(x) & 1) != 0);
+        const bool a0 = (x & 1) != 0;
+        EXPECT_EQ(get_bit(nl, out, "M"), s ? !a0 : a0);
+        EXPECT_EQ(get_bit(nl, out, "ANY"), x != 0);
+        EXPECT_EQ(get_bit(nl, out, "ALL"), x == 31);
+    }
+}
+
+TEST(wordlib, ref_bit_helpers) {
+    const auto bits = ref::to_bits(0b1011, 6);
+    EXPECT_EQ(bits.size(), 6u);
+    EXPECT_TRUE(bits[0]);
+    EXPECT_FALSE(bits[2]);
+    EXPECT_EQ(ref::from_bits(bits), 0b1011u);
+}
+
+// --- comparator (S1) ---------------------------------------------------------
+
+class comparator_widths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(comparator_widths, matches_reference) {
+    const std::size_t slices = GetParam();
+    const std::size_t width = slices * 4;
+    const netlist nl = make_cascaded_comparator(slices);
+    rng rg(41 + slices);
+    for (int t = 0; t < 300; ++t) {
+        const std::uint64_t mask = (1ULL << width) - 1;
+        std::uint64_t x = rg.next_word() & mask;
+        std::uint64_t y = rg.next_word() & mask;
+        if (t % 3 == 0) y = x;                     // equality path
+        if (t % 7 == 0) y = x ^ 1;                 // adjacent values
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", x, width);
+        set_bus(nl, in, "B", y, width);
+        const auto out = evaluate(nl, in);
+        const comparator_verdict v = compare_reference(x, y);
+        EXPECT_EQ(get_bit(nl, out, "AgtB"), v.gt) << x << " vs " << y;
+        EXPECT_EQ(get_bit(nl, out, "AeqB"), v.eq);
+        EXPECT_EQ(get_bit(nl, out, "AltB"), v.lt);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(slices, comparator_widths,
+                         ::testing::Values(1, 2, 3, 6));
+
+TEST(comparator, s1_shape) {
+    const netlist s1 = make_s1();
+    EXPECT_EQ(s1.name(), "S1");
+    EXPECT_EQ(s1.input_count(), 48u);
+    EXPECT_EQ(s1.output_count(), 3u);
+    const auto st = s1.stats();
+    EXPECT_GT(st.gate_count, 100u);  // six gate-level slices
+}
+
+TEST(comparator, exhaustive_one_slice) {
+    const netlist nl = make_cascaded_comparator(1);
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t y = 0; y < 16; ++y) {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "A", x, 4);
+            set_bus(nl, in, "B", y, 4);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bit(nl, out, "AgtB"), x > y);
+            EXPECT_EQ(get_bit(nl, out, "AeqB"), x == y);
+            EXPECT_EQ(get_bit(nl, out, "AltB"), x < y);
+        }
+    }
+}
+
+// --- divider (S2) ------------------------------------------------------------
+
+struct divider_case {
+    std::size_t dividend_width;
+    std::size_t divisor_width;
+};
+
+class divider_widths : public ::testing::TestWithParam<divider_case> {};
+
+TEST_P(divider_widths, matches_reference_and_integer_division) {
+    const auto [dw, vw] = GetParam();
+    const netlist nl = make_divider(dw, vw, "div");
+    rng rg(1000 + dw * 10 + vw);
+    for (int t = 0; t < 150; ++t) {
+        const std::uint64_t d = rg.next_word() & ((1ULL << dw) - 1);
+        std::uint64_t v = rg.next_word() & ((1ULL << vw) - 1);
+        if (t % 11 == 0) v = 0;  // division by zero convention
+        if (t % 5 == 0) v = 1;
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "D", d, dw);
+        set_bus(nl, in, "V", v, vw);
+        const auto out = evaluate(nl, in);
+        const divider_verdict ref = divide_reference(d, v, dw, vw);
+        EXPECT_EQ(get_bus(nl, out, "Q", dw), ref.quotient) << d << "/" << v;
+        EXPECT_EQ(get_bus(nl, out, "R", vw), ref.remainder) << d << "%" << v;
+        EXPECT_EQ(get_bit(nl, out, "DIVBY0"), v == 0);
+        if (v != 0) {
+            // The reference itself must agree with integer division.
+            EXPECT_EQ(ref.quotient, d / v);
+            EXPECT_EQ(ref.remainder, d % v);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, divider_widths,
+                         ::testing::Values(divider_case{4, 4},
+                                           divider_case{8, 4},
+                                           divider_case{12, 6},
+                                           divider_case{16, 8}));
+
+TEST(divider, s2_shape) {
+    const netlist s2 = make_s2();
+    EXPECT_EQ(s2.name(), "S2");
+    EXPECT_EQ(s2.input_count(), 48u);   // 32-bit dividend + 16-bit divisor
+    EXPECT_EQ(s2.output_count(), 49u);  // Q32 + R16 + DIVBY0
+    EXPECT_GT(s2.stats().gate_count, 2000u);
+}
+
+TEST(divider, exhaustive_small) {
+    const netlist nl = make_divider(5, 3, "div53");
+    for (std::uint64_t d = 0; d < 32; ++d) {
+        for (std::uint64_t v = 1; v < 8; ++v) {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "D", d, 5);
+            set_bus(nl, in, "V", v, 3);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "Q", 5), d / v);
+            EXPECT_EQ(get_bus(nl, out, "R", 3), d % v);
+        }
+    }
+}
+
+// --- multiplier (c6288-like) -------------------------------------------------
+
+struct mult_case {
+    std::size_t wa;
+    std::size_t wb;
+};
+
+class multiplier_widths : public ::testing::TestWithParam<mult_case> {};
+
+TEST_P(multiplier_widths, matches_reference) {
+    const auto [wa, wb] = GetParam();
+    const netlist nl = make_multiplier(wa, wb, "mul");
+    rng rg(77 + wa + wb);
+    for (int t = 0; t < 150; ++t) {
+        const std::uint64_t x = rg.next_word() & ((1ULL << wa) - 1);
+        const std::uint64_t y = rg.next_word() & ((1ULL << wb) - 1);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", x, wa);
+        set_bus(nl, in, "B", y, wb);
+        const auto out = evaluate(nl, in);
+        EXPECT_EQ(get_bus(nl, out, "P", wa + wb),
+                  multiply_reference(x, y, wa, wb))
+            << x << "*" << y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, multiplier_widths,
+                         ::testing::Values(mult_case{2, 2}, mult_case{3, 5},
+                                           mult_case{4, 4}, mult_case{8, 8},
+                                           mult_case{16, 16}));
+
+TEST(multiplier, exhaustive_4x4) {
+    const netlist nl = make_multiplier(4, 4, "mul44");
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t y = 0; y < 16; ++y) {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "A", x, 4);
+            set_bus(nl, in, "B", y, 4);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "P", 8), x * y);
+        }
+    }
+}
+
+TEST(multiplier, c6288_like_shape) {
+    const netlist nl = make_c6288_like();
+    EXPECT_EQ(nl.input_count(), 32u);
+    EXPECT_EQ(nl.output_count(), 32u);
+    const auto st = nl.stats();
+    EXPECT_GT(st.gate_count, 1000u);
+    EXPECT_LT(st.gate_count, 4000u);  // c6288 is 2406 gates
+}
+
+}  // namespace
+}  // namespace wrpt

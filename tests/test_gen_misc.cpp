@@ -1,0 +1,419 @@
+// Functional tests for the ECC, interrupt controller, datapath and
+// pathological generators, plus the suite registry.
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "gen/datapath.h"
+#include "gen/ecc.h"
+#include "gen/interrupt.h"
+#include "gen/pathological.h"
+#include "gen/suite.h"
+#include "helpers.h"
+#include "sim/logic_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace wrpt {
+namespace {
+
+using ::wrpt::testing::get_bit;
+using ::wrpt::testing::get_bus;
+using ::wrpt::testing::set_bit;
+using ::wrpt::testing::set_bus;
+
+// --- Hamming SEC / SECDED ----------------------------------------------------
+
+class sec_widths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(sec_widths, corrects_all_single_data_bit_errors) {
+    const std::size_t d = GetParam();
+    const std::size_t c = hamming_check_bits(d);
+    const netlist nl = make_sec_corrector(d, "sec");
+    rng rg(5 + d);
+    for (int t = 0; t < 40; ++t) {
+        const std::uint64_t data = rg.next_word() & ((d == 64) ? ~0ULL : ((1ULL << d) - 1));
+        const std::uint64_t check = hamming_encode(data, d);
+        for (std::size_t e = 0; e <= d; ++e) {
+            // e == d: no error; else flip data bit e.
+            const std::uint64_t received =
+                (e == d) ? data : (data ^ (1ULL << e));
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "D", received, d);
+            set_bus(nl, in, "C", check, c);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "O", d), data)
+                << "data=" << data << " flipped bit " << e;
+            EXPECT_EQ(get_bit(nl, out, "ERR"), e != d);
+        }
+    }
+}
+
+TEST_P(sec_widths, check_bit_errors_leave_data_intact) {
+    const std::size_t d = GetParam();
+    const std::size_t c = hamming_check_bits(d);
+    const netlist nl = make_sec_corrector(d, "sec");
+    rng rg(7 + d);
+    for (int t = 0; t < 40; ++t) {
+        const std::uint64_t data = rg.next_word() & ((1ULL << d) - 1);
+        const std::uint64_t check = hamming_encode(data, d);
+        for (std::size_t e = 0; e < c; ++e) {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "D", data, d);
+            set_bus(nl, in, "C", check ^ (1ULL << e), c);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "O", d), data);
+            EXPECT_TRUE(get_bit(nl, out, "ERR"));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, sec_widths, ::testing::Values(4, 8, 16, 32));
+
+TEST(secded, flags_double_errors) {
+    const std::size_t d = 16;
+    const std::size_t c = hamming_check_bits(d);
+    const netlist nl = make_secded_corrector(d, "secded");
+    rng rg(11);
+    for (int t = 0; t < 60; ++t) {
+        const std::uint64_t data = rg.next_word() & 0xffff;
+        const std::uint64_t check = hamming_encode(data, d);
+        // Overall parity bit: even parity over data+check+OP.
+        bool op = false;
+        for (std::size_t i = 0; i < d; ++i)
+            if ((data >> i) & 1ULL) op = !op;
+        for (std::size_t j = 0; j < c; ++j)
+            if ((check >> j) & 1ULL) op = !op;
+
+        // No error.
+        {
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "D", data, d);
+            set_bus(nl, in, "C", check, c);
+            set_bit(nl, in, "OP", op);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "O", d), data);
+            EXPECT_FALSE(get_bit(nl, out, "ERR"));
+            EXPECT_FALSE(get_bit(nl, out, "DERR"));
+        }
+        // Single data error: corrected, not flagged double.
+        {
+            const std::size_t e = rg.next_below(d);
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "D", data ^ (1ULL << e), d);
+            set_bus(nl, in, "C", check, c);
+            set_bit(nl, in, "OP", op);
+            const auto out = evaluate(nl, in);
+            EXPECT_EQ(get_bus(nl, out, "O", d), data);
+            EXPECT_TRUE(get_bit(nl, out, "ERR"));
+            EXPECT_FALSE(get_bit(nl, out, "DERR"));
+        }
+        // Double data error: flagged.
+        {
+            const std::size_t e1 = rg.next_below(d);
+            std::size_t e2 = rg.next_below(d);
+            while (e2 == e1) e2 = rg.next_below(d);
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "D", data ^ (1ULL << e1) ^ (1ULL << e2), d);
+            set_bus(nl, in, "C", check, c);
+            set_bit(nl, in, "OP", op);
+            const auto out = evaluate(nl, in);
+            EXPECT_TRUE(get_bit(nl, out, "ERR"));
+            EXPECT_TRUE(get_bit(nl, out, "DERR"));
+        }
+    }
+}
+
+TEST(secded, reference_decode_agrees_with_circuit_semantics) {
+    const std::size_t d = 16;
+    rng rg(13);
+    for (int t = 0; t < 50; ++t) {
+        const std::uint64_t data = rg.next_word() & 0xffff;
+        const std::uint64_t check = hamming_encode(data, d);
+        const sec_verdict v = hamming_decode(data, check, d, true, false);
+        // Without the overall-parity bit correction the no-error word must
+        // decode cleanly.
+        EXPECT_EQ(v.corrected, data);
+        EXPECT_FALSE(v.error);
+    }
+}
+
+TEST(ecc, c499_c1355_same_function_different_structure) {
+    const netlist a = make_c499_like();
+    const netlist b = make_c1355_like();
+    EXPECT_EQ(a.input_count(), b.input_count());
+    EXPECT_EQ(a.output_count(), b.output_count());
+    // c1355-like has no xors and is larger.
+    for (node_id n = 0; n < b.node_count(); ++n)
+        EXPECT_NE(b.kind(n), gate_kind::xor_);
+    EXPECT_GT(b.stats().gate_count, a.stats().gate_count);
+    ::wrpt::testing::expect_equivalent(a, b);
+}
+
+// --- interrupt controller ----------------------------------------------------
+
+TEST(interrupt, matches_reference_random) {
+    const netlist nl = make_interrupt_controller();
+    EXPECT_EQ(nl.input_count(), 36u);
+    EXPECT_EQ(nl.output_count(), 7u);
+    rng rg(17);
+    for (int t = 0; t < 500; ++t) {
+        const unsigned e = static_cast<unsigned>(rg.next_below(512));
+        const unsigned a = static_cast<unsigned>(rg.next_below(512));
+        const unsigned b = static_cast<unsigned>(rg.next_below(512));
+        const unsigned c = static_cast<unsigned>(rg.next_below(512));
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "E", e, 9);
+        set_bus(nl, in, "A", a, 9);
+        set_bus(nl, in, "B", b, 9);
+        set_bus(nl, in, "C", c, 9);
+        const auto out = evaluate(nl, in);
+        const interrupt_verdict v = interrupt_reference(e, a, b, c);
+        EXPECT_EQ(get_bit(nl, out, "PA"), v.grant_a);
+        EXPECT_EQ(get_bit(nl, out, "PB"), v.grant_b);
+        EXPECT_EQ(get_bit(nl, out, "PC"), v.grant_c);
+        EXPECT_EQ(get_bus(nl, out, "CH", 4), v.channel);
+    }
+}
+
+TEST(interrupt, priority_order) {
+    // A bank always beats B and C; highest channel wins within a bank.
+    const netlist nl = make_interrupt_controller();
+    std::vector<bool> in(nl.input_count());
+    set_bus(nl, in, "E", 0x1ff, 9);
+    set_bus(nl, in, "A", 0b000010010, 9);
+    set_bus(nl, in, "B", 0x1ff, 9);
+    set_bus(nl, in, "C", 0, 9);
+    const auto out = evaluate(nl, in);
+    EXPECT_TRUE(get_bit(nl, out, "PA"));
+    EXPECT_FALSE(get_bit(nl, out, "PB"));
+    EXPECT_EQ(get_bus(nl, out, "CH", 4), 4u);  // highest set bit of A
+}
+
+// --- datapath circuits -------------------------------------------------------
+
+TEST(datapath, c880_matches_reference) {
+    const netlist nl = make_c880_like();
+    rng rg(19);
+    for (int t = 0; t < 300; ++t) {
+        const std::uint64_t a = rg.next_word() & 0xff;
+        const std::uint64_t b = rg.next_word() & 0xff;
+        const std::uint64_t c = rg.next_word() & 0xff;
+        const std::uint64_t d = rg.next_word() & 0xff;
+        const unsigned s = static_cast<unsigned>(rg.next_below(4));
+        const bool m = rg.next_bool(0.5), cin = rg.next_bool(0.5),
+                   tt = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", a, 8);
+        set_bus(nl, in, "B", b, 8);
+        set_bus(nl, in, "C", c, 8);
+        set_bus(nl, in, "D", d, 8);
+        set_bit(nl, in, "S0", (s & 1) != 0);
+        set_bit(nl, in, "S1", (s & 2) != 0);
+        set_bit(nl, in, "M", m);
+        set_bit(nl, in, "CIN", cin);
+        set_bit(nl, in, "T", tt);
+        const auto out = evaluate(nl, in);
+        const c880_verdict v = c880_reference(a, b, c, d, s, m, cin, tt);
+        EXPECT_EQ(get_bus(nl, out, "W", 8), v.w);
+        EXPECT_EQ(get_bit(nl, out, "WCOUT"), v.carry);
+        EXPECT_EQ(get_bit(nl, out, "PY"), v.parity_y);
+        EXPECT_EQ(get_bit(nl, out, "ZZERO"), v.zero_z);
+    }
+}
+
+TEST(datapath, c2670_matches_reference_incl_equality_path) {
+    const netlist nl = make_c2670_like();
+    rng rg(23);
+    for (int t = 0; t < 300; ++t) {
+        const std::uint64_t a = rg.next_word() & 0xfff;
+        const std::uint64_t b = rg.next_word() & 0xfff;
+        const std::uint64_t d = rg.next_word() & 0xfff;
+        const std::uint64_t e = rg.next_word() & 0xffff;
+        // Force the rare equality path half the time.
+        const std::uint64_t f = (t % 2 == 0) ? e : (rg.next_word() & 0xffff);
+        const unsigned s = static_cast<unsigned>(rg.next_below(4));
+        const bool m = rg.next_bool(0.5), cin = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", a, 12);
+        set_bus(nl, in, "B", b, 12);
+        set_bus(nl, in, "D", d, 12);
+        set_bus(nl, in, "E", e, 16);
+        set_bus(nl, in, "F", f, 16);
+        set_bit(nl, in, "S0", (s & 1) != 0);
+        set_bit(nl, in, "S1", (s & 2) != 0);
+        set_bit(nl, in, "M", m);
+        set_bit(nl, in, "CIN", cin);
+        const auto out = evaluate(nl, in);
+        const c2670_verdict v = c2670_reference(a, b, s, m, cin, e, f, d);
+        EXPECT_EQ(get_bus(nl, out, "OUT", 12), v.out);
+        EXPECT_EQ(get_bit(nl, out, "EQ"), v.eq);
+        EXPECT_EQ(get_bit(nl, out, "PE"), v.parity_e);
+        EXPECT_EQ(get_bit(nl, out, "PF"), v.parity_f);
+        EXPECT_EQ(get_bit(nl, out, "ZERO"), v.zero);
+    }
+}
+
+TEST(datapath, c3540_matches_reference) {
+    const netlist nl = make_c3540_like();
+    rng rg(29);
+    for (int t = 0; t < 400; ++t) {
+        const std::uint64_t a = rg.next_word() & 0xff;
+        const std::uint64_t b = rg.next_word() & 0xff;
+        const std::uint64_t u = rg.next_word() & 0xff;
+        const std::uint64_t tt = (t % 2 == 0) ? a : (rg.next_word() & 0xff);
+        const bool op = rg.next_bool(0.5), mode = rg.next_bool(0.5),
+                   cin = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", a, 8);
+        set_bus(nl, in, "B", b, 8);
+        set_bus(nl, in, "T", tt, 8);
+        set_bus(nl, in, "U", u, 8);
+        set_bit(nl, in, "OP", op);
+        set_bit(nl, in, "MODE", mode);
+        set_bit(nl, in, "CIN", cin);
+        const auto out = evaluate(nl, in);
+        const c3540_verdict v = c3540_reference(a, b, op, mode, cin);
+        EXPECT_EQ(get_bus(nl, out, "F", 8), v.f)
+            << a << (op ? "-" : "+") << b << " mode=" << mode;
+        EXPECT_EQ(get_bit(nl, out, "CARRY"), v.carry);
+        EXPECT_EQ(get_bit(nl, out, "ZERO"), v.zero);
+        EXPECT_EQ(get_bit(nl, out, "EQ16"), a == tt && b == u);
+    }
+}
+
+TEST(datapath, c3540_bcd_addition_is_correct_decimal) {
+    // For valid BCD operands in add mode, the result is the BCD sum.
+    const netlist nl = make_c3540_like();
+    for (unsigned x = 0; x <= 99; x += 7) {
+        for (unsigned y = 0; y <= 99; y += 9) {
+            const std::uint64_t a = ((x / 10) << 4) | (x % 10);
+            const std::uint64_t b = ((y / 10) << 4) | (y % 10);
+            std::vector<bool> in(nl.input_count());
+            set_bus(nl, in, "A", a, 8);
+            set_bus(nl, in, "B", b, 8);
+            set_bus(nl, in, "T", 0, 8);
+            set_bus(nl, in, "U", 0, 8);
+            set_bit(nl, in, "OP", false);
+            set_bit(nl, in, "MODE", true);
+            set_bit(nl, in, "CIN", false);
+            const auto out = evaluate(nl, in);
+            const unsigned sum = x + y;
+            const std::uint64_t expect_bcd =
+                (((sum / 10) % 10) << 4) | (sum % 10);
+            EXPECT_EQ(get_bus(nl, out, "F", 8), expect_bcd)
+                << x << "+" << y;
+            EXPECT_EQ(get_bit(nl, out, "CARRY"), sum > 99);
+        }
+    }
+}
+
+TEST(datapath, c5315_matches_reference) {
+    const netlist nl = make_c5315_like();
+    rng rg(31);
+    for (int t = 0; t < 300; ++t) {
+        const std::uint64_t a = rg.next_word() & 0x1ff;
+        const std::uint64_t b = rg.next_word() & 0x1ff;
+        const std::uint64_t c = rg.next_word() & 0x1ff;
+        const std::uint64_t d = rg.next_word() & 0x1ff;
+        const unsigned s1 = static_cast<unsigned>(rg.next_below(4));
+        const unsigned s2 = static_cast<unsigned>(rg.next_below(4));
+        const bool m1 = rg.next_bool(0.5), m2 = rg.next_bool(0.5);
+        const bool cin1 = rg.next_bool(0.5), cin2 = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", a, 9);
+        set_bus(nl, in, "B", b, 9);
+        set_bus(nl, in, "C", c, 9);
+        set_bus(nl, in, "D", d, 9);
+        set_bit(nl, in, "S10", (s1 & 1) != 0);
+        set_bit(nl, in, "S11", (s1 & 2) != 0);
+        set_bit(nl, in, "M1", m1);
+        set_bit(nl, in, "CIN1", cin1);
+        set_bit(nl, in, "S20", (s2 & 1) != 0);
+        set_bit(nl, in, "S21", (s2 & 2) != 0);
+        set_bit(nl, in, "M2", m2);
+        set_bit(nl, in, "CIN2", cin2);
+        const auto out = evaluate(nl, in);
+        const c5315_verdict v =
+            c5315_reference(a, b, c, d, s1, m1, cin1, s2, m2, cin2);
+        EXPECT_EQ(get_bus(nl, out, "F1_", 9), v.f1);
+        EXPECT_EQ(get_bus(nl, out, "F2_", 9), v.f2);
+        EXPECT_EQ(get_bit(nl, out, "GT"), v.gt);
+        EXPECT_EQ(get_bit(nl, out, "EQ"), v.eq);
+        EXPECT_EQ(get_bit(nl, out, "LT"), v.lt);
+        EXPECT_EQ(get_bit(nl, out, "P1"), v.parity1);
+        EXPECT_EQ(get_bit(nl, out, "P2"), v.parity2);
+    }
+}
+
+TEST(datapath, c7552_matches_reference) {
+    const netlist nl = make_c7552_like();
+    rng rg(37);
+    const std::uint64_t mask = (1ULL << 34) - 1;
+    for (int t = 0; t < 200; ++t) {
+        const std::uint64_t a = rg.next_word() & mask;
+        const std::uint64_t b = (t % 2 == 0) ? a : (rg.next_word() & mask);
+        const std::uint64_t c = rg.next_word() & mask;
+        const bool cin = rg.next_bool(0.5);
+        std::vector<bool> in(nl.input_count());
+        set_bus(nl, in, "A", a, 34);
+        set_bus(nl, in, "B", b, 34);
+        set_bus(nl, in, "C", c, 34);
+        set_bit(nl, in, "CIN", cin);
+        const auto out = evaluate(nl, in);
+        const c7552_verdict v = c7552_reference(a, b, c, cin);
+        EXPECT_EQ(get_bus(nl, out, "S", 34), v.sum);
+        EXPECT_EQ(get_bit(nl, out, "COUT"), v.carry);
+        EXPECT_EQ(get_bus(nl, out, "X", 34), v.out);
+        EXPECT_EQ(get_bit(nl, out, "EQ1"), v.eq);
+        EXPECT_EQ(get_bit(nl, out, "GT1"), v.gt);
+        EXPECT_EQ(get_bit(nl, out, "PA"), v.parity_a);
+        EXPECT_EQ(get_bit(nl, out, "PB"), v.parity_b);
+    }
+}
+
+// --- pathological + suite ----------------------------------------------------
+
+TEST(pathological, outputs_behave) {
+    const netlist nl = make_pathological(8);
+    std::vector<bool> all_ones(8, true), all_zero(8, false);
+    auto o1 = evaluate(nl, all_ones);
+    EXPECT_TRUE(::wrpt::testing::get_bit(nl, o1, "ALLONE"));
+    EXPECT_FALSE(::wrpt::testing::get_bit(nl, o1, "ALLZERO"));
+    auto o0 = evaluate(nl, all_zero);
+    EXPECT_FALSE(::wrpt::testing::get_bit(nl, o0, "ALLONE"));
+    EXPECT_TRUE(::wrpt::testing::get_bit(nl, o0, "ALLZERO"));
+}
+
+TEST(suite, all_twelve_circuits_build_and_validate) {
+    const auto& suite = benchmark_suite();
+    ASSERT_EQ(suite.size(), 12u);
+    for (const auto& entry : suite) {
+        const netlist nl = entry.build();
+        EXPECT_NO_THROW(nl.validate()) << entry.name;
+        EXPECT_EQ(nl.name().substr(0, 2), entry.name.substr(0, 2));
+        EXPECT_GT(nl.stats().gate_count, 50u) << entry.name;
+    }
+}
+
+TEST(suite, hard_suite_is_the_four_starred_circuits) {
+    const auto hard = hard_suite();
+    ASSERT_EQ(hard.size(), 4u);
+    EXPECT_EQ(hard[0].name, "S1");
+    EXPECT_EQ(hard[1].name, "S2");
+    EXPECT_EQ(hard[2].name, "c2670");
+    EXPECT_EQ(hard[3].name, "c7552");
+    for (const auto& e : hard) {
+        EXPECT_GT(e.paper_optimized_length, 0.0);
+        EXPECT_GT(e.paper_conventional_coverage, 0.0);
+    }
+}
+
+TEST(suite, lookup_by_name) {
+    EXPECT_NO_THROW(build_suite_circuit("c432"));
+    EXPECT_THROW(build_suite_circuit("c9999"), invalid_input);
+}
+
+}  // namespace
+}  // namespace wrpt

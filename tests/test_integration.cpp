@@ -1,0 +1,153 @@
+// End-to-end integration tests: the paper's full flow on scaled-down
+// circuits — analysis, optimization, fault simulation, BIST — plus suite
+// smoke tests.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bist/session.h"
+#include "gen/comparator.h"
+#include "gen/ecc.h"
+#include "gen/suite.h"
+#include "helpers.h"
+#include "io/bench_io.h"
+#include "opt/optimizer.h"
+#include "prob/redundancy.h"
+#include "sim/fault_sim.h"
+
+namespace wrpt {
+namespace {
+
+TEST(integration, optimized_patterns_beat_conventional_on_comparator) {
+    // The Fig. 2 effect on a 12-bit comparator with a 512-pattern budget:
+    // conventional random patterns miss the equality-chain faults
+    // (p = 2^-12), optimized ones detect them.
+    const netlist nl = make_cascaded_comparator(3, "cmp12i");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+
+    const auto opt = optimize_weights(nl, faults, cop, uniform_weights(nl));
+    ASSERT_TRUE(opt.feasible);
+
+    fault_sim_options fopt;
+    fopt.max_patterns = 512;
+    const auto conventional = run_weighted_fault_simulation(
+        nl, faults, uniform_weights(nl), 0xfeed, fopt);
+    const auto optimized = run_weighted_fault_simulation(
+        nl, faults, opt.weights, 0xfeed, fopt);
+
+    const double cc = conventional.coverage_percent(faults.size());
+    const double oc = optimized.coverage_percent(faults.size());
+    EXPECT_LT(cc, 97.0);
+    EXPECT_GT(oc, cc + 2.0);
+    EXPECT_GT(oc, 98.0);
+}
+
+TEST(integration, estimated_length_consistent_with_simulation) {
+    // If NORMALIZE says N patterns give 99.9% confidence, simulating N
+    // patterns should detect (nearly) everything.
+    const netlist nl = make_cascaded_comparator(2, "cmp8i");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    const auto opt = optimize_weights(nl, faults, cop, uniform_weights(nl));
+    ASSERT_TRUE(opt.feasible);
+    ASSERT_LT(opt.final_test_length, 20000.0);
+
+    // The estimator is a heuristic, so allow a 2x safety factor on N
+    // (still far below the conventional length).
+    fault_sim_options fopt;
+    fopt.max_patterns =
+        2 * static_cast<std::uint64_t>(std::ceil(opt.final_test_length));
+    const auto sim = run_weighted_fault_simulation(nl, faults, opt.weights,
+                                                   0xabc, fopt);
+    EXPECT_EQ(sim.detected_count, faults.size());
+}
+
+TEST(integration, collapsed_and_full_coverage_agree_on_detection) {
+    // Representative faults detected <=> their whole class is detected.
+    const netlist nl = make_cascaded_comparator(2, "cmp8c");
+    const collapsed_faults cf = collapse_faults(nl);
+    fault_sim_options fopt;
+    fopt.max_patterns = 2048;
+    const auto full = run_weighted_fault_simulation(
+        nl, cf.all, uniform_weights(nl), 0x77, fopt);
+    for (std::size_t i = 0; i < cf.all.size(); ++i) {
+        const std::size_t rep = cf.representative[cf.class_of[i]];
+        EXPECT_EQ(full.first_detected[i].has_value(),
+                  full.first_detected[rep].has_value())
+            << to_string(nl, cf.all[i]);
+    }
+}
+
+TEST(integration, ecc_circuit_is_easily_random_testable) {
+    // c499-like: Table 1 reports ~1.9e3 — parity-dominated circuits are
+    // random-friendly. Verify both the estimate and the simulation.
+    const netlist nl = make_c499_like();
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    const auto rep = required_test_length(nl, faults, cop, uniform_weights(nl));
+    ASSERT_TRUE(rep.feasible);
+    EXPECT_LT(rep.test_length, 1e5);
+
+    fault_sim_options fopt;
+    fopt.max_patterns = 4096;
+    const auto sim = run_weighted_fault_simulation(
+        nl, faults, uniform_weights(nl), 0x123, fopt);
+    EXPECT_GT(sim.coverage_percent(faults.size()), 99.5);
+}
+
+TEST(integration, redundancy_aware_coverage_accounting) {
+    // Table 2 footnote: coverage is computed w.r.t. faults not proven
+    // redundant. On our generated circuits the fold keeps the proven set
+    // empty or tiny; the accounting still has to hold.
+    const netlist nl = make_c499_like();
+    const auto faults = generate_full_faults(nl);
+    redundancy_options ropt;
+    ropt.use_bdd_proof = false;
+    const auto red = prove_redundant(nl, faults, ropt);
+    std::size_t redundant = 0;
+    for (bool b : red)
+        if (b) ++redundant;
+    EXPECT_EQ(redundant, 0u);  // constant folding removed structural ones
+}
+
+TEST(integration, bist_session_with_optimized_weights_full_flow) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8b");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    const auto opt = optimize_weights(nl, faults, cop, uniform_weights(nl));
+
+    bist_session_options bopt;
+    bopt.patterns = 4096;
+    bopt.max_weight_stages = 4;
+    const auto session = run_bist_session(nl, faults, opt.weights, bopt);
+    EXPECT_GT(session.coverage_percent(), 99.0);
+    EXPECT_NE(session.golden_signature, 0u);
+
+    // Session is reproducible end to end.
+    const auto again = run_bist_session(nl, faults, opt.weights, bopt);
+    EXPECT_EQ(session.golden_signature, again.golden_signature);
+    EXPECT_EQ(session.faults_detected, again.faults_detected);
+}
+
+TEST(integration, suite_circuits_round_trip_through_bench_format) {
+    for (const char* name : {"S1", "c432", "c499", "c880"}) {
+        const netlist nl = build_suite_circuit(name);
+        const netlist back = read_bench_string(write_bench_string(nl), name);
+        ::wrpt::testing::expect_equivalent(nl, back, 4);
+    }
+}
+
+TEST(integration, suite_fault_populations_are_substantial) {
+    for (const auto& entry : benchmark_suite()) {
+        const netlist nl = entry.build();
+        const auto faults = generate_full_faults(nl);
+        EXPECT_GT(faults.size(), 200u) << entry.name;
+        const collapsed_faults cf = collapse_faults(nl);
+        EXPECT_LT(cf.class_count(), cf.all.size()) << entry.name;
+    }
+}
+
+}  // namespace
+}  // namespace wrpt

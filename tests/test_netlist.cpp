@@ -1,0 +1,191 @@
+// Tests for the netlist container: construction invariants, levels,
+// fanouts, cones, statistics, gate evaluation.
+
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+netlist small_example() {
+    // y = (a & b) | ~c ; z = a ^ c
+    netlist nl("small");
+    const node_id a = nl.add_input("a");
+    const node_id b = nl.add_input("b");
+    const node_id c = nl.add_input("c");
+    const node_id g1 = nl.add_binary(gate_kind::and_, a, b, "g1");
+    const node_id g2 = nl.add_unary(gate_kind::not_, c, "g2");
+    const node_id y = nl.add_binary(gate_kind::or_, g1, g2, "y");
+    const node_id z = nl.add_binary(gate_kind::xor_, a, c, "z");
+    nl.mark_output(y, "y");
+    nl.mark_output(z, "z");
+    return nl;
+}
+
+TEST(netlist, construction_and_accessors) {
+    const netlist nl = small_example();
+    EXPECT_EQ(nl.node_count(), 7u);
+    EXPECT_EQ(nl.input_count(), 3u);
+    EXPECT_EQ(nl.output_count(), 2u);
+    EXPECT_EQ(nl.kind(nl.find("g1")), gate_kind::and_);
+    EXPECT_EQ(nl.fanin_count(nl.find("y")), 2u);
+    EXPECT_EQ(nl.find("nonexistent"), null_node);
+    EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(netlist, input_index_round_trip) {
+    const netlist nl = small_example();
+    for (std::size_t i = 0; i < nl.input_count(); ++i)
+        EXPECT_EQ(nl.input_index(nl.inputs()[i]), i);
+    EXPECT_EQ(nl.input_index(nl.find("y")), static_cast<std::size_t>(-1));
+}
+
+TEST(netlist, levels_monotone_along_edges) {
+    const netlist nl = small_example();
+    for (node_id n = 0; n < nl.node_count(); ++n)
+        for (node_id f : nl.fanins(n)) EXPECT_LT(nl.level(f), nl.level(n));
+    EXPECT_EQ(nl.level(nl.find("a")), 0u);
+    EXPECT_EQ(nl.level(nl.find("y")), 2u);
+    EXPECT_EQ(nl.depth(), 2u);
+}
+
+TEST(netlist, fanouts_are_inverse_of_fanins) {
+    const netlist nl = small_example();
+    const node_id a = nl.find("a");
+    // a feeds g1 and z.
+    const auto fo = nl.fanouts(a);
+    EXPECT_EQ(fo.size(), 2u);
+    std::size_t total_fanins = 0, total_fanouts = 0;
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        total_fanins += nl.fanin_count(n);
+        total_fanouts += nl.fanout_count(n);
+    }
+    EXPECT_EQ(total_fanins, total_fanouts);
+}
+
+TEST(netlist, cones) {
+    const netlist nl = small_example();
+    const auto cone_y = nl.fanin_cone(nl.find("y"));
+    // y depends on a, b, c, g1, g2, y.
+    EXPECT_EQ(cone_y.size(), 6u);
+    const auto cone_a = nl.fanout_cone(nl.find("a"));
+    // a reaches g1, y, z (+ itself).
+    EXPECT_EQ(cone_a.size(), 4u);
+}
+
+TEST(netlist, stats_count_lines) {
+    const netlist nl = small_example();
+    const netlist_stats st = nl.stats();
+    EXPECT_EQ(st.node_count, 7u);
+    EXPECT_EQ(st.gate_count, 4u);
+    EXPECT_EQ(st.depth, 2u);
+    // Branch lines exist for a (fanout 2) and c (fanout 2).
+    EXPECT_EQ(st.line_count, 7u + 2u + 2u);
+    EXPECT_EQ(st.per_kind[static_cast<std::size_t>(gate_kind::input)], 3u);
+    EXPECT_EQ(st.per_kind[static_cast<std::size_t>(gate_kind::and_)], 1u);
+}
+
+TEST(netlist, rejects_forward_references) {
+    netlist nl;
+    const node_id a = nl.add_input("a");
+    (void)a;
+    // Fanin id beyond current node count.
+    EXPECT_THROW(nl.add_gate(gate_kind::not_, {node_id{5}}), invalid_input);
+}
+
+TEST(netlist, rejects_duplicate_names) {
+    netlist nl;
+    nl.add_input("a");
+    EXPECT_THROW(nl.add_input("a"), invalid_input);
+    const node_id b = nl.add_input("b");
+    EXPECT_THROW(nl.add_unary(gate_kind::buf, b, "a"), invalid_input);
+}
+
+TEST(netlist, rejects_bad_arity) {
+    netlist nl;
+    const node_id a = nl.add_input("a");
+    const node_id b = nl.add_input("b");
+    EXPECT_THROW(nl.add_gate(gate_kind::not_, {a, b}), invalid_input);
+    EXPECT_THROW(nl.add_gate(gate_kind::and_, {}), invalid_input);
+    EXPECT_THROW(nl.add_gate(gate_kind::const0, {a}), invalid_input);
+    EXPECT_THROW(nl.add_gate(gate_kind::input, {a}), invalid_input);
+}
+
+TEST(netlist, rejects_duplicate_outputs) {
+    netlist nl;
+    const node_id a = nl.add_input("a");
+    const node_id g = nl.add_unary(gate_kind::buf, a);
+    nl.mark_output(g, "y");
+    EXPECT_THROW(nl.mark_output(g, "y2"), invalid_input);  // node reused
+    const node_id h = nl.add_unary(gate_kind::not_, a);
+    EXPECT_THROW(nl.mark_output(h, "y"), invalid_input);  // name reused
+}
+
+TEST(netlist, validate_requires_io) {
+    netlist nl;
+    nl.add_input("a");
+    EXPECT_THROW(nl.validate(), invalid_input);  // no outputs
+}
+
+TEST(add_tree, single_leaf_semantics) {
+    netlist nl;
+    const node_id a = nl.add_input("a");
+    std::vector<node_id> leaves{a};
+    EXPECT_EQ(nl.add_tree(gate_kind::and_, leaves), a);
+    const node_id inv = nl.add_tree(gate_kind::nand_, leaves);
+    EXPECT_EQ(nl.kind(inv), gate_kind::not_);
+}
+
+TEST(add_tree, wide_tree_depth_is_logarithmic) {
+    netlist nl;
+    std::vector<node_id> leaves;
+    for (int i = 0; i < 64; ++i)
+        leaves.push_back(nl.add_input("x" + std::to_string(i)));
+    const node_id root = nl.add_tree(gate_kind::and_, leaves);
+    EXPECT_EQ(nl.level(root), 6u);  // log2(64)
+}
+
+TEST(eval_gate_words, truth_tables) {
+    const std::uint64_t a = 0b1100, b = 0b1010;
+    const std::uint64_t fa[2] = {a, b};
+    EXPECT_EQ(eval_gate_words(gate_kind::and_, fa, 2) & 0xf, 0b1000u);
+    EXPECT_EQ(eval_gate_words(gate_kind::or_, fa, 2) & 0xf, 0b1110u);
+    EXPECT_EQ(eval_gate_words(gate_kind::xor_, fa, 2) & 0xf, 0b0110u);
+    EXPECT_EQ(eval_gate_words(gate_kind::nand_, fa, 2) & 0xf, 0b0111u);
+    EXPECT_EQ(eval_gate_words(gate_kind::nor_, fa, 2) & 0xf, 0b0001u);
+    EXPECT_EQ(eval_gate_words(gate_kind::xnor_, fa, 2) & 0xf, 0b1001u);
+    EXPECT_EQ(eval_gate_words(gate_kind::not_, fa, 1) & 0xf, 0b0011u);
+    EXPECT_EQ(eval_gate_words(gate_kind::buf, fa, 1) & 0xf, 0b1100u);
+    EXPECT_EQ(eval_gate_words(gate_kind::const0, nullptr, 0), 0u);
+    EXPECT_EQ(eval_gate_words(gate_kind::const1, nullptr, 0), ~0ULL);
+    EXPECT_THROW(eval_gate_words(gate_kind::input, nullptr, 0), error);
+}
+
+TEST(eval_gate_bool, matches_word_semantics) {
+    const bool vals[3] = {true, false, true};
+    EXPECT_FALSE(eval_gate_bool(gate_kind::and_, vals, 3));
+    EXPECT_TRUE(eval_gate_bool(gate_kind::or_, vals, 3));
+    EXPECT_FALSE(eval_gate_bool(gate_kind::xor_, vals, 3));
+    EXPECT_TRUE(eval_gate_bool(gate_kind::xnor_, vals, 3));
+}
+
+TEST(gate_kind_strings, round_trip) {
+    for (gate_kind k :
+         {gate_kind::input, gate_kind::buf, gate_kind::not_, gate_kind::and_,
+          gate_kind::nand_, gate_kind::or_, gate_kind::nor_, gate_kind::xor_,
+          gate_kind::xnor_, gate_kind::const0, gate_kind::const1}) {
+        gate_kind back{};
+        EXPECT_TRUE(gate_kind_from_string(to_string(k), back));
+        EXPECT_EQ(back, k);
+    }
+    gate_kind out{};
+    EXPECT_TRUE(gate_kind_from_string("buff", out));  // bench alias
+    EXPECT_EQ(out, gate_kind::buf);
+    EXPECT_FALSE(gate_kind_from_string("frobnicate", out));
+}
+
+}  // namespace
+}  // namespace wrpt

@@ -1,0 +1,81 @@
+// Tests for the objective function J_N and the confidence <-> Q mapping
+// (paper formulas 8-10).
+
+#include "opt/objective.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+TEST(confidence_q, round_trip) {
+    for (double c : {0.5, 0.9, 0.95, 0.999, 0.9999}) {
+        const double q = confidence_to_q(c);
+        EXPECT_GT(q, 0.0);
+        EXPECT_NEAR(q_to_confidence(q), c, 1e-12);
+    }
+    EXPECT_THROW(confidence_to_q(0.0), invalid_input);
+    EXPECT_THROW(confidence_to_q(1.0), invalid_input);
+    EXPECT_THROW(q_to_confidence(-1.0), invalid_input);
+}
+
+TEST(objective, known_values) {
+    const std::vector<double> probs{0.5, 0.25};
+    EXPECT_DOUBLE_EQ(objective_jn(probs, 0.0), 2.0);  // J_0 = fault count
+    EXPECT_NEAR(objective_jn(probs, 4.0),
+                std::exp(-2.0) + std::exp(-1.0), 1e-12);
+}
+
+TEST(objective, monotone_decreasing_in_n) {
+    const std::vector<double> probs{0.9, 0.01, 1e-6};
+    double prev = objective_jn(probs, 0.0);
+    for (double n : {1.0, 10.0, 1e3, 1e6, 1e9}) {
+        const double j = objective_jn(probs, n);
+        EXPECT_LT(j, prev);
+        prev = j;
+    }
+}
+
+TEST(objective, approximates_negative_log_confidence) {
+    // For large N and small J, exp(-J_N) ~ exact confidence (formula 9).
+    const std::vector<double> probs{0.02, 0.05, 0.07};
+    const double n = 400.0;
+    const double j = objective_jn(probs, n);
+    const double exact = exact_confidence(probs, n);
+    EXPECT_NEAR(std::exp(-j), exact, 2e-3);
+}
+
+TEST(objective, exact_confidence_edge_cases) {
+    EXPECT_DOUBLE_EQ(exact_confidence(std::vector<double>{}, 10.0), 1.0);
+    const std::vector<double> with_zero{0.5, 0.0};
+    EXPECT_DOUBLE_EQ(exact_confidence(with_zero, 1000.0), 0.0);
+    const std::vector<double> certain{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(exact_confidence(certain, 1.0), 1.0);
+}
+
+TEST(objective, exact_confidence_increases_with_n) {
+    const std::vector<double> probs{0.1, 0.01};
+    double prev = exact_confidence(probs, 1.0);
+    for (double n : {10.0, 100.0, 1000.0}) {
+        const double c = exact_confidence(probs, n);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+    EXPECT_GT(prev, 0.999);
+}
+
+TEST(objective, huge_test_lengths_do_not_overflow) {
+    const std::vector<double> probs{1e-11};
+    const double j = objective_jn(probs, 2.0e11);  // the S2 scale of Table 1
+    EXPECT_GT(j, 0.0);
+    EXPECT_LT(j, 1.0);
+    EXPECT_TRUE(std::isfinite(j));
+}
+
+}  // namespace
+}  // namespace wrpt

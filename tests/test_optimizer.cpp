@@ -1,0 +1,181 @@
+// Tests for the full OPTIMIZE procedure on real circuits.
+
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/comparator.h"
+#include "gen/pathological.h"
+#include "opt/quantize.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+TEST(optimizer, improves_comparator_test_length_dramatically) {
+    // A 12-bit comparator has equality-chain faults at 2^-12; optimization
+    // should cut the required length by an order of magnitude or more.
+    const netlist nl = make_cascaded_comparator(3, "cmp12");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+
+    const optimize_result res =
+        optimize_weights(nl, faults, cop, uniform_weights(nl));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.zero_prob_faults, 0u);
+    EXPECT_LT(res.final_test_length, res.initial_test_length / 10.0);
+    // Weights live on the configured grid within the bounds.
+    for (double w : res.weights) {
+        EXPECT_GE(w, 0.05 - 1e-12);
+        EXPECT_LE(w, 0.95 + 1e-12);
+        const double snapped = std::round(w / 0.05) * 0.05;
+        EXPECT_NEAR(w, snapped, 1e-9);
+    }
+}
+
+TEST(optimizer, exact_estimator_on_small_circuit) {
+    const netlist nl = make_cascaded_comparator(1, "cmp4");
+    const auto faults = generate_full_faults(nl);
+    exact_detect_estimator exact;
+    optimize_options opt;
+    opt.grid = 0.0;  // continuous weights
+    const optimize_result res =
+        optimize_weights(nl, faults, exact, uniform_weights(nl), opt);
+    ASSERT_TRUE(res.feasible);
+    // Best-iterate tracking guarantees the result never loses to the start.
+    EXPECT_LE(res.final_test_length, res.initial_test_length);
+}
+
+TEST(optimizer, history_is_monotone_nonincreasing) {
+    const netlist nl = make_cascaded_comparator(3, "cmp12");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    optimize_options opt;
+    opt.max_sweeps = 4;
+    opt.alpha = -1.0;  // force all sweeps to run
+    const optimize_result res =
+        optimize_weights(nl, faults, cop, uniform_weights(nl), opt);
+    ASSERT_TRUE(res.feasible);
+    ASSERT_GE(res.history.size(), 2u);
+    for (std::size_t i = 1; i < res.history.size(); ++i)
+        EXPECT_LE(res.history[i].test_length,
+                  res.history[i - 1].test_length * 1.05)
+            << "sweep " << i;
+    EXPECT_LE(res.history.front().test_length, res.initial_test_length);
+}
+
+TEST(optimizer, analysis_call_accounting) {
+    const netlist nl = make_cascaded_comparator(1, "cmp4b");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    optimize_options opt;
+    opt.max_sweeps = 1;
+    opt.alpha = -1.0;
+    const optimize_result res =
+        optimize_weights(nl, faults, cop, uniform_weights(nl), opt);
+    // 1 initial + (2 per input) * inputs + 1 per sweep; the saddle escape
+    // may add up to 5 probe analyses.
+    EXPECT_GE(res.analysis_calls, 1 + 2 * nl.input_count() + 1);
+    EXPECT_LE(res.analysis_calls, 1 + 2 * nl.input_count() + 1 + 5);
+}
+
+TEST(optimizer, respects_custom_bounds) {
+    const netlist nl = make_cascaded_comparator(1, "cmp4c");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    optimize_options opt;
+    opt.weight_min = 0.2;
+    opt.weight_max = 0.8;
+    opt.grid = 0.0;
+    const optimize_result res =
+        optimize_weights(nl, faults, cop, uniform_weights(nl), opt);
+    for (double w : res.weights) {
+        EXPECT_GE(w, 0.2 - 1e-12);
+        EXPECT_LE(w, 0.8 + 1e-12);
+    }
+}
+
+TEST(optimizer, deterministic) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8d");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    const auto a = optimize_weights(nl, faults, cop, uniform_weights(nl));
+    const auto b = optimize_weights(nl, faults, cop, uniform_weights(nl));
+    EXPECT_EQ(a.weights, b.weights);
+    EXPECT_DOUBLE_EQ(a.final_test_length, b.final_test_length);
+}
+
+TEST(optimizer, rejects_bad_options) {
+    const netlist nl = make_cascaded_comparator(1, "cmp4e");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    optimize_options opt;
+    opt.weight_min = 0.0;
+    EXPECT_THROW(optimize_weights(nl, faults, cop, uniform_weights(nl), opt),
+                 invalid_input);
+    weight_vector wrong_size(nl.input_count() + 1, 0.5);
+    EXPECT_THROW(optimize_weights(nl, faults, cop, wrong_size, {}),
+                 invalid_input);
+}
+
+TEST(required_test_length, conventional_vs_optimized_scale) {
+    // Table 1/3 mechanics on the 12-bit comparator: equality faults at
+    // 2^-12 dominate the conventional length.
+    const netlist nl = make_cascaded_comparator(3, "cmp12r");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    const auto conventional =
+        required_test_length(nl, faults, cop, uniform_weights(nl));
+    ASSERT_TRUE(conventional.feasible);
+    EXPECT_GT(conventional.test_length, 1e4);
+    EXPECT_LT(conventional.hardest_probability, 1e-3);
+
+    const auto opt = optimize_weights(nl, faults, cop, uniform_weights(nl));
+    const auto optimized =
+        required_test_length(nl, faults, cop, opt.weights);
+    EXPECT_LT(optimized.test_length, conventional.test_length / 5.0);
+}
+
+TEST(quantize, grid_and_lfsr) {
+    const weight_vector w{0.07, 0.52, 0.93, 0.5};
+    const weight_vector g = quantize_grid(w, 0.05, 0.05, 0.95);
+    EXPECT_NEAR(g[0], 0.05, 1e-12);
+    EXPECT_NEAR(g[1], 0.5, 1e-12);
+    EXPECT_NEAR(g[2], 0.95, 1e-12);
+
+    const weight_vector l = quantize_lfsr(w, 4);
+    // Alphabet: 1/16, 1/8, 1/4, 1/2, 3/4, 7/8, 15/16.
+    EXPECT_NEAR(l[0], 1.0 / 16.0, 1e-12);
+    EXPECT_NEAR(l[1], 0.5, 1e-12);
+    EXPECT_NEAR(l[2], 15.0 / 16.0, 1e-12);
+    EXPECT_NEAR(l[3], 0.5, 1e-12);
+
+    const auto alphabet = lfsr_weight_alphabet(3);
+    ASSERT_EQ(alphabet.size(), 5u);  // 1/8 1/4 1/2 3/4 7/8
+    for (std::size_t i = 1; i < alphabet.size(); ++i)
+        EXPECT_LT(alphabet[i - 1], alphabet[i]);
+
+    EXPECT_THROW(quantize_grid(w, 0.0, 0.0, 1.0), invalid_input);
+    EXPECT_THROW(lfsr_weight_alphabet(0), invalid_input);
+}
+
+TEST(quantize, lfsr_weights_cost_bounded_test_length_increase) {
+    // Snapping the optimized weights to the LFSR alphabet must not blow up
+    // the test length by more than a small factor on the comparator.
+    const netlist nl = make_cascaded_comparator(2, "cmp8q");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    const auto res = optimize_weights(nl, faults, cop, uniform_weights(nl));
+    const weight_vector lw = quantize_lfsr(res.weights, 5);
+    const auto quantized = required_test_length(nl, faults, cop, lw);
+    ASSERT_TRUE(quantized.feasible);
+    EXPECT_LT(quantized.test_length, 20.0 * res.final_test_length);
+    const auto conventional =
+        required_test_length(nl, faults, cop, uniform_weights(nl));
+    EXPECT_LT(quantized.test_length, conventional.test_length);
+}
+
+}  // namespace
+}  // namespace wrpt

@@ -1,0 +1,80 @@
+// Tests for the partitioned optimization extension (paper section 5.3).
+
+#include "opt/partition.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/comparator.h"
+#include "gen/pathological.h"
+#include "io/weights_io.h"
+#include "util/stats.h"
+
+namespace wrpt {
+namespace {
+
+TEST(partition, pathological_circuit_needs_two_sessions) {
+    // AND(X) wants all weights high, NOR(X) wants them low: a single tuple
+    // cannot serve both (the paper's exact failure mode).
+    const netlist nl = make_pathological(16);
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+
+    partition_options opt;
+    opt.opt.confidence = 0.999;
+    const partitioned_result res =
+        optimize_partitioned(nl, faults, cop, uniform_weights(nl), opt);
+
+    ASSERT_TRUE(res.partitioned);
+    ASSERT_GE(res.sessions.size(), 2u);
+    // The partitioned schedule beats the single session by a wide margin.
+    EXPECT_LT(res.total_length, res.single_session_length / 10.0);
+
+    // Every fault is targeted by some session.
+    std::vector<bool> covered(faults.size(), false);
+    for (const auto& s : res.sessions)
+        for (std::size_t i : s.fault_indices) covered[i] = true;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        EXPECT_TRUE(covered[i]) << "fault " << i << " not in any session";
+
+    // The two hard sessions pull the weights in opposite directions.
+    double min_mean = 1.0, max_mean = 0.0;
+    for (const auto& s : res.sessions) {
+        const double m = mean_of(s.weights);
+        min_mean = std::min(min_mean, m);
+        max_mean = std::max(max_mean, m);
+    }
+    EXPECT_GT(max_mean, 0.6);
+    EXPECT_LT(min_mean, 0.3);
+}
+
+TEST(partition, benign_circuit_stays_single_session) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8p");
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    partition_options opt;
+    // After optimization the comparator has no conflicting hard tail at
+    // this threshold.
+    opt.hard_length_ratio = 0.99;
+    const partitioned_result res =
+        optimize_partitioned(nl, faults, cop, uniform_weights(nl), opt);
+    EXPECT_FALSE(res.partitioned);
+    ASSERT_EQ(res.sessions.size(), 1u);
+    EXPECT_DOUBLE_EQ(res.total_length, res.single_session_length);
+    EXPECT_EQ(res.sessions[0].fault_indices.size(), faults.size());
+}
+
+TEST(partition, max_partitions_respected) {
+    const netlist nl = make_pathological(12);
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator cop;
+    partition_options opt;
+    opt.max_partitions = 2;
+    const partitioned_result res =
+        optimize_partitioned(nl, faults, cop, uniform_weights(nl), opt);
+    EXPECT_LE(res.sessions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wrpt

@@ -1,0 +1,124 @@
+// Tests for util/rng: determinism, distribution quality of biased words,
+// quantization.
+
+#include "util/rng.h"
+
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+TEST(rng, deterministic_for_seed) {
+    rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_word(), b.next_word());
+}
+
+TEST(rng, different_seeds_diverge) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_word() == b.next_word()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(rng, next_double_in_unit_interval) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(rng, next_below_respects_bound) {
+    rng r(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+    }
+}
+
+TEST(rng, next_below_zero_bound_throws) {
+    rng r(1);
+    EXPECT_THROW(r.next_below(0), invalid_input);
+}
+
+TEST(rng, unbiased_word_mean) {
+    rng r(11);
+    std::uint64_t ones = 0;
+    const int blocks = 2000;
+    for (int i = 0; i < blocks; ++i)
+        ones += static_cast<std::uint64_t>(std::popcount(r.next_word()));
+    const double mean = static_cast<double>(ones) / (64.0 * blocks);
+    EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+class biased_word_p : public ::testing::TestWithParam<double> {};
+
+TEST_P(biased_word_p, empirical_frequency_matches) {
+    const double p = GetParam();
+    rng r(0xb1a5 + static_cast<std::uint64_t>(p * 1000));
+    std::uint64_t ones = 0;
+    const int blocks = 4000;
+    for (int i = 0; i < blocks; ++i)
+        ones += static_cast<std::uint64_t>(std::popcount(r.biased_word(p, 16)));
+    const double mean = static_cast<double>(ones) / (64.0 * blocks);
+    // Standard error ~ sqrt(p(1-p)/n) with n = 256000; 5 sigma margin.
+    const double margin = 5.0 * std::sqrt(p * (1 - p) / (64.0 * blocks)) + 1e-4;
+    EXPECT_NEAR(mean, p, margin) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(weights, biased_word_p,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.25, 0.3, 0.5,
+                                           0.625, 0.75, 0.9, 0.95, 1.0));
+
+TEST(rng, biased_word_extremes_are_exact) {
+    rng r(3);
+    EXPECT_EQ(r.biased_word(0.0, 8), 0ULL);
+    EXPECT_EQ(r.biased_word(1.0, 8), ~0ULL);
+    // Below half a quantization step rounds to zero.
+    EXPECT_EQ(r.biased_word(0.001, 8), 0ULL);
+}
+
+TEST(rng, biased_word_resolution_one_gives_half) {
+    rng r(5);
+    std::uint64_t ones = 0;
+    for (int i = 0; i < 2000; ++i)
+        ones += static_cast<std::uint64_t>(std::popcount(r.biased_word(0.5, 1)));
+    EXPECT_NEAR(static_cast<double>(ones) / (64.0 * 2000), 0.5, 0.01);
+}
+
+TEST(rng, biased_word_invalid_resolution_throws) {
+    rng r(1);
+    EXPECT_THROW(r.biased_word(0.5, 0), invalid_input);
+    EXPECT_THROW(r.biased_word(0.5, 33), invalid_input);
+}
+
+TEST(quantize_probability, snaps_to_grid) {
+    EXPECT_DOUBLE_EQ(quantize_probability(0.3, 2), 0.25);
+    EXPECT_DOUBLE_EQ(quantize_probability(0.3, 4), 0.3125);
+    EXPECT_DOUBLE_EQ(quantize_probability(0.0, 4), 0.0);
+    EXPECT_DOUBLE_EQ(quantize_probability(1.0, 4), 1.0);
+    EXPECT_DOUBLE_EQ(quantize_probability(-0.5, 4), 0.0);
+    EXPECT_DOUBLE_EQ(quantize_probability(1.5, 4), 1.0);
+}
+
+TEST(popcount_vector, counts_all_words) {
+    std::vector<std::uint64_t> v{0ULL, ~0ULL, 1ULL, 0xf0ULL};
+    EXPECT_EQ(popcount(v), 0u + 64u + 1u + 4u);
+}
+
+TEST(splitmix, nonzero_stream) {
+    std::uint64_t s = 0;
+    bool any_nonzero = false;
+    for (int i = 0; i < 8; ++i)
+        if (splitmix64_next(s) != 0) any_nonzero = true;
+    EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace wrpt

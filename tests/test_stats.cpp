@@ -1,0 +1,77 @@
+// Tests for util/stats.
+
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+TEST(running_stats, empty) {
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(running_stats, known_values) {
+    running_stats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic example set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(running_stats, single_sample_variance_zero) {
+    running_stats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(wilson, brackets_proportion) {
+    const auto iv = wilson_interval(80, 100);
+    EXPECT_LT(iv.low, 0.8);
+    EXPECT_GT(iv.high, 0.8);
+    EXPECT_GT(iv.low, 0.70);
+    EXPECT_LT(iv.high, 0.88);
+}
+
+TEST(wilson, extreme_counts) {
+    const auto zero = wilson_interval(0, 50);
+    EXPECT_DOUBLE_EQ(zero.low, 0.0);
+    EXPECT_GT(zero.high, 0.0);
+    const auto all = wilson_interval(50, 50);
+    EXPECT_LT(all.low, 1.0);
+    EXPECT_DOUBLE_EQ(all.high, 1.0);
+}
+
+TEST(wilson, higher_z_widens) {
+    const auto narrow = wilson_interval(30, 60, 1.96);
+    const auto wide = wilson_interval(30, 60, 3.29);
+    EXPECT_LT(wide.low, narrow.low);
+    EXPECT_GT(wide.high, narrow.high);
+}
+
+TEST(wilson, invalid_inputs_throw) {
+    EXPECT_THROW(wilson_interval(1, 0), invalid_input);
+    EXPECT_THROW(wilson_interval(5, 4), invalid_input);
+}
+
+TEST(mean_of, basic) {
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(max_abs_diff, basic) {
+    EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 2.0}, {1.5, 1.0}), 1.0);
+    EXPECT_THROW(max_abs_diff({1.0}, {1.0, 2.0}), invalid_input);
+}
+
+}  // namespace
+}  // namespace wrpt

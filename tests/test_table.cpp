@@ -1,0 +1,57 @@
+// Tests for util/table formatting.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+TEST(text_table, renders_title_header_rows) {
+    text_table t("Table X");
+    t.set_header({"Circuit", "N"});
+    t.add_row({"S1", "5.6e8"});
+    t.add_row({"C7552", "4.9e11"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("Table X"), std::string::npos);
+    EXPECT_NE(s.find("Circuit"), std::string::npos);
+    EXPECT_NE(s.find("C7552"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(text_table, alignment_pads_columns) {
+    text_table t;
+    t.set_header({"a", "bb"});
+    t.add_row({"cccc", "d"});
+    const std::string s = t.to_string();
+    // Header 'a' padded to the width of 'cccc'.
+    EXPECT_NE(s.find("a     bb"), std::string::npos);
+}
+
+TEST(text_table, row_width_mismatch_throws) {
+    text_table t;
+    t.set_header({"one", "two"});
+    EXPECT_THROW(t.add_row({"a"}), invalid_input);
+}
+
+TEST(format, sci) {
+    EXPECT_EQ(format_sci(5.6e8, 2), "5.6e+08");
+    EXPECT_EQ(format_sci(1.0, 2), "1.0e+00");
+}
+
+TEST(format, fixed) {
+    EXPECT_EQ(format_fixed(99.74, 1), "99.7");
+    EXPECT_EQ(format_fixed(80.0, 1), "80.0");
+}
+
+TEST(format, count_with_thousands) {
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(12000), "12,000");
+    EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace wrpt

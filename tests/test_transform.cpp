@@ -1,0 +1,147 @@
+// Tests for netlist transformations: xor expansion, arity limiting,
+// constant propagation, dead sweep — all must preserve function.
+
+#include "netlist/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.h"
+#include "gen/wordlib.h"
+#include "helpers.h"
+
+namespace wrpt {
+namespace {
+
+using ::wrpt::testing::expect_equivalent;
+
+class transform_seeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(transform_seeds, expand_xor_preserves_function) {
+    random_circuit_spec spec;
+    spec.inputs = 8;
+    spec.gates = 80;
+    spec.seed = GetParam();
+    const netlist nl = make_random_circuit(spec);
+    const netlist expanded = expand_xor(nl);
+    expect_equivalent(nl, expanded);
+    // No xor/xnor gates remain.
+    for (node_id n = 0; n < expanded.node_count(); ++n) {
+        EXPECT_NE(expanded.kind(n), gate_kind::xor_);
+        EXPECT_NE(expanded.kind(n), gate_kind::xnor_);
+    }
+}
+
+TEST_P(transform_seeds, limit_arity_preserves_function) {
+    random_circuit_spec spec;
+    spec.inputs = 8;
+    spec.gates = 60;
+    spec.max_arity = 6;
+    spec.seed = GetParam();
+    const netlist nl = make_random_circuit(spec);
+    const netlist limited = limit_arity(nl, 2);
+    expect_equivalent(nl, limited);
+    for (node_id n = 0; n < limited.node_count(); ++n) {
+        if (limited.kind(n) == gate_kind::input) continue;
+        EXPECT_LE(limited.fanin_count(n), 2u);
+    }
+}
+
+TEST_P(transform_seeds, propagate_constants_preserves_function) {
+    random_circuit_spec spec;
+    spec.inputs = 6;
+    spec.gates = 50;
+    spec.seed = GetParam();
+    netlist nl = make_random_circuit(spec);
+    const netlist folded = propagate_constants(nl);
+    expect_equivalent(nl, folded);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, transform_seeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(propagate_constants, folds_constant_logic) {
+    netlist nl("consts");
+    const node_id a = nl.add_input("a");
+    const node_id b = nl.add_input("b");
+    const node_id zero = nl.add_const(false);
+    const node_id one = nl.add_const(true);
+    // and(a, 1) = a;  or(b, 1) = 1;  xor(a, 1) = ~a;  and(a, 0) = 0.
+    const node_id t1 = nl.add_binary(gate_kind::and_, a, one);
+    const node_id t2 = nl.add_binary(gate_kind::or_, b, one);
+    const node_id t3 = nl.add_binary(gate_kind::xor_, a, one);
+    const node_id t4 = nl.add_binary(gate_kind::and_, a, zero);
+    const node_id y = nl.add_gate(gate_kind::or_, {t1, t4});
+    const node_id z = nl.add_gate(gate_kind::and_, {t2, t3});
+    nl.mark_output(y, "y");
+    nl.mark_output(z, "z");
+
+    const netlist folded = propagate_constants(nl);
+    expect_equivalent(nl, folded);
+    // y == a and z == ~a: the fold should shrink the circuit to inputs
+    // plus at most a couple of gates.
+    EXPECT_LE(folded.node_count(), nl.node_count() - 4);
+    for (node_id n = 0; n < folded.node_count(); ++n) {
+        EXPECT_NE(folded.kind(n), gate_kind::const0);
+        EXPECT_NE(folded.kind(n), gate_kind::const1);
+    }
+}
+
+TEST(propagate_constants, constant_output_is_materialized) {
+    netlist nl("c");
+    const node_id a = nl.add_input("a");
+    const node_id na = nl.add_unary(gate_kind::not_, a);
+    const node_id y = nl.add_binary(gate_kind::and_, a, na);  // constant 0? no!
+    // a & ~a is logically 0 but NOT structurally constant; the fold must
+    // keep it (constant propagation is structural, not logical).
+    nl.mark_output(y, "y");
+    const netlist folded = propagate_constants(nl);
+    expect_equivalent(nl, folded);
+    EXPECT_GE(folded.node_count(), 3u);
+
+    // A structurally constant output, in contrast, becomes a const node.
+    netlist nl2("c2");
+    const node_id x = nl2.add_input("x");
+    (void)x;
+    const node_id k = nl2.add_const(true);
+    const node_id g = nl2.add_unary(gate_kind::not_, k);
+    nl2.mark_output(g, "y");
+    const netlist folded2 = propagate_constants(nl2);
+    EXPECT_EQ(folded2.kind(folded2.outputs()[0]), gate_kind::const0);
+}
+
+TEST(sweep_dead, removes_unreachable_logic_keeps_inputs) {
+    netlist nl("dead");
+    const node_id a = nl.add_input("a");
+    const node_id b = nl.add_input("b");
+    const node_id used = nl.add_binary(gate_kind::and_, a, b);
+    const node_id dead1 = nl.add_binary(gate_kind::or_, a, b);
+    const node_id dead2 = nl.add_unary(gate_kind::not_, dead1);
+    (void)dead2;
+    nl.mark_output(used, "y");
+    const netlist swept = sweep_dead(nl);
+    EXPECT_EQ(swept.node_count(), 3u);  // a, b, and
+    EXPECT_EQ(swept.input_count(), 2u);
+    expect_equivalent(nl, swept);
+}
+
+TEST(transforms, compose_on_structured_circuit) {
+    // Build a circuit with wide gates, xors and constants; apply all
+    // transforms in sequence and verify equivalence end to end.
+    netlist nl("composed");
+    const bus x = add_input_bus(nl, "x", 10);
+    const node_id all = nl.add_tree(gate_kind::and_, x);
+    const node_id par = nl.add_tree(gate_kind::xor_, x);
+    const node_id one = nl.add_const(true);
+    const node_id mix = nl.add_gate(gate_kind::or_, {all, par, one});
+    const node_id useful = nl.add_binary(gate_kind::xnor_, all, par);
+    nl.mark_output(mix, "m");
+    nl.mark_output(useful, "u");
+
+    const netlist a = expand_xor(nl);
+    const netlist b = limit_arity(a, 2);
+    const netlist c = propagate_constants(b);
+    expect_equivalent(nl, c);
+}
+
+}  // namespace
+}  // namespace wrpt

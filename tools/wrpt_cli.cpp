@@ -1,0 +1,210 @@
+// wrpt_cli — command-line driver for the library.
+//
+//   wrpt_cli stats    <circuit>
+//   wrpt_cli lengths  <circuit> [--confidence 0.999] [--estimator cop]
+//   wrpt_cli optimize <circuit> [--out weights.txt] [--estimator cop]
+//   wrpt_cli simulate <circuit> [--weights file] [--patterns 4096]
+//   wrpt_cli atpg     <circuit> [--backtracks 512]
+//   wrpt_cli selftest <circuit> [--weights file] [--patterns 4096]
+//
+// <circuit> is either a .bench file path or a suite name (S1, S2, c432,
+// c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "atpg/compact.h"
+#include "atpg/podem.h"
+#include "bist/session.h"
+#include "fault/fault.h"
+#include "gen/suite.h"
+#include "io/bench_io.h"
+#include "io/weights_io.h"
+#include "opt/optimizer.h"
+#include "prob/detect.h"
+#include "sim/fault_sim.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace wrpt;
+
+struct cli_options {
+    std::string command;
+    std::string circuit;
+    std::map<std::string, std::string> flags;
+
+    std::string flag(const std::string& name, const std::string& fallback) const {
+        auto it = flags.find(name);
+        return it == flags.end() ? fallback : it->second;
+    }
+    double flag_double(const std::string& name, double fallback) const {
+        auto it = flags.find(name);
+        return it == flags.end() ? fallback : std::stod(it->second);
+    }
+    std::uint64_t flag_u64(const std::string& name, std::uint64_t fallback) const {
+        auto it = flags.find(name);
+        return it == flags.end() ? fallback : std::stoull(it->second);
+    }
+};
+
+netlist load_circuit(const std::string& spec) {
+    std::ifstream probe(spec);
+    if (probe.good()) return read_bench_file(spec);
+    return build_suite_circuit(spec);
+}
+
+weight_vector load_weights(const cli_options& opt, const netlist& nl) {
+    const std::string path = opt.flag("weights", "");
+    if (path.empty()) return uniform_weights(nl);
+    return read_weights_file(path, nl);
+}
+
+int cmd_stats(const cli_options& opt) {
+    const netlist nl = load_circuit(opt.circuit);
+    const netlist_stats st = nl.stats();
+    const auto faults = generate_full_faults(nl);
+    const collapsed_faults cf = collapse_faults(nl, faults);
+    std::printf("circuit %s\n", nl.name().c_str());
+    std::printf("  inputs %zu  outputs %zu  gates %zu  depth %zu\n",
+                st.input_count, st.output_count, st.gate_count, st.depth);
+    std::printf("  lines %zu  faults %zu  collapsed classes %zu\n",
+                st.line_count, faults.size(), cf.class_count());
+    return 0;
+}
+
+int cmd_lengths(const cli_options& opt) {
+    const netlist nl = load_circuit(opt.circuit);
+    const auto faults = generate_full_faults(nl);
+    auto estimator = make_estimator(opt.flag("estimator", "cop"));
+    const double conf = opt.flag_double("confidence", 0.999);
+    const auto rep = required_test_length(nl, faults, *estimator,
+                                          load_weights(opt, nl), conf);
+    std::printf("confidence %.4f  estimator %s\n", conf,
+                estimator->name().c_str());
+    if (!rep.feasible) {
+        std::printf("infeasible: %zu faults estimated undetectable\n",
+                    rep.zero_prob_faults);
+        return 1;
+    }
+    std::printf("required test length N = %.4g (hardest p_f = %.3g, "
+                "%zu relevant faults)\n",
+                rep.test_length, rep.hardest_probability,
+                rep.relevant_faults);
+    return 0;
+}
+
+int cmd_optimize(const cli_options& opt) {
+    const netlist nl = load_circuit(opt.circuit);
+    const auto faults = generate_full_faults(nl);
+    auto estimator = make_estimator(opt.flag("estimator", "cop"));
+    optimize_options oo;
+    oo.confidence = opt.flag_double("confidence", 0.999);
+    stopwatch sw;
+    const optimize_result res = optimize_weights(
+        nl, faults, *estimator, load_weights(opt, nl), oo);
+    std::printf("N: %.4g -> %.4g  (%.3g x) in %.2f s, %zu sweeps, "
+                "%zu analyses\n",
+                res.initial_test_length, res.final_test_length,
+                res.initial_test_length /
+                    std::max(res.final_test_length, 1.0),
+                sw.seconds(), res.history.size(), res.analysis_calls);
+    const std::string out = opt.flag("out", "");
+    if (!out.empty()) {
+        write_weights_file(out, nl, res.weights);
+        std::printf("weights written to %s\n", out.c_str());
+    } else {
+        for (std::size_t i = 0; i < res.weights.size(); ++i)
+            std::printf("%s %.2f\n", nl.node_name(nl.inputs()[i]).c_str(),
+                        res.weights[i]);
+    }
+    return 0;
+}
+
+int cmd_simulate(const cli_options& opt) {
+    const netlist nl = load_circuit(opt.circuit);
+    const auto faults = generate_full_faults(nl);
+    fault_sim_options fo;
+    fo.max_patterns = opt.flag_u64("patterns", 4096);
+    stopwatch sw;
+    const auto res = run_weighted_fault_simulation(
+        nl, faults, load_weights(opt, nl), opt.flag_u64("seed", 1), fo);
+    std::printf("%llu patterns: %zu/%zu faults detected (%.2f%%) in %.2f s\n",
+                static_cast<unsigned long long>(res.patterns_applied),
+                res.detected_count, faults.size(),
+                res.coverage_percent(faults.size()), sw.seconds());
+    return 0;
+}
+
+int cmd_atpg(const cli_options& opt) {
+    const netlist nl = load_circuit(opt.circuit);
+    const auto faults = generate_full_faults(nl);
+    podem_options po;
+    po.backtrack_limit = opt.flag_u64("backtracks", 512);
+    stopwatch sw;
+    const fault_classification cls = classify_faults(nl, faults, po);
+    std::printf("PODEM over %zu faults: %zu detected, %zu redundant, "
+                "%zu aborted in %.2f s\n",
+                faults.size(), cls.detected, cls.redundant, cls.aborted,
+                sw.seconds());
+    const auto compacted = compact_test_set(nl, faults, cls.tests);
+    std::printf("test set: %zu patterns, %zu after compaction\n",
+                cls.tests.size(), compacted.patterns.size());
+    return cls.aborted == 0 ? 0 : 2;
+}
+
+int cmd_selftest(const cli_options& opt) {
+    const netlist nl = load_circuit(opt.circuit);
+    const auto faults = generate_full_faults(nl);
+    bist_session_options bo;
+    bo.patterns = opt.flag_u64("patterns", 4096);
+    const auto res =
+        run_bist_session(nl, faults, load_weights(opt, nl), bo);
+    std::printf("self test: %llu patterns, signature %08llx, coverage "
+                "%.2f%% (aliasing ~%.1e)\n",
+                static_cast<unsigned long long>(res.patterns_applied),
+                static_cast<unsigned long long>(res.golden_signature),
+                res.coverage_percent(), res.aliasing_probability);
+    return 0;
+}
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage: wrpt_cli <stats|lengths|optimize|simulate|atpg|selftest> "
+        "<circuit> [--flag value]...\n"
+        "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
+        "  flags: --confidence --estimator --weights --out --patterns "
+        "--seed --backtracks\n");
+    return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    cli_options opt;
+    opt.command = argv[1];
+    opt.circuit = argv[2];
+    for (int i = 3; i + 1 < argc; i += 2) {
+        const char* name = argv[i];
+        if (std::strncmp(name, "--", 2) != 0) return usage();
+        opt.flags[name + 2] = argv[i + 1];
+    }
+    try {
+        if (opt.command == "stats") return cmd_stats(opt);
+        if (opt.command == "lengths") return cmd_lengths(opt);
+        if (opt.command == "optimize") return cmd_optimize(opt);
+        if (opt.command == "simulate") return cmd_simulate(opt);
+        if (opt.command == "atpg") return cmd_atpg(opt);
+        if (opt.command == "selftest") return cmd_selftest(opt);
+        return usage();
+    } catch (const wrpt::error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
