@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include "fault/fault.h"
+#include "gen/sharded.h"
 #include "gen/suite.h"
 #include "io/weights_io.h"
+#include "opt/optimizer.h"
 #include "prob/detect.h"
 #include "sim/fault_sim.h"
 
@@ -47,7 +49,61 @@ void bm_analysis(benchmark::State& state, const std::string& name) {
         benchmark::Counter::kIsRate);
 }
 
+netlist build_sweep_circuit(const std::string& name) {
+    // The sharded array is the largest circuit gen/ builds: wide, with
+    // input fanout cones confined to a slice pair plus the compactor —
+    // the shape where cone-restricted PREPARE beats full recomputation
+    // asymptotically. The deep suite circuits (S2: near-global cones) are
+    // benchmarked alongside as the unfavorable regime.
+    if (name == "sharded") return make_sharded_comparators(224, 8);
+    return build_suite_circuit(name);
+}
+
+/// One OPTIMIZE sweep (PREPARE + MINIMIZE over every input) with the COP
+/// estimator. `incremental` selects the cone-restricted incremental
+/// engine; the full-recompute baseline re-runs both testability analyses
+/// per input — the paper's stated cost of one coordinate step.
+void bm_optimize_sweep(benchmark::State& state, const std::string& name,
+                       bool incremental) {
+    const netlist nl = build_sweep_circuit(name);
+    const auto faults = generate_full_faults(nl);
+    for (auto _ : state) {
+        cop_detect_estimator analysis;
+        analysis.set_incremental(incremental);
+        // Force the engine regardless of cone fraction so the benchmark
+        // exposes both regimes (sharded: local cones, big win; S2:
+        // near-global cones, the engine loses to the warm full sweep —
+        // which is why the production default is adaptive).
+        if (incremental) analysis.set_engine_cone_limit(1.0);
+        optimize_options opt;
+        opt.max_sweeps = 1;
+        opt.saddle_escape = false;
+        auto res = optimize_weights(nl, faults, analysis, uniform_weights(nl),
+                                    opt);
+        benchmark::DoNotOptimize(res.final_test_length);
+    }
+    state.counters["inputs"] = static_cast<double>(nl.input_count());
+    state.counters["gates"] =
+        static_cast<double>(nl.node_count() - nl.input_count());
+}
+
 }  // namespace
+
+BENCHMARK_CAPTURE(bm_optimize_sweep, sharded_incremental,
+                  std::string("sharded"), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_optimize_sweep, sharded_full, std::string("sharded"),
+                  false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_optimize_sweep, S2_incremental, std::string("S2"), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_optimize_sweep, S2_full, std::string("S2"), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_optimize_sweep, c7552_incremental, std::string("c7552"),
+                  true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_optimize_sweep, c7552_full, std::string("c7552"), false)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_CAPTURE(bm_fault_sim, S1_4k, std::string("S1"), 4096)
     ->Unit(benchmark::kMillisecond);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/gate_eval.h"
 #include "sim/logic_sim.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -9,58 +10,13 @@
 namespace wrpt {
 namespace {
 
-enum class tv : std::uint8_t { zero, one, x };
+// Three-valued logic comes from the shared gate-eval kernel; the local
+// alias keeps the engine body terse.
+using tv = ternary_value;
 
-tv tv_not(tv v) {
-    if (v == tv::x) return tv::x;
-    return v == tv::zero ? tv::one : tv::zero;
-}
+tv tv_not(tv v) { return ternary_algebra{}.not_(v); }
 
 tv tv_from_bool(bool b) { return b ? tv::one : tv::zero; }
-
-/// Ternary gate evaluation over a fanin value array.
-tv eval_ternary(gate_kind kind, const tv* vals, std::size_t count) {
-    switch (kind) {
-        case gate_kind::const0: return tv::zero;
-        case gate_kind::const1: return tv::one;
-        case gate_kind::buf: return vals[0];
-        case gate_kind::not_: return tv_not(vals[0]);
-        case gate_kind::and_:
-        case gate_kind::nand_: {
-            bool any_x = false;
-            for (std::size_t i = 0; i < count; ++i) {
-                if (vals[i] == tv::zero)
-                    return kind == gate_kind::and_ ? tv::zero : tv::one;
-                if (vals[i] == tv::x) any_x = true;
-            }
-            if (any_x) return tv::x;
-            return kind == gate_kind::and_ ? tv::one : tv::zero;
-        }
-        case gate_kind::or_:
-        case gate_kind::nor_: {
-            bool any_x = false;
-            for (std::size_t i = 0; i < count; ++i) {
-                if (vals[i] == tv::one)
-                    return kind == gate_kind::or_ ? tv::one : tv::zero;
-                if (vals[i] == tv::x) any_x = true;
-            }
-            if (any_x) return tv::x;
-            return kind == gate_kind::or_ ? tv::zero : tv::one;
-        }
-        case gate_kind::xor_:
-        case gate_kind::xnor_: {
-            bool parity = (kind == gate_kind::xnor_);
-            for (std::size_t i = 0; i < count; ++i) {
-                if (vals[i] == tv::x) return tv::x;
-                if (vals[i] == tv::one) parity = !parity;
-            }
-            return parity ? tv::one : tv::zero;
-        }
-        case gate_kind::input:
-            throw error("eval_ternary: input has no gate function");
-    }
-    throw error("eval_ternary: unknown kind");
-}
 
 }  // namespace
 
@@ -108,11 +64,11 @@ struct podem_engine::ternary_frame {
             b = g;
         } else {
             for (std::size_t k = 0; k < fi.size(); ++k) vals[k] = good[fi[k]];
-            g = eval_ternary(net.kind(n), vals, fi.size());
+            g = eval_gate(ternary_algebra{}, net.kind(n), vals, fi.size());
             for (std::size_t k = 0; k < fi.size(); ++k) vals[k] = bad[fi[k]];
             if (!f.is_stem() && n == f.where)
                 vals[static_cast<std::size_t>(f.pin)] = stuck;
-            b = eval_ternary(net.kind(n), vals, fi.size());
+            b = eval_gate(ternary_algebra{}, net.kind(n), vals, fi.size());
         }
         if (f.is_stem() && n == f.where) b = stuck;
 

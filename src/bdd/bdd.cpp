@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/gate_eval.h"
 #include "util/error.h"
 
 namespace wrpt {
@@ -124,38 +125,17 @@ std::vector<bdd_manager::ref> build_node_bdds(bdd_manager& mgr,
     require(mgr.var_count() >= nl.input_count(),
             "build_node_bdds: manager has too few variables");
     std::vector<bdd_manager::ref> f(nl.node_count(), bdd_manager::zero());
+    const bdd_algebra alg{&mgr};
+    std::vector<bdd_manager::ref> args;
     for (node_id n = 0; n < nl.node_count(); ++n) {
-        const auto fi = nl.fanins(n);
-        switch (nl.kind(n)) {
-            case gate_kind::input:
-                f[n] = mgr.var(static_cast<std::uint32_t>(nl.input_index(n)));
-                break;
-            case gate_kind::const0: f[n] = bdd_manager::zero(); break;
-            case gate_kind::const1: f[n] = bdd_manager::one(); break;
-            case gate_kind::buf: f[n] = f[fi[0]]; break;
-            case gate_kind::not_: f[n] = mgr.lnot(f[fi[0]]); break;
-            case gate_kind::and_:
-            case gate_kind::nand_: {
-                bdd_manager::ref acc = bdd_manager::one();
-                for (node_id x : fi) acc = mgr.land(acc, f[x]);
-                f[n] = (nl.kind(n) == gate_kind::nand_) ? mgr.lnot(acc) : acc;
-                break;
-            }
-            case gate_kind::or_:
-            case gate_kind::nor_: {
-                bdd_manager::ref acc = bdd_manager::zero();
-                for (node_id x : fi) acc = mgr.lor(acc, f[x]);
-                f[n] = (nl.kind(n) == gate_kind::nor_) ? mgr.lnot(acc) : acc;
-                break;
-            }
-            case gate_kind::xor_:
-            case gate_kind::xnor_: {
-                bdd_manager::ref acc = bdd_manager::zero();
-                for (node_id x : fi) acc = mgr.lxor(acc, f[x]);
-                f[n] = (nl.kind(n) == gate_kind::xnor_) ? mgr.lnot(acc) : acc;
-                break;
-            }
+        if (nl.kind(n) == gate_kind::input) {
+            f[n] = mgr.var(static_cast<std::uint32_t>(nl.input_index(n)));
+            continue;
         }
+        const auto fi = nl.fanins(n);
+        args.resize(fi.size());
+        for (std::size_t k = 0; k < fi.size(); ++k) args[k] = f[fi[k]];
+        f[n] = eval_gate(alg, nl.kind(n), args.data(), args.size());
     }
     return f;
 }

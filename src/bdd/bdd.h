@@ -68,6 +68,20 @@ private:
     std::unordered_map<std::uint64_t, ref> ite_cache_;
 };
 
+/// Gate-eval algebra over BDD references (see core/gate_eval.h): lets the
+/// exact analyses evaluate gates through the same single kernel as
+/// simulation and COP instead of a private switch.
+struct bdd_algebra {
+    using value_type = bdd_manager::ref;
+    bdd_manager* mgr;
+    value_type zero() const { return bdd_manager::zero(); }
+    value_type one() const { return bdd_manager::one(); }
+    value_type not_(value_type a) const { return mgr->lnot(a); }
+    value_type and_(value_type a, value_type b) const { return mgr->land(a, b); }
+    value_type or_(value_type a, value_type b) const { return mgr->lor(a, b); }
+    value_type xor_(value_type a, value_type b) const { return mgr->lxor(a, b); }
+};
+
 /// Build one BDD per netlist node (topological composition). Variable v is
 /// the v-th primary input. Throws budget_exhausted on blowup.
 std::vector<bdd_manager::ref> build_node_bdds(bdd_manager& mgr,

@@ -1,0 +1,151 @@
+// The single gate-evaluation kernel shared by every analysis layer.
+//
+// Each layer interprets the same gate structure over a different algebra:
+// 64-pattern machine words (simulation), scalar booleans (reference paths),
+// probabilities under the independence assumption (COP), ternary values
+// (PODEM), BDD references (exact analysis). eval_gate() holds the one
+// switch over gate_kind; an algebra supplies the carrier type and the
+// zero/one/not/and/or/xor operations. Every former per-layer gate switch
+// (logic_sim, signal_prob, podem, detect/bdd) now instantiates this
+// template instead of repeating the decomposition.
+//
+// Inverting kinds (nand/nor/xnor) are evaluated as the monotone/parity body
+// folded left-to-right over the fanins, inverted once at the root. The
+// left fold fixes the association order, so two layers using the same
+// algebra produce bit-identical results — the property the incremental COP
+// engine's equivalence guarantee rests on.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/gate.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+/// 64 patterns per value, one bit each.
+struct word_algebra {
+    using value_type = std::uint64_t;
+    value_type zero() const { return 0; }
+    value_type one() const { return ~0ULL; }
+    value_type not_(value_type a) const { return ~a; }
+    value_type and_(value_type a, value_type b) const { return a & b; }
+    value_type or_(value_type a, value_type b) const { return a | b; }
+    value_type xor_(value_type a, value_type b) const { return a ^ b; }
+};
+
+/// Scalar booleans (reference semantics for tests).
+struct bool_algebra {
+    using value_type = bool;
+    value_type zero() const { return false; }
+    value_type one() const { return true; }
+    value_type not_(value_type a) const { return !a; }
+    value_type and_(value_type a, value_type b) const { return a && b; }
+    value_type or_(value_type a, value_type b) const { return a || b; }
+    value_type xor_(value_type a, value_type b) const { return a != b; }
+};
+
+/// Signal probabilities under the independence assumption — the paper's
+/// arithmetic embedding rules (2)-(4): P(not x) = 1-P(x), P(x and y) =
+/// P(x)P(y), xor combines as p + q - 2pq.
+struct cop_algebra {
+    using value_type = double;
+    value_type zero() const { return 0.0; }
+    value_type one() const { return 1.0; }
+    value_type not_(value_type a) const { return 1.0 - a; }
+    value_type and_(value_type a, value_type b) const { return a * b; }
+    value_type or_(value_type a, value_type b) const { return a + b - a * b; }
+    value_type xor_(value_type a, value_type b) const {
+        return a + b - 2.0 * a * b;
+    }
+};
+
+/// Three-valued logic for test generation (0, 1, unknown).
+enum class ternary_value : std::uint8_t { zero, one, x };
+
+struct ternary_algebra {
+    using value_type = ternary_value;
+    value_type zero() const { return ternary_value::zero; }
+    value_type one() const { return ternary_value::one; }
+    value_type not_(value_type a) const {
+        if (a == ternary_value::x) return ternary_value::x;
+        return a == ternary_value::zero ? ternary_value::one
+                                        : ternary_value::zero;
+    }
+    value_type and_(value_type a, value_type b) const {
+        if (a == ternary_value::zero || b == ternary_value::zero)
+            return ternary_value::zero;
+        if (a == ternary_value::x || b == ternary_value::x)
+            return ternary_value::x;
+        return ternary_value::one;
+    }
+    value_type or_(value_type a, value_type b) const {
+        if (a == ternary_value::one || b == ternary_value::one)
+            return ternary_value::one;
+        if (a == ternary_value::x || b == ternary_value::x)
+            return ternary_value::x;
+        return ternary_value::zero;
+    }
+    value_type xor_(value_type a, value_type b) const {
+        if (a == ternary_value::x || b == ternary_value::x)
+            return ternary_value::x;
+        return a == b ? ternary_value::zero : ternary_value::one;
+    }
+};
+
+/// Evaluate one gate over `count` fanin values produced by `arg(i)` —
+/// the single gate_kind switch every layer shares. The algebra is passed
+/// by const reference so stateful algebras (a BDD manager wrapper) work
+/// alongside the stateless ones above. The getter form lets hot paths
+/// read fanin values straight out of their value arrays without staging
+/// them in a scratch buffer.
+template <class Algebra, class ArgGetter>
+typename Algebra::value_type eval_gate_with(const Algebra& alg, gate_kind kind,
+                                            ArgGetter&& arg,
+                                            std::size_t count) {
+    using value = typename Algebra::value_type;
+    switch (kind) {
+        case gate_kind::input:
+            // Inputs carry externally assigned values; evaluating one is a
+            // bug in the caller.
+            throw error("eval_gate: primary input has no gate function");
+        case gate_kind::const0: return alg.zero();
+        case gate_kind::const1: return alg.one();
+        case gate_kind::buf: return arg(0);
+        case gate_kind::not_: return alg.not_(arg(0));
+        case gate_kind::and_:
+        case gate_kind::nand_: {
+            value acc = alg.one();
+            for (std::size_t i = 0; i < count; ++i)
+                acc = alg.and_(acc, arg(i));
+            return kind == gate_kind::nand_ ? alg.not_(acc) : acc;
+        }
+        case gate_kind::or_:
+        case gate_kind::nor_: {
+            value acc = alg.zero();
+            for (std::size_t i = 0; i < count; ++i)
+                acc = alg.or_(acc, arg(i));
+            return kind == gate_kind::nor_ ? alg.not_(acc) : acc;
+        }
+        case gate_kind::xor_:
+        case gate_kind::xnor_: {
+            value acc = alg.zero();
+            for (std::size_t i = 0; i < count; ++i)
+                acc = alg.xor_(acc, arg(i));
+            return kind == gate_kind::xnor_ ? alg.not_(acc) : acc;
+        }
+    }
+    throw error("eval_gate: unknown gate kind");
+}
+
+/// Array form: fanin values staged contiguously in `args`.
+template <class Algebra>
+typename Algebra::value_type eval_gate(const Algebra& alg, gate_kind kind,
+                                       const typename Algebra::value_type* args,
+                                       std::size_t count) {
+    return eval_gate_with(alg, kind, [args](std::size_t i) { return args[i]; },
+                          count);
+}
+
+}  // namespace wrpt

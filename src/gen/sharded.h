@@ -1,0 +1,27 @@
+// Sharded comparator array with a parity compactor — the wide, locally
+// coned circuit shape that dominates large BIST designs: many independent
+// slices tested under one weighted-random session, compacted into a
+// signature.
+//
+// Each slice compares a private a-bus against a b-bus shared with its
+// neighbor slice (mild reconvergence); the slice equality bits feed one
+// global xor compactor. Equality comparison is random-pattern resistant
+// (the paper's S1 flavor), so weight optimization is meaningful, and every
+// input's fanout cone is confined to its slice pair plus the compactor
+// tail — the O(cone) regime the incremental COP engine targets, in
+// contrast to the near-global cones of the deep S2.
+
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace wrpt {
+
+/// Build `slices` comparator slices of `width` bits each. Adjacent slice
+/// pairs share one b-bus. Nodes ~= slices * (1.5 * width + 2 * width - 1);
+/// inputs = slices * width + (slices/2) * width.
+netlist make_sharded_comparators(std::size_t slices, std::size_t width);
+
+}  // namespace wrpt

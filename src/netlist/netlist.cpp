@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "core/gate_eval.h"
 #include "util/error.h"
 
 namespace wrpt {
@@ -54,43 +55,19 @@ bool gate_kind_from_string(std::string_view text, gate_kind& out) {
 
 std::uint64_t eval_gate_words(gate_kind kind, const std::uint64_t* fanins,
                               std::size_t count) {
-    switch (kind) {
-        case gate_kind::input:
-            // Inputs carry externally assigned words; evaluating one is a bug.
-            throw error("eval_gate_words: primary input has no gate function");
-        case gate_kind::const0: return 0;
-        case gate_kind::const1: return ~0ULL;
-        case gate_kind::buf: return fanins[0];
-        case gate_kind::not_: return ~fanins[0];
-        case gate_kind::and_:
-        case gate_kind::nand_: {
-            std::uint64_t acc = ~0ULL;
-            for (std::size_t i = 0; i < count; ++i) acc &= fanins[i];
-            return kind == gate_kind::and_ ? acc : ~acc;
-        }
-        case gate_kind::or_:
-        case gate_kind::nor_: {
-            std::uint64_t acc = 0;
-            for (std::size_t i = 0; i < count; ++i) acc |= fanins[i];
-            return kind == gate_kind::or_ ? acc : ~acc;
-        }
-        case gate_kind::xor_:
-        case gate_kind::xnor_: {
-            std::uint64_t acc = 0;
-            for (std::size_t i = 0; i < count; ++i) acc ^= fanins[i];
-            return kind == gate_kind::xor_ ? acc : ~acc;
-        }
-    }
-    throw error("eval_gate_words: unknown gate kind");
+    return eval_gate(word_algebra{}, kind, fanins, count);
 }
 
 bool eval_gate_bool(gate_kind kind, const bool* fanins, std::size_t count) {
-    std::vector<std::uint64_t> words(count);
-    for (std::size_t i = 0; i < count; ++i) words[i] = fanins[i] ? ~0ULL : 0ULL;
-    return (eval_gate_words(kind, words.data(), count) & 1ULL) != 0;
+    return eval_gate(bool_algebra{}, kind, fanins, count);
 }
 
 // --- netlist -----------------------------------------------------------------
+
+std::uint64_t netlist::next_revision() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 node_id netlist::new_node(gate_kind kind, std::span<const node_id> fanins,
                           const std::string& name) {
@@ -110,7 +87,8 @@ node_id netlist::new_node(gate_kind kind, std::span<const node_id> fanins,
     for (node_id f : fanins) lvl = std::max(lvl, levels_[f] + 1);
     levels_.push_back(lvl);
     node_names_.push_back(name);
-    fanouts_built_ = false;
+    fanouts_cache_.built.store(false, std::memory_order_release);
+    revision_ = next_revision();
     return id;
 }
 
@@ -162,6 +140,7 @@ void netlist::mark_output(node_id node, const std::string& name) {
         require(nm != name, "netlist::mark_output: duplicate output name");
     outputs_.push_back(node);
     output_names_.emplace(node, name);
+    revision_ = next_revision();
 }
 
 node_id netlist::add_tree(gate_kind kind, std::span<const node_id> leaves) {
@@ -234,24 +213,26 @@ std::size_t netlist::depth() const {
 }
 
 void netlist::ensure_fanouts() const {
-    if (fanouts_built_) return;
-    fanout_offset_.assign(node_count() + 1, 0);
+    if (fanouts_cache_.built.load(std::memory_order_acquire)) return;
+    std::scoped_lock lock(fanouts_cache_.build_mutex);
+    if (fanouts_cache_.built.load(std::memory_order_relaxed)) return;
+    auto& offset = fanouts_cache_.offset;
+    auto& pool = fanouts_cache_.pool;
+    offset.assign(node_count() + 1, 0);
     for (node_id n = 0; n < node_count(); ++n)
-        for (node_id f : fanins(n)) ++fanout_offset_[f + 1];
-    for (std::size_t i = 1; i < fanout_offset_.size(); ++i)
-        fanout_offset_[i] += fanout_offset_[i - 1];
-    fanout_pool_.assign(fanin_pool_.size(), 0);
-    std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
-                                      fanout_offset_.end() - 1);
+        for (node_id f : fanins(n)) ++offset[f + 1];
+    for (std::size_t i = 1; i < offset.size(); ++i) offset[i] += offset[i - 1];
+    pool.assign(fanin_pool_.size(), 0);
+    std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
     for (node_id n = 0; n < node_count(); ++n)
-        for (node_id f : fanins(n)) fanout_pool_[cursor[f]++] = n;
-    fanouts_built_ = true;
+        for (node_id f : fanins(n)) pool[cursor[f]++] = n;
+    fanouts_cache_.built.store(true, std::memory_order_release);
 }
 
 std::span<const node_id> netlist::fanouts(node_id n) const {
     ensure_fanouts();
-    return {fanout_pool_.data() + fanout_offset_[n],
-            fanout_pool_.data() + fanout_offset_[n + 1]};
+    return {fanouts_cache_.pool.data() + fanouts_cache_.offset[n],
+            fanouts_cache_.pool.data() + fanouts_cache_.offset[n + 1]};
 }
 
 std::vector<node_id> netlist::fanin_cone(node_id n) const {

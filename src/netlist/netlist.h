@@ -7,7 +7,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -67,6 +69,12 @@ public:
     const std::string& name() const { return name_; }
     void set_name(std::string n) { name_ = std::move(n); }
 
+    /// Structural revision stamp: process-unique, re-stamped on every
+    /// structural mutation (copies keep their source's stamp — they are
+    /// structurally identical). Lets analysis caches key on netlist
+    /// identity without address-reuse or in-place-mutation hazards.
+    std::uint64_t revision() const { return revision_; }
+
     std::size_t node_count() const { return kinds_.size(); }
     gate_kind kind(node_id n) const { return kinds_[n]; }
     std::span<const node_id> fanins(node_id n) const;
@@ -116,8 +124,10 @@ private:
     void ensure_fanouts() const;
     node_id new_node(gate_kind kind, std::span<const node_id> fanins,
                      const std::string& name);
+    static std::uint64_t next_revision();
 
     std::string name_;
+    std::uint64_t revision_ = next_revision();
 
     // Structure of arrays over node id.
     std::vector<gate_kind> kinds_;
@@ -132,10 +142,52 @@ private:
     std::unordered_map<std::string, node_id> by_name_;
     std::unordered_map<node_id, std::size_t> input_index_;
 
-    // Lazy fanout structure.
-    mutable bool fanouts_built_ = false;
-    mutable std::vector<std::uint32_t> fanout_offset_;
-    mutable std::vector<node_id> fanout_pool_;
+    // Lazy fanout structure with a double-checked build: const accessors
+    // (fanouts, fanout_cone, stats) may be called concurrently — the
+    // block-parallel fault simulator does — so the build is guarded by a
+    // mutex behind an atomic fast path. Mutation (add_*) stays
+    // single-threaded by contract and just invalidates the flag.
+    // The wrapper restores copy/move for netlist (atomics have neither).
+    struct lazy_fanouts {
+        std::vector<std::uint32_t> offset;
+        std::vector<node_id> pool;
+        std::atomic<bool> built{false};
+        mutable std::mutex build_mutex;
+
+        lazy_fanouts() = default;
+        // Copying locks the source: copying a netlist is a const operation
+        // and may race with a concurrent lazy build on the source.
+        lazy_fanouts(const lazy_fanouts& other) {
+            std::scoped_lock lock(other.build_mutex);
+            offset = other.offset;
+            pool = other.pool;
+            built.store(other.built.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        }
+        // Moving mutates the source, which the caller must already have
+        // exclusive access to; no locking needed.
+        lazy_fanouts(lazy_fanouts&& other) noexcept
+            : offset(std::move(other.offset)),
+              pool(std::move(other.pool)),
+              built(other.built.load(std::memory_order_relaxed)) {}
+        lazy_fanouts& operator=(const lazy_fanouts& other) {
+            if (this == &other) return *this;
+            std::scoped_lock lock(other.build_mutex);
+            offset = other.offset;
+            pool = other.pool;
+            built.store(other.built.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+            return *this;
+        }
+        lazy_fanouts& operator=(lazy_fanouts&& other) noexcept {
+            offset = std::move(other.offset);
+            pool = std::move(other.pool);
+            built.store(other.built.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+            return *this;
+        }
+    };
+    mutable lazy_fanouts fanouts_cache_;
 };
 
 }  // namespace wrpt

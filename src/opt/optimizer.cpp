@@ -157,14 +157,15 @@ optimize_result optimize_weights(const netlist& nl,
             // (For an exact estimator p_f is affine in x_i — Lemma 1 — so
             // any two points determine it; for analytic estimators the
             // secant over [weight_min, weight_max] is the better fit.)
+            // The single-input query shape lets estimators with
+            // incremental state (COP over a circuit_view) answer in
+            // O(fanout cone of input i) instead of O(nodes).
             const double lo = options.weight_min;
             const double hi = options.weight_max;
-            weight_vector y0 = res.weights;
-            y0[i] = lo;
-            weight_vector y1 = res.weights;
-            y1[i] = hi;
-            const std::vector<double> p_lo = analysis.estimate(nl, hard, y0);
-            const std::vector<double> p_hi = analysis.estimate(nl, hard, y1);
+            const std::vector<double> p_lo =
+                analysis.estimate_input_delta(nl, hard, res.weights, i, lo);
+            const std::vector<double> p_hi =
+                analysis.estimate_input_delta(nl, hard, res.weights, i, hi);
             res.analysis_calls += 2;
 
             std::vector<affine_fault> f01(hard.size());

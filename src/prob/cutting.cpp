@@ -2,26 +2,37 @@
 
 #include <algorithm>
 
+#include "core/gate_eval.h"
 #include "util/error.h"
 
 namespace wrpt {
 namespace {
 
-probability_interval interval_not(probability_interval a) {
-    return {1.0 - a.high, 1.0 - a.low};
-}
-
-probability_interval interval_xor2(probability_interval a,
-                                   probability_interval b) {
-    // f(p,q) = p + q - 2pq is bilinear: extrema at the corners.
-    const double c[4] = {
-        a.low + b.low - 2.0 * a.low * b.low,
-        a.low + b.high - 2.0 * a.low * b.high,
-        a.high + b.low - 2.0 * a.high * b.low,
-        a.high + b.high - 2.0 * a.high * b.high,
-    };
-    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
-}
+/// Gate-eval algebra over probability intervals (exact on trees). and/or
+/// are monotone in both operands, so endpoint-wise evaluation is exact;
+/// xor is bilinear, so its extrema sit at the corners.
+struct interval_algebra {
+    using value_type = probability_interval;
+    value_type zero() const { return {0.0, 0.0}; }
+    value_type one() const { return {1.0, 1.0}; }
+    value_type not_(value_type a) const { return {1.0 - a.high, 1.0 - a.low}; }
+    value_type and_(value_type a, value_type b) const {
+        return {a.low * b.low, a.high * b.high};
+    }
+    value_type or_(value_type a, value_type b) const {
+        return {1.0 - (1.0 - a.low) * (1.0 - b.low),
+                1.0 - (1.0 - a.high) * (1.0 - b.high)};
+    }
+    value_type xor_(value_type a, value_type b) const {
+        const double c[4] = {
+            a.low + b.low - 2.0 * a.low * b.low,
+            a.low + b.high - 2.0 * a.low * b.high,
+            a.high + b.low - 2.0 * a.high * b.low,
+            a.high + b.high - 2.0 * a.high * b.high,
+        };
+        return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+    }
+};
 
 }  // namespace
 
@@ -37,9 +48,15 @@ std::vector<probability_interval> cutting_signal_bounds(
     // probability. (Keeping "the first branch" live is NOT sound: for
     // y = xor(s, s) it would yield [p, 1-p], excluding the true value 0.)
     std::vector<probability_interval> iv(nl.node_count());
+    std::vector<probability_interval> pin;
     for (node_id n = 0; n < nl.node_count(); ++n) {
+        if (nl.kind(n) == gate_kind::input) {
+            const double w = weights[nl.input_index(n)];
+            iv[n] = {w, w};
+            continue;
+        }
         const auto fi = nl.fanins(n);
-        std::vector<probability_interval> pin(fi.size());
+        pin.resize(fi.size());
         for (std::size_t k = 0; k < fi.size(); ++k) {
             const node_id d = fi[k];
             if (nl.fanout_count(d) > 1) {
@@ -48,44 +65,8 @@ std::vector<probability_interval> cutting_signal_bounds(
             }
             pin[k] = iv[d];
         }
-        switch (nl.kind(n)) {
-            case gate_kind::input: {
-                const double w = weights[nl.input_index(n)];
-                iv[n] = {w, w};
-                break;
-            }
-            case gate_kind::const0: iv[n] = {0.0, 0.0}; break;
-            case gate_kind::const1: iv[n] = {1.0, 1.0}; break;
-            case gate_kind::buf: iv[n] = pin[0]; break;
-            case gate_kind::not_: iv[n] = interval_not(pin[0]); break;
-            case gate_kind::and_:
-            case gate_kind::nand_: {
-                probability_interval acc{1.0, 1.0};
-                for (const auto& x : pin) {
-                    acc.low *= x.low;
-                    acc.high *= x.high;
-                }
-                iv[n] = (nl.kind(n) == gate_kind::nand_) ? interval_not(acc) : acc;
-                break;
-            }
-            case gate_kind::or_:
-            case gate_kind::nor_: {
-                probability_interval acc{0.0, 0.0};
-                for (const auto& x : pin) {
-                    acc.low = 1.0 - (1.0 - acc.low) * (1.0 - x.low);
-                    acc.high = 1.0 - (1.0 - acc.high) * (1.0 - x.high);
-                }
-                iv[n] = (nl.kind(n) == gate_kind::nor_) ? interval_not(acc) : acc;
-                break;
-            }
-            case gate_kind::xor_:
-            case gate_kind::xnor_: {
-                probability_interval acc{0.0, 0.0};
-                for (const auto& x : pin) acc = interval_xor2(acc, x);
-                iv[n] = (nl.kind(n) == gate_kind::xnor_) ? interval_not(acc) : acc;
-                break;
-            }
-        }
+        iv[n] = eval_gate(interval_algebra{}, nl.kind(n), pin.data(),
+                          pin.size());
     }
     return iv;
 }

@@ -3,6 +3,9 @@
 #include <bit>
 
 #include "bdd/bdd.h"
+#include "core/circuit_view.h"
+#include "core/gate_eval.h"
+#include "prob/cop_engine.h"
 #include "prob/observability.h"
 #include "prob/signal_prob.h"
 #include "prob/stafan.h"
@@ -12,23 +15,99 @@
 
 namespace wrpt {
 
+cop_detect_estimator::cop_detect_estimator() = default;
+cop_detect_estimator::~cop_detect_estimator() = default;
+
+const circuit_view& cop_detect_estimator::ensure_view(const netlist& nl,
+                                                      bool engine_structures) {
+    // Cache key is the netlist's structural revision stamp — exact under
+    // address reuse and in-place mutation. The cone/transpose arrays only
+    // exist for the incremental engine; the full-recompute path compiles
+    // (and pays for) the plain view alone.
+    const bool stale = !view_ || cached_revision_ != nl.revision() ||
+                       (engine_structures && !view_->has_input_cones());
+    if (stale) {
+        circuit_view::compile_options co;
+        co.input_cones = engine_structures;
+        co.driven_pins = engine_structures;
+        view_ = std::make_unique<circuit_view>(circuit_view::compile(nl, co));
+        engine_.reset();
+        cached_revision_ = nl.revision();
+    }
+    return *view_;
+}
+
+bool cop_detect_estimator::engine_applies(const netlist& nl) {
+    if (!incremental_) return false;
+    return ensure_view(nl, true).mean_cone_fraction() <= engine_cone_limit_;
+}
+
+cop_engine& cop_detect_estimator::ensure_engine(const netlist& nl,
+                                                const weight_vector& weights) {
+    require(weights.size() == nl.input_count(),
+            "cop estimator: weight count mismatch");
+    ensure_view(nl, true);
+    if (engine_) {
+        const weight_vector& cur = engine_->weights();
+        std::size_t diffs = 0;
+        for (std::size_t i = 0; i < weights.size(); ++i)
+            if (cur[i] != weights[i]) ++diffs;
+        if (diffs == 0) return *engine_;
+        // The optimizer moves one coordinate at a time; follow small moves
+        // incrementally, rebuild on wholesale changes (starting vectors,
+        // saddle probes) where a fresh full analysis is cheaper.
+        if (diffs <= std::max<std::size_t>(4, weights.size() / 8)) {
+            for (std::size_t i = 0; i < weights.size(); ++i)
+                if (cur[i] != weights[i]) engine_->set_input(i, weights[i]);
+            engine_->commit();
+            return *engine_;
+        }
+    }
+    engine_ = std::make_unique<cop_engine>(*view_, weights);
+    return *engine_;
+}
+
 std::vector<double> cop_detect_estimator::estimate(
     const netlist& nl, const std::vector<fault>& faults,
     const weight_vector& weights) {
-    const std::vector<double> p = cop_signal_probabilities(nl, weights);
-    const observability_result obs = cop_observabilities(nl, p);
-
     std::vector<double> out;
     out.reserve(faults.size());
-    for (const fault& f : faults) {
-        const node_id site = fault_site_driver(nl, f);
-        // Activation: the line must carry the opposite of the stuck value.
-        const double act = stuck_value(f.value) ? 1.0 - p[site] : p[site];
-        const double o =
-            f.is_stem() ? obs.stem[f.where]
-                        : obs.pin_obs(f.where, static_cast<std::size_t>(f.pin));
-        out.push_back(act * o);
+    if (!engine_applies(nl)) {
+        // Full-recompute path (the benchmark baseline, and the fast path
+        // for circuits with near-global cones): both testability sweeps
+        // re-run per call over the cached view.
+        const circuit_view& cv = ensure_view(nl, false);
+        const std::vector<double> p = cop_signal_probabilities(cv, weights);
+        const observability_result obs = cop_observabilities(cv, p);
+        for (const fault& f : faults) {
+            const node_id site = fault_site_driver(nl, f);
+            const double act = stuck_value(f.value) ? 1.0 - p[site] : p[site];
+            const double o =
+                f.is_stem()
+                    ? obs.stem[f.where]
+                    : obs.pin_obs(f.where, static_cast<std::size_t>(f.pin));
+            out.push_back(act * o);
+        }
+        return out;
     }
+    cop_engine& engine = ensure_engine(nl, weights);
+    for (const fault& f : faults) out.push_back(engine.fault_probability(f));
+    return out;
+}
+
+std::vector<double> cop_detect_estimator::estimate_input_delta(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& base, std::size_t input, double value) {
+    if (!engine_applies(nl))
+        return detect_estimator::estimate_input_delta(nl, faults, base, input,
+                                                      value);
+    cop_engine& engine = ensure_engine(nl, base);
+    const cop_engine::checkpoint ck = engine.mark();
+    engine.set_input(input, value);
+    std::vector<double> out;
+    out.reserve(faults.size());
+    for (const fault& f : faults) out.push_back(engine.fault_probability(f));
+    engine.rollback(ck);
     return out;
 }
 
@@ -53,7 +132,7 @@ std::vector<double> exact_detect_estimator::estimate(
     const weight_vector& weights) {
     require(weights.size() == nl.input_count(),
             "exact estimator: weight count mismatch");
-    bool cached = cached_nl_ == &nl;
+    bool cached = cached_revision_ == nl.revision() && mgr_ != nullptr;
     if (cached) {
         for (const fault& f : faults) {
             if (!ref_by_fault_.contains(fault_cache_key(f))) {
@@ -76,12 +155,14 @@ void exact_detect_estimator::rebuild(const netlist& nl,
     mgr_ = std::make_unique<bdd_manager>(
         static_cast<std::uint32_t>(nl.input_count()), node_limit_);
     bdd_manager& mgr = *mgr_;
+    const bdd_algebra alg{&mgr};
     const std::vector<bdd_manager::ref> good = build_node_bdds(mgr, nl);
 
     ref_by_fault_.clear();
     ref_by_fault_.reserve(faults.size() * 2);
     std::vector<bdd_manager::ref> fval(nl.node_count());
     std::vector<bool> changed(nl.node_count());
+    std::vector<bdd_manager::ref> args;
 
     for (const fault& f : faults) {
         // Rebuild the fanout cone of the fault with the line forced.
@@ -89,49 +170,23 @@ void exact_detect_estimator::rebuild(const netlist& nl,
         const bdd_manager::ref forced =
             stuck_value(f.value) ? bdd_manager::one() : bdd_manager::zero();
 
-        node_id start;
+        const node_id start = f.where;
         if (f.is_stem()) {
-            start = f.where;
             fval[start] = forced;
         } else {
-            start = f.where;
             // Re-evaluate the gate with pin f.pin forced.
             const auto fi = nl.fanins(start);
-            std::vector<bdd_manager::ref> args(fi.size());
+            args.resize(fi.size());
             for (std::size_t k = 0; k < fi.size(); ++k) args[k] = good[fi[k]];
             args[static_cast<std::size_t>(f.pin)] = forced;
-            fval[start] = [&] {
-                bdd_manager::ref acc;
-                switch (nl.kind(start)) {
-                    case gate_kind::buf: return args[0];
-                    case gate_kind::not_: return mgr.lnot(args[0]);
-                    case gate_kind::and_:
-                    case gate_kind::nand_:
-                        acc = bdd_manager::one();
-                        for (auto a : args) acc = mgr.land(acc, a);
-                        return nl.kind(start) == gate_kind::nand_ ? mgr.lnot(acc)
-                                                                  : acc;
-                    case gate_kind::or_:
-                    case gate_kind::nor_:
-                        acc = bdd_manager::zero();
-                        for (auto a : args) acc = mgr.lor(acc, a);
-                        return nl.kind(start) == gate_kind::nor_ ? mgr.lnot(acc)
-                                                                 : acc;
-                    case gate_kind::xor_:
-                    case gate_kind::xnor_:
-                        acc = bdd_manager::zero();
-                        for (auto a : args) acc = mgr.lxor(acc, a);
-                        return nl.kind(start) == gate_kind::xnor_ ? mgr.lnot(acc)
-                                                                  : acc;
-                    default:
-                        throw error("exact estimator: fault pin on pinless node");
-                }
-            }();
+            fval[start] =
+                eval_gate(alg, nl.kind(start), args.data(), args.size());
         }
         changed[start] = true;
 
         for (node_id n = start + 1; n < nl.node_count(); ++n) {
             const auto fi = nl.fanins(n);
+            if (fi.empty()) continue;  // inputs/consts unaffected
             bool touched = false;
             for (node_id x : fi)
                 if (changed[x]) {
@@ -139,31 +194,13 @@ void exact_detect_estimator::rebuild(const netlist& nl,
                     break;
                 }
             if (!touched) continue;
-            auto arg = [&](node_id x) { return changed[x] ? fval[x] : good[x]; };
-            bdd_manager::ref acc;
-            switch (nl.kind(n)) {
-                case gate_kind::buf: acc = arg(fi[0]); break;
-                case gate_kind::not_: acc = mgr.lnot(arg(fi[0])); break;
-                case gate_kind::and_:
-                case gate_kind::nand_:
-                    acc = bdd_manager::one();
-                    for (node_id x : fi) acc = mgr.land(acc, arg(x));
-                    if (nl.kind(n) == gate_kind::nand_) acc = mgr.lnot(acc);
-                    break;
-                case gate_kind::or_:
-                case gate_kind::nor_:
-                    acc = bdd_manager::zero();
-                    for (node_id x : fi) acc = mgr.lor(acc, arg(x));
-                    if (nl.kind(n) == gate_kind::nor_) acc = mgr.lnot(acc);
-                    break;
-                case gate_kind::xor_:
-                case gate_kind::xnor_:
-                    acc = bdd_manager::zero();
-                    for (node_id x : fi) acc = mgr.lxor(acc, arg(x));
-                    if (nl.kind(n) == gate_kind::xnor_) acc = mgr.lnot(acc);
-                    break;
-                default: continue;  // inputs/consts unaffected
+            args.resize(fi.size());
+            for (std::size_t k = 0; k < fi.size(); ++k) {
+                const node_id x = fi[k];
+                args[k] = changed[x] ? fval[x] : good[x];
             }
+            const bdd_manager::ref acc =
+                eval_gate(alg, nl.kind(n), args.data(), args.size());
             if (acc != good[n]) {
                 fval[n] = acc;
                 changed[n] = true;
@@ -175,7 +212,7 @@ void exact_detect_estimator::rebuild(const netlist& nl,
             if (changed[o]) detect = mgr.lor(detect, mgr.lxor(good[o], fval[o]));
         ref_by_fault_[fault_cache_key(f)] = detect;
     }
-    cached_nl_ = &nl;
+    cached_revision_ = nl.revision();
 }
 
 std::vector<double> mc_detect_estimator::estimate(

@@ -39,15 +39,64 @@ public:
     virtual std::vector<double> estimate(const netlist& nl,
                                          const std::vector<fault>& faults,
                                          const weight_vector& weights) = 0;
+
+    /// Detection probabilities at `base` with only input `input` moved to
+    /// `value` — the optimizer's PREPARE query shape (two calls per
+    /// coordinate). The default materializes the perturbed vector and runs
+    /// a full estimate(); engines with incremental state override it.
+    virtual std::vector<double> estimate_input_delta(
+        const netlist& nl, const std::vector<fault>& faults,
+        const weight_vector& base, std::size_t input, double value) {
+        weight_vector w = base;
+        w[input] = value;
+        return estimate(nl, faults, w);
+    }
 };
 
 /// Analytic estimator: p_f = P(site carries the error value) * obs(line).
+///
+/// Keeps a compiled circuit_view and an incremental cop_engine for the
+/// last (netlist, weights) pair, so PREPARE's single-input probes cost
+/// O(fanout cone of the input) instead of O(nodes) — see cop_engine.h.
 class cop_detect_estimator final : public detect_estimator {
 public:
+    cop_detect_estimator();
+    ~cop_detect_estimator() override;
     std::string name() const override { return "cop"; }
     std::vector<double> estimate(const netlist& nl,
                                  const std::vector<fault>& faults,
                                  const weight_vector& weights) override;
+    std::vector<double> estimate_input_delta(const netlist& nl,
+                                             const std::vector<fault>& faults,
+                                             const weight_vector& base,
+                                             std::size_t input,
+                                             double value) override;
+
+    /// Disable the incremental path (full recompute per query) — the
+    /// benchmark baseline for the PREPARE speedup.
+    void set_incremental(bool on) { incremental_ = on; }
+
+    /// The engine only pays off when input cones are small relative to
+    /// the circuit (a full COP re-analysis over a warm view is a tight
+    /// linear sweep that event-driven updates cannot beat on near-global
+    /// cones — S2-like deep circuits). Circuits whose mean cone fraction
+    /// exceeds this limit use the full-recompute path even in
+    /// incremental mode. 1.0 forces the engine everywhere (benchmarks,
+    /// equivalence tests).
+    void set_engine_cone_limit(double limit) { engine_cone_limit_ = limit; }
+
+private:
+    const class circuit_view& ensure_view(const netlist& nl,
+                                          bool engine_structures);
+    class cop_engine& ensure_engine(const netlist& nl,
+                                    const weight_vector& weights);
+    bool engine_applies(const netlist& nl);
+
+    bool incremental_ = true;
+    double engine_cone_limit_ = 0.15;
+    std::uint64_t cached_revision_ = 0;
+    std::unique_ptr<class circuit_view> view_;
+    std::unique_ptr<class cop_engine> engine_;
 };
 
 /// Exact estimator via BDD Boolean difference. Throws budget_exhausted when
@@ -76,8 +125,8 @@ private:
     // Cache of detection BDDs. Subset queries (the optimizer's PREPARE
     // passes ask about the hardest faults only) are answered from the
     // cached superset by lookup; a genuinely new fault triggers a rebuild
-    // over the union.
-    const netlist* cached_nl_ = nullptr;
+    // over the union. Keyed on the netlist's structural revision stamp.
+    std::uint64_t cached_revision_ = 0;
     std::unordered_map<std::uint64_t, std::uint32_t> ref_by_fault_;
     std::unique_ptr<class bdd_manager> mgr_;
 };

@@ -1,76 +1,31 @@
 #include "prob/observability.h"
 
+#include "prob/cop_rules.h"
 #include "util/error.h"
 
 namespace wrpt {
 
-observability_result cop_observabilities(const netlist& nl,
+observability_result cop_observabilities(const circuit_view& cv,
                                          const std::vector<double>& node_prob) {
-    require(node_prob.size() == nl.node_count(),
+    require(node_prob.size() == cv.node_count(),
             "cop_observabilities: probability vector size mismatch");
     observability_result res;
-    res.stem.assign(nl.node_count(), 0.0);
-    res.pin_offset.assign(nl.node_count() + 1, 0);
-    for (node_id n = 0; n < nl.node_count(); ++n)
-        res.pin_offset[n + 1] =
-            res.pin_offset[n] + static_cast<std::uint32_t>(nl.fanin_count(n));
-    res.pin.assign(res.pin_offset.back(), 0.0);
+    res.stem.assign(cv.node_count(), 0.0);
+    res.pin_offset.assign(cv.pin_offsets().begin(), cv.pin_offsets().end());
+    res.pin.assign(cv.pin_count(), 0.0);
 
-    // Backward over the topological order. A stem is observed if any of its
-    // branches is (OR-combined under independence); an output stem is
-    // observed directly.
-    for (node_id step = nl.node_count(); step-- > 0;) {
-        const node_id n = step;
-        double miss = nl.is_output(n) ? 0.0 : 1.0;
-        for (node_id g : nl.fanouts(n)) {
-            // Locate the pins of g driven by n (a gate may use a stem on
-            // several pins).
-            const auto fi = nl.fanins(g);
-            for (std::size_t k = 0; k < fi.size(); ++k) {
-                if (fi[k] != n) continue;
-                const double po = res.pin[res.pin_offset[g] + k];
-                miss *= 1.0 - po;
-            }
-        }
-        res.stem[n] = 1.0 - miss;
-
-        // Push the stem observability down to this gate's own input pins.
-        const auto fi = nl.fanins(n);
-        if (fi.empty()) continue;
-        const double og = res.stem[n];
-        switch (nl.kind(n)) {
-            case gate_kind::buf:
-            case gate_kind::not_:
-                res.pin[res.pin_offset[n]] = og;
-                break;
-            case gate_kind::and_:
-            case gate_kind::nand_:
-            case gate_kind::or_:
-            case gate_kind::nor_: {
-                const double noncontrolling =
-                    controlling_value(nl.kind(n)) ? 0.0 : 1.0;
-                for (std::size_t k = 0; k < fi.size(); ++k) {
-                    double sens = 1.0;
-                    for (std::size_t j = 0; j < fi.size(); ++j) {
-                        if (j == k) continue;
-                        const double pj = node_prob[fi[j]];
-                        sens *= (noncontrolling == 1.0) ? pj : 1.0 - pj;
-                    }
-                    res.pin[res.pin_offset[n] + k] = og * sens;
-                }
-                break;
-            }
-            case gate_kind::xor_:
-            case gate_kind::xnor_:
-                // Toggling one xor input always toggles the output.
-                for (std::size_t k = 0; k < fi.size(); ++k)
-                    res.pin[res.pin_offset[n] + k] = og;
-                break;
-            default:
-                break;  // input/const have no pins
-        }
-    }
+    cop::chain_observabilities(
+        cv,
+        [&](node_id n, std::size_t k) {
+            return cop::pin_sensitization(cv, node_prob, n, k);
+        },
+        res.stem, res.pin);
     return res;
+}
+
+observability_result cop_observabilities(const netlist& nl,
+                                         const std::vector<double>& node_prob) {
+    return cop_observabilities(circuit_view::compile(nl), node_prob);
 }
 
 }  // namespace wrpt

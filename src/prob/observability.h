@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/circuit_view.h"
 #include "io/weights_io.h"
 #include "netlist/netlist.h"
 
@@ -29,6 +30,11 @@ struct observability_result {
 /// Compute observabilities given node signal probabilities (from
 /// cop_signal_probabilities or any other engine).
 observability_result cop_observabilities(const netlist& nl,
+                                         const std::vector<double>& node_prob);
+
+/// Same backward sweep over an already compiled view (the shared path; the
+/// netlist overload compiles a throwaway view).
+observability_result cop_observabilities(const circuit_view& cv,
                                          const std::vector<double>& node_prob);
 
 }  // namespace wrpt

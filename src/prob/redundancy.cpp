@@ -1,67 +1,26 @@
 #include "prob/redundancy.h"
 
 #include "bdd/bdd.h"
+#include "core/gate_eval.h"
 #include "prob/detect.h"
 #include "util/error.h"
 
 namespace wrpt {
 namespace {
 
-/// Ternary constant analysis: 0, 1, or unknown per node.
-enum class tri : std::uint8_t { zero, one, unknown };
-
-std::vector<tri> constant_lines(const netlist& nl) {
-    std::vector<tri> v(nl.node_count(), tri::unknown);
+/// Ternary constant analysis: evaluate every gate over the shared ternary
+/// algebra with all primary inputs unknown; a node that still resolves to
+/// 0 or 1 is structurally constant.
+std::vector<ternary_value> constant_lines(const netlist& nl) {
+    std::vector<ternary_value> v(nl.node_count(), ternary_value::x);
+    std::vector<ternary_value> args;
     for (node_id n = 0; n < nl.node_count(); ++n) {
+        if (nl.kind(n) == gate_kind::input) continue;
         const auto fi = nl.fanins(n);
-        switch (nl.kind(n)) {
-            case gate_kind::input: break;
-            case gate_kind::const0: v[n] = tri::zero; break;
-            case gate_kind::const1: v[n] = tri::one; break;
-            case gate_kind::buf: v[n] = v[fi[0]]; break;
-            case gate_kind::not_:
-                if (v[fi[0]] == tri::zero) v[n] = tri::one;
-                else if (v[fi[0]] == tri::one) v[n] = tri::zero;
-                break;
-            case gate_kind::and_:
-            case gate_kind::nand_:
-            case gate_kind::or_:
-            case gate_kind::nor_: {
-                const bool ctrl = controlling_value(nl.kind(n));
-                const tri ctrl_tri = ctrl ? tri::one : tri::zero;
-                bool has_ctrl = false;
-                bool all_known = true;
-                for (node_id x : fi) {
-                    if (v[x] == ctrl_tri) has_ctrl = true;
-                    if (v[x] == tri::unknown) all_known = false;
-                }
-                if (has_ctrl) {
-                    const bool out = kind_inverts(nl.kind(n)) ? !ctrl : ctrl;
-                    v[n] = out ? tri::one : tri::zero;
-                } else if (all_known) {
-                    // All inputs at the non-controlling value.
-                    const bool body = !ctrl;
-                    const bool out =
-                        kind_inverts(nl.kind(n)) ? !body : body;
-                    v[n] = out ? tri::one : tri::zero;
-                }
-                break;
-            }
-            case gate_kind::xor_:
-            case gate_kind::xnor_: {
-                bool all_known = true;
-                bool parity = (nl.kind(n) == gate_kind::xnor_);
-                for (node_id x : fi) {
-                    if (v[x] == tri::unknown) {
-                        all_known = false;
-                        break;
-                    }
-                    if (v[x] == tri::one) parity = !parity;
-                }
-                if (all_known) v[n] = parity ? tri::one : tri::zero;
-                break;
-            }
-        }
+        args.resize(fi.size());
+        for (std::size_t k = 0; k < fi.size(); ++k) args[k] = v[fi[k]];
+        v[n] = eval_gate(ternary_algebra{}, nl.kind(n), args.data(),
+                         args.size());
     }
     return v;
 }
@@ -75,12 +34,12 @@ std::vector<bool> prove_redundant(const netlist& nl,
 
     // Cheap structural proof: a stuck-at-v fault on a line whose fault-free
     // value is the constant v can never be activated.
-    const std::vector<tri> constants = constant_lines(nl);
+    const std::vector<ternary_value> constants = constant_lines(nl);
     for (std::size_t i = 0; i < faults.size(); ++i) {
         const node_id site = fault_site_driver(nl, faults[i]);
-        const tri c = constants[site];
-        if (c == tri::unknown) continue;
-        const bool value = (c == tri::one);
+        const ternary_value c = constants[site];
+        if (c == ternary_value::x) continue;
+        const bool value = (c == ternary_value::one);
         if (value == stuck_value(faults[i].value)) redundant[i] = true;
     }
 

@@ -2,50 +2,26 @@
 
 #include <cmath>
 
+#include "prob/cop_rules.h"
 #include "sim/logic_sim.h"
 #include "util/error.h"
 
 namespace wrpt {
 
+std::vector<double> cop_signal_probabilities(const circuit_view& cv,
+                                             const weight_vector& weights) {
+    require(weights.size() == cv.input_count(),
+            "cop_signal_probabilities: weight count mismatch");
+    std::vector<double> p(cv.node_count(), 0.0);
+    forward_sweep(cv, [&](node_id n) {
+        p[n] = cop::node_probability(cv, p, weights, n);
+    });
+    return p;
+}
+
 std::vector<double> cop_signal_probabilities(const netlist& nl,
                                              const weight_vector& weights) {
-    require(weights.size() == nl.input_count(),
-            "cop_signal_probabilities: weight count mismatch");
-    std::vector<double> p(nl.node_count(), 0.0);
-    for (node_id n = 0; n < nl.node_count(); ++n) {
-        const auto fi = nl.fanins(n);
-        switch (nl.kind(n)) {
-            case gate_kind::input:
-                p[n] = weights[nl.input_index(n)];
-                break;
-            case gate_kind::const0: p[n] = 0.0; break;
-            case gate_kind::const1: p[n] = 1.0; break;
-            case gate_kind::buf: p[n] = p[fi[0]]; break;
-            case gate_kind::not_: p[n] = 1.0 - p[fi[0]]; break;
-            case gate_kind::and_:
-            case gate_kind::nand_: {
-                double acc = 1.0;
-                for (node_id x : fi) acc *= p[x];
-                p[n] = (nl.kind(n) == gate_kind::nand_) ? 1.0 - acc : acc;
-                break;
-            }
-            case gate_kind::or_:
-            case gate_kind::nor_: {
-                double acc = 1.0;
-                for (node_id x : fi) acc *= 1.0 - p[x];
-                p[n] = (nl.kind(n) == gate_kind::nor_) ? acc : 1.0 - acc;
-                break;
-            }
-            case gate_kind::xor_:
-            case gate_kind::xnor_: {
-                double acc = 0.0;  // parity-true probability
-                for (node_id x : fi) acc = acc + p[x] - 2.0 * acc * p[x];
-                p[n] = (nl.kind(n) == gate_kind::xnor_) ? 1.0 - acc : acc;
-                break;
-            }
-        }
-    }
-    return p;
+    return cop_signal_probabilities(circuit_view::compile(nl), weights);
 }
 
 std::vector<double> exact_signal_probabilities_enum(const netlist& nl,

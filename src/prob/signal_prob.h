@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/circuit_view.h"
 #include "io/weights_io.h"
 #include "netlist/netlist.h"
 
@@ -19,6 +20,11 @@ namespace wrpt {
 /// One probability per node (indexed by node id), inputs taken from
 /// `weights` (ordered like nl.inputs()).
 std::vector<double> cop_signal_probabilities(const netlist& nl,
+                                             const weight_vector& weights);
+
+/// Same forward sweep over an already compiled view (the shared path; the
+/// netlist overload compiles a throwaway view).
+std::vector<double> cop_signal_probabilities(const circuit_view& cv,
                                              const weight_vector& weights);
 
 /// Exact signal probabilities by brute-force weighted enumeration over all

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "prob/cop_rules.h"
 #include "sim/logic_sim.h"
 #include "sim/patterns.h"
 #include "util/error.h"
@@ -10,17 +11,19 @@ namespace wrpt {
 
 stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
                            std::uint64_t patterns, std::uint64_t seed) {
+    return stafan_count(circuit_view::compile(nl), weights, patterns, seed);
+}
+
+stafan_counts stafan_count(const circuit_view& cv, const weight_vector& weights,
+                           std::uint64_t patterns, std::uint64_t seed) {
     require(patterns >= 64, "stafan_count: needs at least one block");
     stafan_counts sc;
-    sc.pin_offset.assign(nl.node_count() + 1, 0);
-    for (node_id n = 0; n < nl.node_count(); ++n)
-        sc.pin_offset[n + 1] =
-            sc.pin_offset[n] + static_cast<std::uint32_t>(nl.fanin_count(n));
+    sc.pin_offset.assign(cv.pin_offsets().begin(), cv.pin_offsets().end());
 
-    std::vector<std::uint64_t> ones(nl.node_count(), 0);
-    std::vector<std::uint64_t> sens(sc.pin_offset.back(), 0);
+    std::vector<std::uint64_t> ones(cv.node_count(), 0);
+    std::vector<std::uint64_t> sens(cv.pin_count(), 0);
 
-    simulator sim(nl);
+    simulator sim(cv);
     weighted_random_source source(weights, seed);
     std::vector<std::uint64_t> words;
     std::uint64_t applied = 0;
@@ -31,15 +34,15 @@ stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
             std::min<std::uint64_t>(64, patterns - applied);
         const std::uint64_t valid = block == 64 ? ~0ULL : ((1ULL << block) - 1);
 
-        for (node_id n = 0; n < nl.node_count(); ++n) {
+        for (node_id n = 0; n < cv.node_count(); ++n) {
             ones[n] +=
                 static_cast<std::uint64_t>(std::popcount(sim.value(n) & valid));
-            const auto fi = nl.fanins(n);
+            const auto fi = cv.fanins(n);
             if (fi.empty()) continue;
-            switch (nl.kind(n)) {
+            switch (cv.kind(n)) {
                 case gate_kind::buf:
                 case gate_kind::not_:
-                    sens[sc.pin_offset[n]] +=
+                    sens[cv.pin_offset(n)] +=
                         static_cast<std::uint64_t>(std::popcount(valid));
                     break;
                 case gate_kind::and_:
@@ -48,7 +51,7 @@ stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
                 case gate_kind::nor_: {
                     // Pin k is one-level sensitized when all other pins hold
                     // the non-controlling value.
-                    const bool ctrl = controlling_value(nl.kind(n));
+                    const bool ctrl = controlling_value(cv.kind(n));
                     for (std::size_t k = 0; k < fi.size(); ++k) {
                         std::uint64_t mask = valid;
                         for (std::size_t j = 0; j < fi.size() && mask; ++j) {
@@ -56,7 +59,7 @@ stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
                             const std::uint64_t v = sim.value(fi[j]);
                             mask &= ctrl ? ~v : v;
                         }
-                        sens[sc.pin_offset[n] + k] +=
+                        sens[cv.pin_offset(n) + k] +=
                             static_cast<std::uint64_t>(std::popcount(mask));
                     }
                     break;
@@ -64,7 +67,7 @@ stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
                 case gate_kind::xor_:
                 case gate_kind::xnor_:
                     for (std::size_t k = 0; k < fi.size(); ++k)
-                        sens[sc.pin_offset[n] + k] +=
+                        sens[cv.pin_offset(n) + k] +=
                             static_cast<std::uint64_t>(std::popcount(valid));
                     break;
                 default:
@@ -80,8 +83,8 @@ stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
     // nonzero (and optimizable) estimate instead of being dropped as
     // undetectable.
     const double n = static_cast<double>(applied);
-    sc.one_controllability.resize(nl.node_count());
-    for (node_id id = 0; id < nl.node_count(); ++id)
+    sc.one_controllability.resize(cv.node_count());
+    for (node_id id = 0; id < cv.node_count(); ++id)
         sc.one_controllability[id] =
             (static_cast<double>(ones[id]) + 0.5) / (n + 1.0);
     sc.pin_sensitization.resize(sens.size());
@@ -93,25 +96,24 @@ stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
 std::vector<double> stafan_detect_estimator::estimate(
     const netlist& nl, const std::vector<fault>& faults,
     const weight_vector& weights) {
-    const stafan_counts sc = stafan_count(nl, weights, patterns_, seed_);
-
-    // Backward observability chaining over the counted sensitizations.
-    std::vector<double> stem(nl.node_count(), 0.0);
-    std::vector<double> pin(sc.pin_sensitization.size(), 0.0);
-    for (node_id step = nl.node_count(); step-- > 0;) {
-        const node_id n = step;
-        double miss = nl.is_output(n) ? 0.0 : 1.0;
-        for (node_id g : nl.fanouts(n)) {
-            const auto fi = nl.fanins(g);
-            for (std::size_t k = 0; k < fi.size(); ++k)
-                if (fi[k] == n) miss *= 1.0 - pin[sc.pin_offset[g] + k];
-        }
-        stem[n] = 1.0 - miss;
-        const auto fi = nl.fanins(n);
-        for (std::size_t k = 0; k < fi.size(); ++k)
-            pin[sc.pin_offset[n] + k] =
-                stem[n] * sc.pin_sensitization[sc.pin_offset[n] + k];
+    if (!view_ || cached_revision_ != nl.revision()) {
+        view_ = std::make_unique<circuit_view>(circuit_view::compile(nl));
+        cached_revision_ = nl.revision();
     }
+    const circuit_view& cv = *view_;
+    const stafan_counts sc = stafan_count(cv, weights, patterns_, seed_);
+
+    // Backward observability chaining over the counted sensitizations —
+    // the same chaining shape COP uses, with counted pin sensitizations
+    // substituted for the analytic ones.
+    std::vector<double> stem(cv.node_count(), 0.0);
+    std::vector<double> pin(sc.pin_sensitization.size(), 0.0);
+    cop::chain_observabilities(
+        cv,
+        [&](node_id n, std::size_t k) {
+            return sc.pin_sensitization[sc.pin_offset[n] + k];
+        },
+        stem, pin);
 
     std::vector<double> out;
     out.reserve(faults.size());

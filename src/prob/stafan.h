@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "core/circuit_view.h"
 #include "prob/detect.h"
 
 namespace wrpt {
@@ -30,6 +32,10 @@ public:
 private:
     std::uint64_t patterns_;
     std::uint64_t seed_;
+    // View cache keyed on the netlist's structural revision stamp — the
+    // optimizer re-estimates the same circuit hundreds of times.
+    std::uint64_t cached_revision_ = 0;
+    std::unique_ptr<circuit_view> view_;
 };
 
 /// Counted statistics exposed for tests.
@@ -41,6 +47,11 @@ struct stafan_counts {
 };
 
 stafan_counts stafan_count(const netlist& nl, const weight_vector& weights,
+                           std::uint64_t patterns, std::uint64_t seed);
+
+/// Counting over an already compiled view (the shared path; the netlist
+/// overload compiles a throwaway view).
+stafan_counts stafan_count(const circuit_view& cv, const weight_vector& weights,
                            std::uint64_t patterns, std::uint64_t seed);
 
 }  // namespace wrpt

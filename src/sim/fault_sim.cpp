@@ -1,8 +1,13 @@
 #include "sim/fault_sim.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <deque>
+#include <mutex>
+#include <thread>
 
+#include "core/circuit_view.h"
 #include "sim/logic_sim.h"
 #include "util/error.h"
 
@@ -15,12 +20,17 @@ std::size_t fault_sim_result::detected_within(std::uint64_t n) const {
     return count;
 }
 
-fault_sim_result run_fault_simulation(const netlist& nl,
-                                      const std::vector<fault>& faults,
-                                      pattern_source& source,
-                                      const fault_sim_options& options) {
-    require(options.max_patterns > 0, "fault sim: max_patterns must be > 0");
-    simulator sim(nl);
+namespace {
+
+constexpr std::uint64_t never = ~0ULL;
+
+/// Sequential PPSFP with fault dropping: one simulator, blocks in order,
+/// the live list shrinks as faults are detected.
+fault_sim_result run_sequential(const circuit_view& cv,
+                                const std::vector<fault>& faults,
+                                pattern_source& source,
+                                const fault_sim_options& options) {
+    simulator sim(cv);
     fault_sim_result res;
     res.first_detected.assign(faults.size(), std::nullopt);
 
@@ -59,6 +69,170 @@ fault_sim_result run_fault_simulation(const netlist& nl,
     }
     res.patterns_applied = applied;
     return res;
+}
+
+/// Block-parallel PPSFP: workers pull 64-pattern blocks off an atomic
+/// queue, each with a private simulator over the shared view. Per-fault
+/// first detections combine by atomic minimum, which makes the result
+/// independent of worker scheduling and identical to the sequential run.
+///
+/// Early exit matches the sequential accounting: workers stop pulling new
+/// blocks once every fault is detected. Blocks are pulled in ascending
+/// index order, so by then every block below the last detecting one has
+/// been (or is being) processed, and first detections are exact minima.
+fault_sim_result run_parallel(const circuit_view& cv,
+                              const std::vector<fault>& faults,
+                              pattern_source& source,
+                              const fault_sim_options& options,
+                              unsigned threads) {
+    const std::uint64_t block_count =
+        (options.max_patterns + 63) / 64;
+    const std::size_t input_count = cv.input_count();
+
+    // Pattern blocks are drawn from the (stateful, single-threaded) source
+    // lazily and in order, under a mutex, so workers see exactly the
+    // patterns the sequential path would — without materializing blocks
+    // the run may never reach. Consumed blocks (moved out, hence empty)
+    // are popped from the front, bounding live memory to the not-yet-
+    // pulled window. blocks_base is the block index of blocks.front().
+    std::deque<std::vector<std::uint64_t>> blocks;
+    std::uint64_t blocks_base = 0;
+    std::mutex source_mutex;
+
+    std::vector<std::atomic<std::uint64_t>> first(faults.size());
+    for (auto& f : first) f.store(never, std::memory_order_relaxed);
+    std::atomic<std::uint64_t> next_block{0};
+    std::atomic<std::size_t> undetected{faults.size()};
+
+    // An exception escaping a std::thread body would std::terminate; keep
+    // the first one and rethrow it on the caller's thread after join, so
+    // the parallel path surfaces the same catchable errors (bad pattern
+    // source, word-count mismatch) the sequential path does.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker_body = [&]() {
+        simulator sim(cv);
+        for (;;) {
+            if (options.drop_detected &&
+                undetected.load(std::memory_order_acquire) == 0)
+                return;
+            const std::uint64_t b =
+                next_block.fetch_add(1, std::memory_order_relaxed);
+            if (b >= block_count) return;
+            // The puller of block b is its sole consumer: move the words
+            // out and drop the emptied leading slots.
+            std::vector<std::uint64_t> words;
+            {
+                std::scoped_lock lock(source_mutex);
+                while (blocks_base + blocks.size() <= b) {
+                    std::vector<std::uint64_t>& fresh = blocks.emplace_back();
+                    source.next_block(fresh);
+                    require(fresh.size() == input_count,
+                            "fault sim: pattern source word count != "
+                            "input count");
+                }
+                words = std::move(
+                    blocks[static_cast<std::size_t>(b - blocks_base)]);
+                while (!blocks.empty() && blocks.front().empty()) {
+                    blocks.pop_front();
+                    ++blocks_base;
+                }
+            }
+            const std::uint64_t block_start = b * 64;
+            const std::uint64_t block_size = std::min<std::uint64_t>(
+                64, options.max_patterns - block_start);
+            const std::uint64_t valid_mask =
+                block_size == 64 ? ~0ULL : ((1ULL << block_size) - 1);
+            sim.simulate(words);
+            for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+                // Fault dropping across blocks: a detection in an earlier
+                // block can never be improved by this one.
+                if (options.drop_detected &&
+                    first[fi].load(std::memory_order_relaxed) < block_start)
+                    continue;
+                const std::uint64_t mask =
+                    sim.detect_mask(faults[fi]) & valid_mask;
+                if (mask == 0) continue;
+                const std::uint64_t t =
+                    block_start +
+                    static_cast<std::uint64_t>(std::countr_zero(mask));
+                std::uint64_t cur = first[fi].load(std::memory_order_relaxed);
+                bool claimed = false;
+                while (t < cur) {
+                    if (first[fi].compare_exchange_weak(
+                            cur, t, std::memory_order_relaxed)) {
+                        claimed = cur == never;
+                        break;
+                    }
+                }
+                if (claimed)
+                    undetected.fetch_sub(1, std::memory_order_release);
+            }
+        }
+    };
+
+    auto worker = [&]() {
+        try {
+            worker_body();
+        } catch (...) {
+            std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            // Drain the queue so the other workers wind down promptly.
+            next_block.store(block_count, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+
+    fault_sim_result res;
+    res.first_detected.assign(faults.size(), std::nullopt);
+    std::uint64_t last = 0;
+    bool all_detected = true;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        const std::uint64_t t = first[fi].load(std::memory_order_relaxed);
+        if (t == never) {
+            all_detected = false;
+            continue;
+        }
+        res.first_detected[fi] = t;
+        ++res.detected_count;
+        last = std::max(last, t);
+    }
+    // Mirror the sequential accounting: with dropping, the run stops after
+    // the block in which the live list drained; otherwise the full budget
+    // is applied.
+    if (options.drop_detected && all_detected && !faults.empty())
+        res.patterns_applied =
+            std::min<std::uint64_t>(options.max_patterns, (last / 64 + 1) * 64);
+    else
+        res.patterns_applied = options.max_patterns;
+    return res;
+}
+
+}  // namespace
+
+fault_sim_result run_fault_simulation(const netlist& nl,
+                                      const std::vector<fault>& faults,
+                                      pattern_source& source,
+                                      const fault_sim_options& options) {
+    require(options.max_patterns > 0, "fault sim: max_patterns must be > 0");
+    const circuit_view cv = circuit_view::compile(nl);
+    unsigned threads = options.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // No point spinning up more workers (each with its own simulator
+    // scratch) than there are 64-pattern blocks to process.
+    const std::uint64_t block_count = (options.max_patterns + 63) / 64;
+    threads = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, block_count));
+    if (threads <= 1 || faults.empty())
+        return run_sequential(cv, faults, source, options);
+    return run_parallel(cv, faults, source, options, threads);
 }
 
 fault_sim_result run_weighted_fault_simulation(

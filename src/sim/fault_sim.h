@@ -16,6 +16,15 @@ namespace wrpt {
 struct fault_sim_options {
     std::uint64_t max_patterns = 4096;
     bool drop_detected = true;  ///< stop simulating a fault once detected
+    /// Worker threads for block-parallel PPSFP: 0 = one per hardware
+    /// thread, 1 = sequential. Workers share one compiled circuit_view and
+    /// pull 64-pattern blocks off an atomic work queue; per-fault first
+    /// detections combine by atomic minimum, so the result is identical to
+    /// the sequential run for the same pattern source. The parallel path
+    /// draws blocks from `source` lazily in pull order and may draw up to
+    /// `threads` blocks more than the sequential path before the
+    /// all-detected early exit stops the workers.
+    unsigned threads = 0;
 };
 
 struct fault_sim_result {

@@ -1,23 +1,34 @@
 // Levelized 64-bit parallel-pattern logic simulation with event-driven
-// single-fault propagation (the PPSFP kernel).
+// single-fault propagation (the PPSFP kernel), over a compiled
+// circuit_view.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/circuit_view.h"
 #include "fault/fault.h"
 #include "netlist/netlist.h"
 
 namespace wrpt {
 
 /// Compiled simulator for one netlist. One machine word carries 64 patterns.
+///
+/// All traversal structure comes from a circuit_view; the view-sharing
+/// constructor lets many simulators (one per worker thread) run over the
+/// same compiled view without rebuilding it.
 class simulator {
 public:
+    /// Compile a private view of `nl` (which must outlive the simulator).
     explicit simulator(const netlist& nl);
+    /// Share an already compiled view (which must outlive the simulator).
+    explicit simulator(const circuit_view& view);
 
-    const netlist& circuit() const { return *nl_; }
+    const netlist& circuit() const { return view_->source(); }
+    const circuit_view& view() const { return *view_; }
 
     /// Simulate a block of 64 patterns. `input_words` has one word per
     /// primary input, ordered like netlist::inputs(); bit b of each word is
@@ -29,8 +40,9 @@ public:
     std::span<const std::uint64_t> values() const { return good_; }
 
     /// 64-bit mask of block patterns whose primary-output response differs
-    /// under `f` from the fault-free response (event-driven resimulation of
-    /// the fault's fanout cone). Requires a prior simulate() call.
+    /// under `f` from the fault-free response (event-driven levelized
+    /// resimulation of the fault's fanout cone). Requires a prior
+    /// simulate() call.
     std::uint64_t detect_mask(const fault& f);
 
     /// Word of output differences per output index (parallel to
@@ -41,14 +53,16 @@ public:
     }
 
 private:
-    std::uint64_t eval_node(node_id n,
-                            const std::vector<std::uint64_t>& faulty) const;
+    void init_scratch();
+    std::uint64_t eval_node(node_id n);
     void schedule(node_id n);
 
-    const netlist* nl_;
+    std::unique_ptr<const circuit_view> owned_view_;  // null when sharing
+    const circuit_view* view_;
     std::vector<std::uint64_t> good_;
 
     // Scratch state for event-driven faulty propagation.
+    std::vector<std::uint64_t> args_;  // gather buffer, max_arity words
     std::vector<std::uint64_t> faulty_;
     std::vector<std::uint8_t> has_faulty_;
     std::vector<std::uint8_t> queued_;
