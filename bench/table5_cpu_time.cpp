@@ -15,12 +15,14 @@
 
 namespace {
 
-void run_optimize(benchmark::State& state, const std::string& name) {
+void run_optimize(benchmark::State& state, const std::string& name,
+                  unsigned threads = 1) {
     using namespace wrpt;
     const netlist nl = build_suite_circuit(name);
     const auto faults = generate_full_faults(nl);
     for (auto _ : state) {
         cop_detect_estimator analysis;
+        analysis.set_threads(threads);
         optimize_result res =
             optimize_weights(nl, faults, analysis, uniform_weights(nl));
         benchmark::DoNotOptimize(res.final_test_length);
@@ -29,6 +31,7 @@ void run_optimize(benchmark::State& state, const std::string& name) {
         static_cast<double>(nl.stats().gate_count);
     state.counters["faults"] = static_cast<double>(faults.size());
     state.counters["inputs"] = static_cast<double>(nl.input_count());
+    state.counters["threads"] = static_cast<double>(threads);
 }
 
 }  // namespace
@@ -41,5 +44,13 @@ BENCHMARK_CAPTURE(run_optimize, c2670, std::string("c2670"))
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(run_optimize, c7552, std::string("c7552"))
     ->Unit(benchmark::kMillisecond);
+
+// Threaded variants: the full OPTIMIZE procedure with the batched PREPARE
+// path on per-thread engines — weights identical to the single-thread
+// rows, wall clock is the point.
+BENCHMARK_CAPTURE(run_optimize, c7552_t4, std::string("c7552"), 4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(run_optimize, c2670_t4, std::string("c2670"), 4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+#include "exec/batch_session.h"
+
+#include "exec/thread_pool.h"
+#include "io/bench_io.h"
+#include "prob/detect.h"
+#include "sim/fault_sim.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+batch_session::batch_session() : batch_session(options{}) {}
+
+batch_session::batch_session(options opt)
+    : options_(opt), pool_(std::make_unique<thread_pool>(opt.threads)) {}
+
+batch_session::~batch_session() = default;
+
+std::size_t batch_session::add_circuit(netlist nl) {
+    compiled_circuit cc;
+    cc.nl = std::make_unique<netlist>(std::move(nl));
+    circuit_view::compile_options co;
+    co.input_cones = true;
+    co.driven_pins = true;
+    cc.view = std::make_unique<circuit_view>(
+        circuit_view::compile(*cc.nl, co));
+    cc.faults = generate_full_faults(*cc.nl);
+    circuits_.push_back(std::move(cc));
+    return circuits_.size() - 1;
+}
+
+std::size_t batch_session::add_circuit_file(const std::string& path) {
+    return add_circuit(read_bench_file(path));
+}
+
+const netlist& batch_session::circuit(std::size_t handle) const {
+    require(handle < circuits_.size(), "batch_session: bad circuit handle");
+    return *circuits_[handle].nl;
+}
+
+const circuit_view& batch_session::view(std::size_t handle) const {
+    require(handle < circuits_.size(), "batch_session: bad circuit handle");
+    return *circuits_[handle].view;
+}
+
+const std::vector<fault>& batch_session::faults(std::size_t handle) const {
+    require(handle < circuits_.size(), "batch_session: bad circuit handle");
+    return circuits_[handle].faults;
+}
+
+batch_session::result batch_session::run_one(const job& j) const {
+    require(j.circuit < circuits_.size(), "batch_session: bad circuit handle");
+    const compiled_circuit& cc = circuits_[j.circuit];
+    const netlist& nl = *cc.nl;
+
+    result r;
+    r.circuit = j.circuit;
+    r.revision = nl.revision();
+    r.kind = j.kind;
+
+    const weight_vector weights =
+        j.weights.empty() ? uniform_weights(nl) : j.weights;
+    require(weights.size() == nl.input_count(),
+            "batch_session: weight count mismatch");
+
+    switch (j.kind) {
+        case job_kind::test_length: {
+            cop_detect_estimator analysis;
+            analysis.adopt_view(*cc.view);
+            const double conf =
+                j.confidence > 0.0 ? j.confidence : options_.confidence;
+            r.length = required_test_length(nl, cc.faults, analysis, weights,
+                                            conf);
+            break;
+        }
+        case job_kind::optimize: {
+            cop_detect_estimator analysis;
+            analysis.adopt_view(*cc.view);
+            // Probe parallelism stays inside the job's own slice of the
+            // pool: jobs are the outer parallel dimension here, so each
+            // job runs its probe batches sequentially.
+            analysis.set_threads(1);
+            r.optimized =
+                optimize_weights(nl, cc.faults, analysis, weights, j.opt);
+            r.length = required_test_length(nl, cc.faults, analysis,
+                                            r.optimized.weights,
+                                            j.opt.confidence);
+            break;
+        }
+        case job_kind::fault_sim: {
+            fault_sim_options fo;
+            fo.max_patterns = j.patterns;
+            // Jobs fill the pool; block-level parallelism inside one
+            // simulation would oversubscribe it.
+            fo.threads = 1;
+            weighted_random_source source(weights, j.seed);
+            const fault_sim_result sim =
+                run_fault_simulation(*cc.view, cc.faults, source, fo);
+            r.patterns_applied = sim.patterns_applied;
+            r.fault_count = cc.faults.size();
+            r.detected = sim.detected_count;
+            r.coverage_percent = sim.coverage_percent(cc.faults.size());
+            break;
+        }
+    }
+    return r;
+}
+
+std::vector<batch_session::result> batch_session::run(
+    const std::vector<job>& jobs) {
+    std::vector<result> results(jobs.size());
+    // One parallel item per job; results are written by job index, so the
+    // batch output is identical to a sequential loop for every pool size.
+    pool_->parallel_for(jobs.size(),
+                        [&](std::size_t i) { results[i] = run_one(jobs[i]); });
+    return results;
+}
+
+std::vector<batch_session::result> batch_session::run_matrix(
+    job_kind kind, const std::vector<std::size_t>& circuits,
+    const std::vector<weight_vector>& weight_sets) {
+    std::vector<std::size_t> targets = circuits;
+    if (targets.empty()) {
+        targets.resize(circuit_count());
+        for (std::size_t c = 0; c < targets.size(); ++c) targets[c] = c;
+    }
+    std::vector<job> jobs;
+    jobs.reserve(targets.size() * weight_sets.size());
+    for (std::size_t c : targets) {
+        for (const weight_vector& w : weight_sets) {
+            job j;
+            j.circuit = c;
+            j.kind = kind;
+            j.weights = w;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return run(jobs);
+}
+
+}  // namespace wrpt

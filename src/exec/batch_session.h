@@ -1,0 +1,123 @@
+// Multi-circuit optimization service — the serving-shaped engine layer.
+//
+// A deployment tests many circuit variants under many candidate weight
+// vectors at once: N circuits x M weight vectors per request, millions of
+// requests over the same compiled structures. batch_session is that
+// surface: register circuits once (each is compiled to a circuit_view
+// with input cones exactly once), then submit batches of jobs — OPTIMIZE
+// runs, required-test-length queries, weighted fault simulations — that
+// execute concurrently on the work-stealing pool. Every job gets private
+// estimator/simulator state over the shared immutable view, so the only
+// sharing is read-only; results are written into a slot per job, keyed by
+// the circuit's revision stamp, and are bit-identical to running the same
+// jobs sequentially.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/circuit_view.h"
+#include "fault/fault.h"
+#include "io/weights_io.h"
+#include "netlist/netlist.h"
+#include "opt/optimizer.h"
+
+namespace wrpt {
+
+class thread_pool;
+
+class batch_session {
+public:
+    struct options {
+        /// Worker threads for the session pool (0 = hardware threads).
+        unsigned threads = 0;
+        /// Confidence for test_length jobs that leave their own at 0.
+        double confidence = 0.999;
+    };
+
+    batch_session();  // default options (defined out of line: the nested
+                      // aggregate is incomplete at this point)
+    explicit batch_session(options opt);
+    ~batch_session();
+
+    batch_session(const batch_session&) = delete;
+    batch_session& operator=(const batch_session&) = delete;
+
+    /// Register a circuit; the session owns it, compiles its view (with
+    /// the engine structures) once, and generates its collapsed-free full
+    /// fault list once. Returns the circuit handle used in jobs.
+    std::size_t add_circuit(netlist nl);
+    /// Read a .bench file and register it.
+    std::size_t add_circuit_file(const std::string& path);
+
+    std::size_t circuit_count() const { return circuits_.size(); }
+    const netlist& circuit(std::size_t handle) const;
+    const circuit_view& view(std::size_t handle) const;
+    const std::vector<fault>& faults(std::size_t handle) const;
+
+    enum class job_kind : std::uint8_t {
+        test_length,  ///< ANALYSIS + NORMALIZE at fixed weights
+        optimize,     ///< the full OPTIMIZE procedure
+        fault_sim,    ///< weighted-random fault simulation
+    };
+
+    struct job {
+        std::size_t circuit = 0;
+        job_kind kind = job_kind::test_length;
+        /// Weights: evaluation point (test_length, fault_sim) or starting
+        /// vector (optimize). Empty = uniform 0.5.
+        weight_vector weights;
+        /// optimize jobs only.
+        optimize_options opt;
+        /// fault_sim jobs only.
+        std::uint64_t patterns = 4096;
+        std::uint64_t seed = 1;
+        /// test_length jobs: 0 = session default confidence.
+        double confidence = 0.0;
+    };
+
+    struct result {
+        std::size_t circuit = 0;
+        std::uint64_t revision = 0;  ///< revision stamp the job ran against
+        job_kind kind = job_kind::test_length;
+        /// test_length (also filled for optimize: the final length).
+        test_length_report length;
+        /// optimize jobs.
+        optimize_result optimized;
+        /// fault_sim jobs.
+        std::uint64_t patterns_applied = 0;
+        std::size_t fault_count = 0;
+        std::size_t detected = 0;
+        double coverage_percent = 0.0;
+    };
+
+    /// Execute all jobs concurrently; results[i] answers jobs[i].
+    /// Bit-identical to running the jobs one by one in order.
+    std::vector<result> run(const std::vector<job>& jobs);
+
+    /// The serving request shape: every (circuit, weight vector) pair as
+    /// one job of the given kind, results in row-major order (circuit
+    ///-major: results[c * weight_sets.size() + w]). An empty circuit list
+    /// means every registered circuit.
+    std::vector<result> run_matrix(job_kind kind,
+                                   const std::vector<std::size_t>& circuits,
+                                   const std::vector<weight_vector>& weight_sets);
+
+private:
+    struct compiled_circuit {
+        std::unique_ptr<netlist> nl;   // stable address for views/results
+        std::unique_ptr<circuit_view> view;
+        std::vector<fault> faults;
+    };
+
+    result run_one(const job& j) const;
+
+    options options_;
+    std::vector<compiled_circuit> circuits_;
+    std::unique_ptr<thread_pool> pool_;
+};
+
+}  // namespace wrpt

@@ -109,6 +109,13 @@ optimize_result optimize_weights(const netlist& nl,
             // "operands matched high/low" basins that equality-dominated
             // circuits need but coordinate descent cannot reach once it has
             // mismatched the operands.
+            // The candidates are wholesale perturbations, but they are
+            // still probes from the current point: one batch of
+            // multi-input moves, answered by the estimator's incremental
+            // engine (union-of-cones transactions with rollback) instead
+            // of five full re-analyses or engine rebuilds.
+            std::vector<weight_vector> cands(5);
+            std::vector<probe> cand_probes(5);
             for (int dir = 0; dir < 5; ++dir) {
                 weight_vector cand = base;
                 for (std::size_t i = 0; i < cand.size(); ++i) {
@@ -126,12 +133,18 @@ optimize_result optimize_weights(const netlist& nl,
                                            options.weight_min,
                                            options.weight_max);
                 }
-                std::vector<double> p = analysis.estimate(nl, faults, cand);
-                ++res.analysis_calls;
+                cand_probes[dir] = probe_between(base, cand);
+                cands[dir] = std::move(cand);
+            }
+            std::vector<std::vector<double>> cand_results =
+                analysis.estimate_probes(nl, faults, base, cand_probes);
+            res.analysis_calls += cand_probes.size();
+            for (int dir = 0; dir < 5; ++dir) {
+                std::vector<double>& p = cand_results[dir];
                 const normalize_result cn = run_normalize(p, sort_faults(p));
                 if (cn.feasible && cn.test_length < best_cand_n) {
                     best_cand_n = cn.test_length;
-                    best_cand = std::move(cand);
+                    best_cand = std::move(cands[dir]);
                     cand_probs = std::move(p);
                 }
             }
@@ -152,43 +165,67 @@ optimize_result optimize_weights(const netlist& nl,
 
         const std::vector<fault> hard = select_hard(n_new);
 
-        for (std::size_t i = 0; i < nl.input_count(); ++i) {
-            // PREPARE: p_f at the two ends of the admissible interval.
-            // (For an exact estimator p_f is affine in x_i — Lemma 1 — so
-            // any two points determine it; for analytic estimators the
-            // secant over [weight_min, weight_max] is the better fit.)
-            // The single-input query shape lets estimators with
-            // incremental state (COP over a circuit_view) answer in
-            // O(fanout cone of input i) instead of O(nodes).
-            const double lo = options.weight_min;
-            const double hi = options.weight_max;
-            const std::vector<double> p_lo =
-                analysis.estimate_input_delta(nl, hard, res.weights, i, lo);
-            const std::vector<double> p_hi =
-                analysis.estimate_input_delta(nl, hard, res.weights, i, hi);
-            res.analysis_calls += 2;
-
-            std::vector<affine_fault> f01(hard.size());
-            bool any_dependence = false;
-            for (std::size_t k = 0; k < hard.size(); ++k) {
-                const double slope = (p_hi[k] - p_lo[k]) / (hi - lo);
-                const double at_zero = p_lo[k] - lo * slope;
-                f01[k] = {at_zero, at_zero + slope};
-                if (std::abs(slope) > 1e-15) any_dependence = true;
+        // PREPARE: p_f at the two ends of the admissible interval for
+        // every input, issued as probe batches of prepare_block
+        // coordinates (2*B probes per batch) at the current vector. (For
+        // an exact estimator p_f is affine in x_i — Lemma 1 — so any two
+        // points determine it; for analytic estimators the secant over
+        // [weight_min, weight_max] is the better fit.) The probe shape
+        // lets estimators with incremental state answer each in O(fanout
+        // cone of input i) instead of O(nodes), and execute a batch on
+        // per-thread engines. The block size is a fixed constant — not a
+        // function of the thread count — so the optimized weights are
+        // bit-identical for every thread count.
+        const double lo = options.weight_min;
+        const double hi = options.weight_max;
+        const std::size_t block =
+            std::max<std::size_t>(1, options.prepare_block);
+        std::vector<probe> probes;
+        std::vector<affine_fault> f01(hard.size());
+        for (std::size_t b0 = 0; b0 < nl.input_count(); b0 += block) {
+            const std::size_t b1 =
+                std::min(b0 + block, nl.input_count());
+            probes.clear();
+            for (std::size_t i = b0; i < b1; ++i) {
+                probes.push_back({{i, lo}});
+                probes.push_back({{i, hi}});
             }
-            // A coordinate none of the relevant faults depends on is left
-            // alone (moving it to the midpoint would churn for nothing).
-            if (!any_dependence) continue;
+            const std::vector<std::vector<double>> prepared =
+                analysis.estimate_probes(nl, hard, res.weights, probes);
+            res.analysis_calls += probes.size();
 
-            // MINIMIZE + assignment x_i := y, capped by the trust region.
-            const minimize_result m = minimize_single_input(
-                f01, n_new, options.weight_min, options.weight_max);
-            const double stepped =
-                std::clamp(m.y, res.weights[i] - options.trust_step,
-                           res.weights[i] + options.trust_step);
-            res.weights[i] = snap_to_grid(stepped, options.grid,
-                                          options.weight_min,
-                                          options.weight_max);
+            // MINIMIZE + assignment x_i := y for the block's coordinates,
+            // every affine model fitted at the common block base, steps
+            // capped by the trust region. Coordinates within a block move
+            // simultaneously (Jacobi); blocks see each other's updates
+            // (Gauss-Seidel), which preserves the sequential sweep's
+            // convergence on circuits with coupled inputs.
+            weight_vector stepped_weights = res.weights;
+            for (std::size_t i = b0; i < b1; ++i) {
+                const std::vector<double>& p_lo = prepared[2 * (i - b0)];
+                const std::vector<double>& p_hi = prepared[2 * (i - b0) + 1];
+                bool any_dependence = false;
+                for (std::size_t k = 0; k < hard.size(); ++k) {
+                    const double slope = (p_hi[k] - p_lo[k]) / (hi - lo);
+                    const double at_zero = p_lo[k] - lo * slope;
+                    f01[k] = {at_zero, at_zero + slope};
+                    if (std::abs(slope) > 1e-15) any_dependence = true;
+                }
+                // A coordinate none of the relevant faults depends on is
+                // left alone (moving it to the midpoint would churn for
+                // nothing).
+                if (!any_dependence) continue;
+
+                const minimize_result m = minimize_single_input(
+                    f01, n_new, options.weight_min, options.weight_max);
+                const double stepped =
+                    std::clamp(m.y, res.weights[i] - options.trust_step,
+                               res.weights[i] + options.trust_step);
+                stepped_weights[i] = snap_to_grid(stepped, options.grid,
+                                                  options.weight_min,
+                                                  options.weight_max);
+            }
+            res.weights = std::move(stepped_weights);
         }
 
         // Re-ANALYSIS; the order of detection probabilities may have

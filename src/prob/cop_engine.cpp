@@ -21,6 +21,7 @@ cop_engine::cop_engine(const circuit_view& cv, weight_vector weights)
     pin_ = std::move(obs.pin);
 
     queued_.assign(cv.node_count(), 0);
+    in_union_.assign(cv.node_count(), 0);
     stem_dirty_.assign(cv.node_count(), 0);
     pin_dirty_.assign(cv.node_count(), 0);
     buckets_.resize(cv.depth() + 1);
@@ -52,25 +53,41 @@ void cop_engine::schedule(node_id n) {
     }
 }
 
-void cop_engine::set_input(std::size_t input_idx, double value) {
+void cop_engine::set_inputs(std::span<const input_move> moves) {
     const circuit_view& cv = *cv_;
-    require(input_idx < weights_.size(),
-            "cop_engine::set_input: input index out of range");
-    record(cell::weight, static_cast<std::uint32_t>(input_idx),
-           weights_[input_idx]);
-    weights_[input_idx] = value;
+    for (const input_move& m : moves) {
+        require(m.input < weights_.size(),
+                "cop_engine::set_inputs: input index out of range");
+        record(cell::weight, static_cast<std::uint32_t>(m.input),
+               weights_[m.input]);
+        weights_[m.input] = m.value;
+    }
 
-    // Forward: re-propagate signal probabilities over the input's
-    // precomputed fanout cone (topological order). Recomputing a cone
-    // node whose fanins kept their values reproduces its old value
-    // exactly, so no pre-check is needed; only genuine changes are
-    // recorded and propagated backward.
-    const node_id input_node = cv.inputs()[input_idx];
+    // Forward: re-propagate signal probabilities over the union of the
+    // moved inputs' fanout cones, in topological (ascending id) order.
+    // node_probability reads the already updated weights_ for input
+    // nodes, so the union sweep needs no per-move special case.
+    // Recomputing a cone node whose fanins kept their values reproduces
+    // its old value exactly, so no pre-check is needed; only genuine
+    // changes are recorded and propagated backward.
+    std::span<const node_id> cone;
+    if (moves.size() == 1) {
+        cone = cv.input_cone(moves.front().input);
+    } else {
+        union_nodes_.clear();
+        for (const input_move& m : moves)
+            for (node_id n : cv.input_cone(m.input))
+                if (!in_union_[n]) {
+                    in_union_[n] = 1;
+                    union_nodes_.push_back(n);
+                }
+        std::sort(union_nodes_.begin(), union_nodes_.end());
+        for (node_id n : union_nodes_) in_union_[n] = 0;
+        cone = union_nodes_;
+    }
     changed_nodes_.clear();
-    for (node_id n : cv.input_cone(input_idx)) {
-        const double nv =
-            n == input_node ? value
-                            : cop::node_probability(cv, p_, weights_, n);
+    for (node_id n : cone) {
+        const double nv = cop::node_probability(cv, p_, weights_, n);
         if (nv == p_[n]) continue;
         record(cell::prob, n, p_[n]);
         p_[n] = nv;

@@ -27,6 +27,7 @@
 #include "core/circuit_view.h"
 #include "fault/fault.h"
 #include "io/weights_io.h"
+#include "prob/probe.h"
 
 namespace wrpt {
 
@@ -52,7 +53,18 @@ public:
 
     /// Move input `input_idx` to probability `value` and re-propagate
     /// incrementally. Changes are appended to the undo log.
-    void set_input(std::size_t input_idx, double value);
+    void set_input(std::size_t input_idx, double value) {
+        const input_move m{input_idx, value};
+        set_inputs({&m, 1});
+    }
+
+    /// Apply several input moves as one incremental transaction: one
+    /// forward pass over the union of the moved inputs' fanout cones, one
+    /// event-driven backward pass, all changes in the same undo log. This
+    /// is how multi-input probes (saddle-escape candidates) avoid a full
+    /// rebuild: the transaction costs O(union of cones) and rolls back in
+    /// O(changes) like any single-input move.
+    void set_inputs(std::span<const input_move> moves);
 
     /// Undo log positions: mark() before a probe, rollback() to restore
     /// the exact prior state. commit() forgets history instead (after a
@@ -81,7 +93,9 @@ private:
     std::vector<double> pin_;   // pin observability, view pin layout
     std::vector<undo_entry> log_;
 
-    // Scratch for one set_input call.
+    // Scratch for one set_inputs call.
+    std::vector<node_id> union_nodes_;       // merged cones, topological
+    std::vector<std::uint8_t> in_union_;
     std::vector<node_id> changed_nodes_;
     std::vector<std::uint8_t> queued_;
     std::vector<std::uint8_t> stem_dirty_;

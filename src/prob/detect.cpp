@@ -1,10 +1,12 @@
 #include "prob/detect.h"
 
 #include <bit>
+#include <thread>
 
 #include "bdd/bdd.h"
 #include "core/circuit_view.h"
 #include "core/gate_eval.h"
+#include "exec/thread_pool.h"
 #include "prob/cop_engine.h"
 #include "prob/observability.h"
 #include "prob/signal_prob.h"
@@ -12,14 +14,31 @@
 #include "sim/logic_sim.h"
 #include "sim/patterns.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace wrpt {
 
 cop_detect_estimator::cop_detect_estimator() = default;
 cop_detect_estimator::~cop_detect_estimator() = default;
 
+void cop_detect_estimator::adopt_view(const circuit_view& cv) {
+    require(cv.has_input_cones(),
+            "cop estimator: adopted view compiled without input cones");
+    adopted_view_ = &cv;
+    view_.reset();
+    engine_.reset();
+    chunk_engines_.clear();
+    cached_revision_ = cv.source().revision();
+}
+
 const circuit_view& cop_detect_estimator::ensure_view(const netlist& nl,
                                                       bool engine_structures) {
+    // An adopted view (batch_session: compile once, share across every
+    // estimator working the circuit) short-circuits the cache, but only
+    // for the circuit it was compiled from.
+    if (adopted_view_ &&
+        adopted_view_->source().revision() == nl.revision())
+        return *adopted_view_;
     // Cache key is the netlist's structural revision stamp — exact under
     // address reuse and in-place mutation. The cone/transpose arrays only
     // exist for the incremental engine; the full-recompute path compiles
@@ -32,6 +51,7 @@ const circuit_view& cop_detect_estimator::ensure_view(const netlist& nl,
         co.driven_pins = engine_structures;
         view_ = std::make_unique<circuit_view>(circuit_view::compile(nl, co));
         engine_.reset();
+        chunk_engines_.clear();
         cached_revision_ = nl.revision();
     }
     return *view_;
@@ -46,25 +66,30 @@ cop_engine& cop_detect_estimator::ensure_engine(const netlist& nl,
                                                 const weight_vector& weights) {
     require(weights.size() == nl.input_count(),
             "cop estimator: weight count mismatch");
-    ensure_view(nl, true);
+    const circuit_view& cv = ensure_view(nl, true);
     if (engine_) {
-        const weight_vector& cur = engine_->weights();
-        std::size_t diffs = 0;
-        for (std::size_t i = 0; i < weights.size(); ++i)
-            if (cur[i] != weights[i]) ++diffs;
-        if (diffs == 0) return *engine_;
-        // The optimizer moves one coordinate at a time; follow small moves
-        // incrementally, rebuild on wholesale changes (starting vectors,
-        // saddle probes) where a fresh full analysis is cheaper.
-        if (diffs <= std::max<std::size_t>(4, weights.size() / 8)) {
-            for (std::size_t i = 0; i < weights.size(); ++i)
-                if (cur[i] != weights[i]) engine_->set_input(i, weights[i]);
-            engine_->commit();
-            return *engine_;
-        }
+        // Any base move — one coordinate after MINIMIZE or a wholesale
+        // jump to a saddle-escape winner — is one batched incremental
+        // transaction over the union of the moved cones; the engine is
+        // never rebuilt for a weight change.
+        const probe moves = probe_between(engine_->weights(), weights);
+        if (moves.empty()) return *engine_;
+        engine_->set_inputs(moves);
+        engine_->commit();
+        if (moves.size() > 1) ++stats_.batched_moves;
+        return *engine_;
     }
-    engine_ = std::make_unique<cop_engine>(*view_, weights);
+    engine_ = std::make_unique<cop_engine>(cv, weights);
+    ++stats_.engine_builds;
     return *engine_;
+}
+
+std::vector<double> cop_detect_estimator::read_faults(
+    const cop_engine& engine, const std::vector<fault>& faults) const {
+    std::vector<double> out;
+    out.reserve(faults.size());
+    for (const fault& f : faults) out.push_back(engine.fault_probability(f));
+    return out;
 }
 
 std::vector<double> cop_detect_estimator::estimate(
@@ -76,6 +101,7 @@ std::vector<double> cop_detect_estimator::estimate(
         // Full-recompute path (the benchmark baseline, and the fast path
         // for circuits with near-global cones): both testability sweeps
         // re-run per call over the cached view.
+        ++stats_.full_estimates;
         const circuit_view& cv = ensure_view(nl, false);
         const std::vector<double> p = cop_signal_probabilities(cv, weights);
         const observability_result obs = cop_observabilities(cv, p);
@@ -90,24 +116,74 @@ std::vector<double> cop_detect_estimator::estimate(
         }
         return out;
     }
-    cop_engine& engine = ensure_engine(nl, weights);
-    for (const fault& f : faults) out.push_back(engine.fault_probability(f));
-    return out;
+    return read_faults(ensure_engine(nl, weights), faults);
 }
 
-std::vector<double> cop_detect_estimator::estimate_input_delta(
+std::vector<std::vector<double>> cop_detect_estimator::estimate_probes(
     const netlist& nl, const std::vector<fault>& faults,
-    const weight_vector& base, std::size_t input, double value) {
-    if (!engine_applies(nl))
-        return detect_estimator::estimate_input_delta(nl, faults, base, input,
-                                                      value);
-    cop_engine& engine = ensure_engine(nl, base);
-    const cop_engine::checkpoint ck = engine.mark();
-    engine.set_input(input, value);
-    std::vector<double> out;
-    out.reserve(faults.size());
-    for (const fault& f : faults) out.push_back(engine.fault_probability(f));
-    engine.rollback(ck);
+    const weight_vector& base, std::span<const probe> probes) {
+    if (!engine_applies(nl)) {
+        // The default loops over estimate(), whose full-recompute path
+        // counts each call in stats_.full_estimates already.
+        return detect_estimator::estimate_probes(nl, faults, base, probes);
+    }
+    std::vector<std::vector<double>> out(probes.size());
+    unsigned threads = threads_ == 0
+                           ? std::max(1u, std::thread::hardware_concurrency())
+                           : threads_;
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, probes.size()));
+
+    for (const probe& p : probes)
+        if (p.size() > 1) ++stats_.batched_moves;
+    stats_.engine_probes += probes.size();
+
+    if (threads <= 1) {
+        // Sequential: every probe is a transaction on the cached engine —
+        // apply the moves, read the faults, roll back.
+        cop_engine& engine = ensure_engine(nl, base);
+        for (std::size_t k = 0; k < probes.size(); ++k) {
+            const cop_engine::checkpoint ck = engine.mark();
+            engine.set_inputs(probes[k]);
+            out[k] = read_faults(engine, faults);
+            engine.rollback(ck);
+        }
+        return out;
+    }
+
+    // Parallel: contiguous probe chunks, one cached engine per slot over
+    // the shared compiled view. Slot engines persist across batches and
+    // re-sync to the batch base by an incremental union-of-cones move, so
+    // a sweep issued as many small batches costs each slot one full
+    // analysis ever. A slot engine's state at `base` is bit-identical to
+    // the sequential engine's (the cop_engine invariant), so results do
+    // not depend on the thread count; they are keyed by probe index, so
+    // they do not depend on scheduling either.
+    const circuit_view& cv = ensure_view(nl, true);
+    const std::size_t chunk =
+        (probes.size() + threads - 1) / threads;
+    const std::size_t chunk_count = (probes.size() + chunk - 1) / chunk;
+    if (chunk_engines_.size() < chunk_count)
+        chunk_engines_.resize(chunk_count);
+    for (std::size_t c = 0; c < chunk_count; ++c)
+        if (!chunk_engines_[c]) ++stats_.engine_builds;
+    shared_thread_pool().parallel_for(chunk_count, [&](std::size_t c) {
+        std::unique_ptr<cop_engine>& engine = chunk_engines_[c];
+        if (!engine) {
+            engine = std::make_unique<cop_engine>(cv, base);
+        } else {
+            engine->set_inputs(probe_between(engine->weights(), base));
+            engine->commit();
+        }
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, probes.size());
+        for (std::size_t k = begin; k < end; ++k) {
+            const cop_engine::checkpoint ck = engine->mark();
+            engine->set_inputs(probes[k]);
+            out[k] = read_faults(*engine, faults);
+            engine->rollback(ck);
+        }
+    });
     return out;
 }
 
@@ -218,10 +294,33 @@ void exact_detect_estimator::rebuild(const netlist& nl,
 std::vector<double> mc_detect_estimator::estimate(
     const netlist& nl, const std::vector<fault>& faults,
     const weight_vector& weights) {
+    return estimate_seeded(nl, faults, weights, seed_);
+}
+
+std::vector<std::vector<double>> mc_detect_estimator::estimate_probes(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& base, std::span<const probe> probes) {
+    std::vector<std::vector<double>> out(probes.size());
+    for (std::size_t k = 0; k < probes.size(); ++k) {
+        // Private stream per probe, derived from (seed, probe index):
+        // answers are a pure function of the probe's position in the
+        // batch, never of what other probes ran before it (or on which
+        // thread).
+        std::uint64_t state = seed_ ^ (0x9e3779b97f4a7c15ULL * (k + 1));
+        const std::uint64_t probe_seed = splitmix64_next(state);
+        out[k] = estimate_seeded(nl, faults, apply_probe(base, probes[k]),
+                                 probe_seed);
+    }
+    return out;
+}
+
+std::vector<double> mc_detect_estimator::estimate_seeded(
+    const netlist& nl, const std::vector<fault>& faults,
+    const weight_vector& weights, std::uint64_t seed) const {
     require(weights.size() == nl.input_count(),
             "mc estimator: weight count mismatch");
     simulator sim(nl);
-    weighted_random_source source(weights, seed_);
+    weighted_random_source source(weights, seed);
     std::vector<std::uint64_t> hits(faults.size(), 0);
     std::vector<std::uint64_t> words;
     std::uint64_t applied = 0;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "fault/fault.h"
 #include "io/weights_io.h"
 #include "netlist/netlist.h"
+#include "prob/probe.h"
 
 namespace wrpt {
 
@@ -40,16 +42,37 @@ public:
                                          const std::vector<fault>& faults,
                                          const weight_vector& weights) = 0;
 
-    /// Detection probabilities at `base` with only input `input` moved to
-    /// `value` — the optimizer's PREPARE query shape (two calls per
-    /// coordinate). The default materializes the perturbed vector and runs
-    /// a full estimate(); engines with incremental state override it.
-    virtual std::vector<double> estimate_input_delta(
+    /// Batched PREPARE surface: detection probabilities at `base` with
+    /// each probe's moves applied transiently, one result vector per
+    /// probe (results[k][j] is fault j under probe k). Probes are
+    /// independent given `base`, so implementations may answer them
+    /// incrementally, out of order, or in parallel — but results are
+    /// keyed by probe index, so the output is identical either way. The
+    /// default materializes each probe's vector and runs a full
+    /// estimate().
+    virtual std::vector<std::vector<double>> estimate_probes(
         const netlist& nl, const std::vector<fault>& faults,
-        const weight_vector& base, std::size_t input, double value) {
-        weight_vector w = base;
-        w[input] = value;
-        return estimate(nl, faults, w);
+        const weight_vector& base, std::span<const probe> probes) {
+        std::vector<std::vector<double>> out(probes.size());
+        for (std::size_t k = 0; k < probes.size(); ++k)
+            out[k] = estimate(nl, faults, apply_probe(base, probes[k]));
+        return out;
+    }
+
+    /// Worker-thread hint for estimators whose estimate_probes can
+    /// execute probes in parallel (1 = sequential). Purely a performance
+    /// knob: results do not depend on it.
+    virtual void set_threads(unsigned) {}
+
+    /// Single-input convenience: one probe moving `input` to `value` —
+    /// the historical PREPARE query shape, now a wrapper over the batch.
+    std::vector<double> estimate_input_delta(const netlist& nl,
+                                             const std::vector<fault>& faults,
+                                             const weight_vector& base,
+                                             std::size_t input, double value) {
+        const probe p{{input, value}};
+        return std::move(
+            estimate_probes(nl, faults, base, {&p, 1}).front());
     }
 };
 
@@ -66,15 +89,36 @@ public:
     std::vector<double> estimate(const netlist& nl,
                                  const std::vector<fault>& faults,
                                  const weight_vector& weights) override;
-    std::vector<double> estimate_input_delta(const netlist& nl,
-                                             const std::vector<fault>& faults,
-                                             const weight_vector& base,
-                                             std::size_t input,
-                                             double value) override;
+
+    /// Batched probes over the incremental engine: each probe is one
+    /// multi-input cop_engine transaction (union-of-cones move) answered
+    /// from the shared base state and rolled back. With threads > 1 the
+    /// probe list is executed by per-thread engines over the shared
+    /// compiled circuit_view; results are keyed by probe index and
+    /// bit-identical to the sequential path for every thread count.
+    std::vector<std::vector<double>> estimate_probes(
+        const netlist& nl, const std::vector<fault>& faults,
+        const weight_vector& base, std::span<const probe> probes) override;
+
+    /// Worker threads for estimate_probes (0 = one per hardware thread,
+    /// 1 = sequential). Results are independent of the setting.
+    void set_threads(unsigned threads) override { threads_ = threads; }
 
     /// Disable the incremental path (full recompute per query) — the
     /// benchmark baseline for the PREPARE speedup.
     void set_incremental(bool on) { incremental_ = on; }
+
+    /// Cost counters (cumulative since construction). The optimizer's
+    /// efficiency tests assert on these: a saddle-escape probe must ride
+    /// the incremental engine (engine_probes) instead of forcing another
+    /// full analysis (engine_builds stays put).
+    struct counters {
+        std::size_t engine_builds = 0;   ///< full cop_engine analyses
+        std::size_t engine_probes = 0;   ///< probes answered incrementally
+        std::size_t batched_moves = 0;   ///< multi-input transactions
+        std::size_t full_estimates = 0;  ///< full-recompute estimate() calls
+    };
+    const counters& stats() const { return stats_; }
 
     /// The engine only pays off when input cones are small relative to
     /// the circuit (a full COP re-analysis over a warm view is a tight
@@ -85,18 +129,35 @@ public:
     /// equivalence tests).
     void set_engine_cone_limit(double limit) { engine_cone_limit_ = limit; }
 
+    /// Share an externally compiled view (must be compiled with
+    /// input_cones + driven_pins, outlive the estimator, and belong to
+    /// every netlist later passed in — checked by revision stamp). The
+    /// batch_session compiles each circuit once and hands the view to
+    /// every estimator working on it.
+    void adopt_view(const class circuit_view& cv);
+
 private:
     const class circuit_view& ensure_view(const netlist& nl,
                                           bool engine_structures);
     class cop_engine& ensure_engine(const netlist& nl,
                                     const weight_vector& weights);
     bool engine_applies(const netlist& nl);
+    std::vector<double> read_faults(const class cop_engine& engine,
+                                    const std::vector<fault>& faults) const;
 
     bool incremental_ = true;
+    unsigned threads_ = 1;
     double engine_cone_limit_ = 0.15;
     std::uint64_t cached_revision_ = 0;
+    const class circuit_view* adopted_view_ = nullptr;
     std::unique_ptr<class circuit_view> view_;
     std::unique_ptr<class cop_engine> engine_;
+    // Per-slot engines for the parallel probe path, kept across batches:
+    // slot c serves probe chunk c of a batch and re-syncs to the batch
+    // base by incremental moves, so a sweep of many small batches costs
+    // each slot one full analysis ever, not one per batch.
+    std::vector<std::unique_ptr<class cop_engine>> chunk_engines_;
+    counters stats_;
 };
 
 /// Exact estimator via BDD Boolean difference. Throws budget_exhausted when
@@ -143,7 +204,20 @@ public:
                                  const std::vector<fault>& faults,
                                  const weight_vector& weights) override;
 
+    /// Probe k draws its patterns from a private stream derived from
+    /// (seed, probe index) — not from state shared across probes — so a
+    /// batch gives the same answers whatever order or thread executes
+    /// the probes.
+    std::vector<std::vector<double>> estimate_probes(
+        const netlist& nl, const std::vector<fault>& faults,
+        const weight_vector& base, std::span<const probe> probes) override;
+
 private:
+    std::vector<double> estimate_seeded(const netlist& nl,
+                                        const std::vector<fault>& faults,
+                                        const weight_vector& weights,
+                                        std::uint64_t seed) const;
+
     std::uint64_t patterns_;
     std::uint64_t seed_;
 };

@@ -1,0 +1,48 @@
+// A probe: a set of simultaneous {input, value} moves evaluated from a
+// base weight vector — the unit of the batched PREPARE interface.
+//
+// The optimizer's coordinate sweep asks "what are the detection
+// probabilities with input i moved to lo / hi?" for every input; the
+// saddle escape asks the same for wholesale perturbations of the whole
+// vector. Both are probes: transient weight changes whose results are
+// read and then discarded. Phrasing them as data lets estimators batch
+// them (one call per sweep), answer them incrementally (union-of-cones
+// moves with a single rollback), and execute them in parallel (each probe
+// is independent given the base vector).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "io/weights_io.h"
+
+namespace wrpt {
+
+/// One input move within a probe.
+struct input_move {
+    std::size_t input;  ///< index into netlist::inputs()
+    double value;       ///< new probability for that input
+};
+
+/// A set of simultaneous moves from the base vector.
+using probe = std::vector<input_move>;
+
+/// Materialize the weight vector a probe describes.
+inline weight_vector apply_probe(const weight_vector& base, const probe& p) {
+    weight_vector w = base;
+    for (const input_move& m : p) w[m.input] = m.value;
+    return w;
+}
+
+/// The probe that turns `base` into `target` (moves for every differing
+/// coordinate) — how the saddle escape phrases its candidate vectors.
+inline probe probe_between(const weight_vector& base,
+                           const weight_vector& target) {
+    probe p;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        if (base[i] != target[i]) p.push_back({i, target[i]});
+    return p;
+}
+
+}  // namespace wrpt

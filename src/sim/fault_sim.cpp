@@ -216,12 +216,11 @@ fault_sim_result run_parallel(const circuit_view& cv,
 
 }  // namespace
 
-fault_sim_result run_fault_simulation(const netlist& nl,
+fault_sim_result run_fault_simulation(const circuit_view& cv,
                                       const std::vector<fault>& faults,
                                       pattern_source& source,
                                       const fault_sim_options& options) {
     require(options.max_patterns > 0, "fault sim: max_patterns must be > 0");
-    const circuit_view cv = circuit_view::compile(nl);
     unsigned threads = options.threads;
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
@@ -230,9 +229,54 @@ fault_sim_result run_fault_simulation(const netlist& nl,
     const std::uint64_t block_count = (options.max_patterns + 63) / 64;
     threads = static_cast<unsigned>(
         std::min<std::uint64_t>(threads, block_count));
+
+    // Cache-friendly fault ordering: simulate in fault-site level /
+    // topological-id order so consecutive detect-mask wavefronts launch
+    // from neighboring nodes and reuse warm scratch state. Per-fault
+    // results do not depend on list position, so the permutation is
+    // invisible to the caller — results come back in input order.
+    if (options.order_faults && faults.size() > 1) {
+        std::vector<std::size_t> order(faults.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             const fault& fa = faults[a];
+                             const fault& fb = faults[b];
+                             if (cv.level(fa.where) != cv.level(fb.where))
+                                 return cv.level(fa.where) <
+                                        cv.level(fb.where);
+                             if (fa.where != fb.where)
+                                 return fa.where < fb.where;
+                             return fa.pin < fb.pin;
+                         });
+        std::vector<fault> sorted;
+        sorted.reserve(faults.size());
+        for (std::size_t i : order) sorted.push_back(faults[i]);
+        fault_sim_options inner = options;
+        inner.order_faults = false;
+        fault_sim_result permuted =
+            (threads <= 1) ? run_sequential(cv, sorted, source, inner)
+                           : run_parallel(cv, sorted, source, inner, threads);
+        fault_sim_result res;
+        res.patterns_applied = permuted.patterns_applied;
+        res.detected_count = permuted.detected_count;
+        res.first_detected.resize(faults.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            res.first_detected[order[i]] = permuted.first_detected[i];
+        return res;
+    }
+
     if (threads <= 1 || faults.empty())
         return run_sequential(cv, faults, source, options);
     return run_parallel(cv, faults, source, options, threads);
+}
+
+fault_sim_result run_fault_simulation(const netlist& nl,
+                                      const std::vector<fault>& faults,
+                                      pattern_source& source,
+                                      const fault_sim_options& options) {
+    const circuit_view cv = circuit_view::compile(nl);
+    return run_fault_simulation(cv, faults, source, options);
 }
 
 fault_sim_result run_weighted_fault_simulation(

@@ -13,6 +13,8 @@
 
 namespace wrpt {
 
+class circuit_view;
+
 struct fault_sim_options {
     std::uint64_t max_patterns = 4096;
     bool drop_detected = true;  ///< stop simulating a fault once detected
@@ -25,6 +27,14 @@ struct fault_sim_options {
     /// `threads` blocks more than the sequential path before the
     /// all-detected early exit stops the workers.
     unsigned threads = 0;
+    /// Simulate faults in fault-site level / topological-id order instead
+    /// of list order, so consecutive detect-mask wavefronts start in the
+    /// same circuit region and reuse warm event-queue and value scratch.
+    /// Results are reported in the caller's fault order either way (a
+    /// fault's first detection does not depend on its neighbors), so this
+    /// is purely a cache locality knob — measured by the perf_kernels
+    /// fault-sim counters.
+    bool order_faults = true;
 };
 
 struct fault_sim_result {
@@ -48,6 +58,14 @@ struct fault_sim_result {
 
 /// Simulate `faults` against patterns from `source`.
 fault_sim_result run_fault_simulation(const netlist& nl,
+                                      const std::vector<fault>& faults,
+                                      pattern_source& source,
+                                      const fault_sim_options& options);
+
+/// Same, over an already compiled view — the batch_session path, where
+/// every job on a circuit shares one compiled view instead of each run
+/// recompiling it.
+fault_sim_result run_fault_simulation(const circuit_view& cv,
                                       const std::vector<fault>& faults,
                                       pattern_source& source,
                                       const fault_sim_options& options);

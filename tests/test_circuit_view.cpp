@@ -134,6 +134,76 @@ TEST_P(view_seeds, incremental_cop_update_matches_full_recompute) {
     }
 }
 
+TEST_P(view_seeds, multi_input_move_matches_full_recompute) {
+    // set_inputs with several simultaneous moves (the saddle-escape probe
+    // shape) must land on exactly the state a full recompute produces:
+    // one forward pass over the union of the moved cones, one backward
+    // pass.
+    const netlist nl = make_test_circuit(GetParam());
+    const circuit_view cv = compile_with_cones(nl);
+
+    weight_vector w(nl.input_count(), 0.5);
+    cop_engine engine(cv, w);
+
+    rng r(GetParam() * 57 + 11);
+    for (int step = 0; step < 10; ++step) {
+        const std::size_t count = 1 + r.next_below(nl.input_count());
+        probe moves;
+        std::vector<std::uint8_t> used(nl.input_count(), 0);
+        for (std::size_t m = 0; m < count; ++m) {
+            const std::size_t i = r.next_below(nl.input_count());
+            if (used[i]) continue;
+            used[i] = 1;
+            const double v = 0.05 + 0.9 * r.next_double();
+            moves.push_back({i, v});
+            w[i] = v;
+        }
+        engine.set_inputs(moves);
+
+        const std::vector<double> full_p = cop_signal_probabilities(cv, w);
+        const observability_result full_obs = cop_observabilities(cv, full_p);
+        for (node_id n = 0; n < nl.node_count(); ++n) {
+            ASSERT_DOUBLE_EQ(engine.probabilities()[n], full_p[n])
+                << "node " << n << " step " << step;
+            ASSERT_DOUBLE_EQ(engine.stem_observability()[n], full_obs.stem[n])
+                << "node " << n << " step " << step;
+            for (std::size_t k = 0; k < nl.fanin_count(n); ++k)
+                ASSERT_DOUBLE_EQ(engine.pin_observability(n, k),
+                                 full_obs.pin_obs(n, k))
+                    << "pin " << n << "." << k << " step " << step;
+        }
+    }
+}
+
+TEST_P(view_seeds, multi_input_move_rollback_restores_exact_state) {
+    const netlist nl = make_test_circuit(GetParam());
+    const circuit_view cv = compile_with_cones(nl);
+    weight_vector w(nl.input_count());
+    rng r(GetParam() + 29);
+    for (double& x : w) x = 0.1 + 0.8 * r.next_double();
+    cop_engine engine(cv, w);
+
+    const std::vector<double> p_before(engine.probabilities().begin(),
+                                       engine.probabilities().end());
+    const std::vector<double> stem_before(engine.stem_observability().begin(),
+                                          engine.stem_observability().end());
+
+    for (int round = 0; round < 6; ++round) {
+        probe moves;
+        for (std::size_t i = 0; i < nl.input_count(); i += 1 + round % 3)
+            moves.push_back({i, round % 2 == 0 ? 0.05 : 0.95});
+        const cop_engine::checkpoint ck = engine.mark();
+        engine.set_inputs(moves);
+        engine.rollback(ck);
+    }
+    EXPECT_EQ(engine.weights(), w);
+    for (node_id n = 0; n < nl.node_count(); ++n) {
+        ASSERT_EQ(engine.probabilities()[n], p_before[n]) << "node " << n;
+        ASSERT_EQ(engine.stem_observability()[n], stem_before[n])
+            << "node " << n;
+    }
+}
+
 TEST_P(view_seeds, cop_engine_rollback_restores_exact_state) {
     const netlist nl = make_test_circuit(GetParam());
     const circuit_view cv = compile_with_cones(nl);

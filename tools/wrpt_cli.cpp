@@ -3,22 +3,32 @@
 //   wrpt_cli stats    <circuit>
 //   wrpt_cli lengths  <circuit> [--confidence 0.999] [--estimator cop]
 //   wrpt_cli optimize <circuit> [--out weights.txt] [--estimator cop]
+//                     [--threads N]
 //   wrpt_cli simulate <circuit> [--weights file] [--patterns 4096]
 //   wrpt_cli atpg     <circuit> [--backtracks 512]
 //   wrpt_cli selftest <circuit> [--weights file] [--patterns 4096]
+//   wrpt_cli batch    <dir>     [--threads N] [--optimize 1]
+//                     [--patterns 4096] [--confidence 0.999]
 //
 // <circuit> is either a .bench file path or a suite name (S1, S2, c432,
 // c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
+// `batch` serves every .bench file under <dir> through one batch_session:
+// compile once, then run test-length / optimize / fault-sim jobs for all
+// circuits concurrently on the session pool.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "atpg/compact.h"
 #include "atpg/podem.h"
 #include "bist/session.h"
+#include "exec/batch_session.h"
 #include "fault/fault.h"
 #include "gen/suite.h"
 #include "io/bench_io.h"
@@ -102,6 +112,10 @@ int cmd_optimize(const cli_options& opt) {
     const netlist nl = load_circuit(opt.circuit);
     const auto faults = generate_full_faults(nl);
     auto estimator = make_estimator(opt.flag("estimator", "cop"));
+    // Batched PREPARE on per-thread engines; results are bit-identical
+    // for every thread count.
+    estimator->set_threads(
+        static_cast<unsigned>(opt.flag_u64("threads", 1)));
     optimize_options oo;
     oo.confidence = opt.flag_double("confidence", 0.999);
     stopwatch sw;
@@ -172,14 +186,85 @@ int cmd_selftest(const cli_options& opt) {
     return 0;
 }
 
+int cmd_batch(const cli_options& opt) {
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(opt.circuit)) {
+        std::fprintf(stderr, "batch: '%s' is not a directory\n",
+                     opt.circuit.c_str());
+        return 1;
+    }
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(opt.circuit))
+        if (entry.is_regular_file() && entry.path().extension() == ".bench")
+            files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::fprintf(stderr, "batch: no .bench files under %s\n",
+                     opt.circuit.c_str());
+        return 1;
+    }
+
+    batch_session::options so;
+    so.threads = static_cast<unsigned>(opt.flag_u64("threads", 0));
+    so.confidence = opt.flag_double("confidence", 0.999);
+    batch_session session(so);
+    stopwatch compile_sw;
+    for (const std::string& f : files) session.add_circuit_file(f);
+    const double compile_s = compile_sw.seconds();
+
+    const bool optimize = opt.flag_u64("optimize", 1) != 0;
+    std::vector<batch_session::job> jobs;
+    for (std::size_t c = 0; c < session.circuit_count(); ++c) {
+        batch_session::job j;
+        j.circuit = c;
+        j.kind = optimize ? batch_session::job_kind::optimize
+                          : batch_session::job_kind::test_length;
+        j.opt.confidence = so.confidence;
+        jobs.push_back(j);
+
+        batch_session::job s;
+        s.circuit = c;
+        s.kind = batch_session::job_kind::fault_sim;
+        s.patterns = opt.flag_u64("patterns", 4096);
+        s.seed = opt.flag_u64("seed", 1);
+        jobs.push_back(s);
+    }
+    stopwatch run_sw;
+    const auto results = session.run(jobs);
+    const double run_s = run_sw.seconds();
+
+    std::printf("%zu circuits compiled in %.2f s, %zu jobs in %.2f s\n",
+                session.circuit_count(), compile_s, jobs.size(), run_s);
+    for (std::size_t c = 0; c < session.circuit_count(); ++c) {
+        const auto& ra = results[2 * c];
+        const auto& rs = results[2 * c + 1];
+        const netlist& nl = session.circuit(c);
+        std::printf("%-24s rev %llu  inputs %4zu  faults %5zu  ",
+                    nl.name().c_str(),
+                    static_cast<unsigned long long>(ra.revision),
+                    nl.input_count(), session.faults(c).size());
+        if (optimize)
+            std::printf("N %.4g -> %.4g  ",
+                        ra.optimized.initial_test_length,
+                        ra.optimized.final_test_length);
+        else if (ra.length.feasible)
+            std::printf("N %.4g  ", ra.length.test_length);
+        else
+            std::printf("N infeasible  ");
+        std::printf("coverage %.2f%% @ %llu patterns\n", rs.coverage_percent,
+                    static_cast<unsigned long long>(rs.patterns_applied));
+    }
+    return 0;
+}
+
 int usage() {
     std::fprintf(
         stderr,
-        "usage: wrpt_cli <stats|lengths|optimize|simulate|atpg|selftest> "
-        "<circuit> [--flag value]...\n"
+        "usage: wrpt_cli <stats|lengths|optimize|simulate|atpg|selftest|"
+        "batch> <circuit|dir> [--flag value]...\n"
         "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
         "  flags: --confidence --estimator --weights --out --patterns "
-        "--seed --backtracks\n");
+        "--seed --backtracks --threads --optimize\n");
     return 64;
 }
 
@@ -202,6 +287,7 @@ int main(int argc, char** argv) {
         if (opt.command == "simulate") return cmd_simulate(opt);
         if (opt.command == "atpg") return cmd_atpg(opt);
         if (opt.command == "selftest") return cmd_selftest(opt);
+        if (opt.command == "batch") return cmd_batch(opt);
         return usage();
     } catch (const wrpt::error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
