@@ -53,6 +53,30 @@ void bm_analysis(benchmark::State& state, const std::string& name) {
         benchmark::Counter::kIsRate);
 }
 
+/// Sharded ANALYSIS (the optimizer's per-sweep full fault read) on
+/// `threads` pool engines — the speedup curve for BENCH_analysis.json.
+/// Same probabilities for every thread count; only the wall clock moves.
+void bm_analysis_sharded(benchmark::State& state, const std::string& name,
+                         unsigned threads) {
+    const netlist nl = name == "sharded" ? make_sharded_comparators(224, 8)
+                                         : build_suite_circuit(name);
+    const auto faults = generate_full_faults(nl);
+    cop_detect_estimator analysis;
+    analysis.set_engine_cone_limit(1.0);  // engine path (pool shards)
+    const weight_vector w = uniform_weights(nl);
+    for (auto _ : state) {
+        auto probs = analysis.estimate_faults(
+            nl, {faults.data(), faults.size()}, w, threads);
+        benchmark::DoNotOptimize(probs.data());
+    }
+    state.counters["threads"] = static_cast<double>(threads);
+    state.counters["faults"] = static_cast<double>(faults.size());
+    state.counters["faults/s"] = benchmark::Counter(
+        static_cast<double>(faults.size()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
 netlist build_sweep_circuit(const std::string& name) {
     // The sharded array is the largest circuit gen/ builds: wide, with
     // input fanout cones confined to a slice pair plus the compactor —
@@ -165,6 +189,17 @@ BENCHMARK_CAPTURE(bm_fault_sim, c7552_1k, std::string("c7552"), 1024)
 BENCHMARK_CAPTURE(bm_fault_sim, c7552_1k_unordered, std::string("c7552"),
                   1024, false)
     ->Unit(benchmark::kMillisecond);
+
+// The sharded-ANALYSIS speedup curve for BENCH JSON: the full fault-list
+// read of the big sharded array at 1/2/4/8 threads.
+BENCHMARK_CAPTURE(bm_analysis_sharded, sharded_t1, std::string("sharded"), 1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_analysis_sharded, sharded_t2, std::string("sharded"), 2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_analysis_sharded, sharded_t4, std::string("sharded"), 4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_analysis_sharded, sharded_t8, std::string("sharded"), 8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_CAPTURE(bm_analysis, S1, std::string("S1"))
     ->Unit(benchmark::kMillisecond);

@@ -1,5 +1,6 @@
 #include "exec/batch_session.h"
 
+#include "exec/engine_pool.h"
 #include "exec/thread_pool.h"
 #include "io/bench_io.h"
 #include "prob/detect.h"
@@ -24,6 +25,7 @@ std::size_t batch_session::add_circuit(netlist nl) {
     cc.view = std::make_unique<circuit_view>(
         circuit_view::compile(*cc.nl, co));
     cc.faults = generate_full_faults(*cc.nl);
+    cc.pool = std::make_unique<engine_pool>(*cc.view);
     circuits_.push_back(std::move(cc));
     return circuits_.size() - 1;
 }
@@ -47,6 +49,11 @@ const std::vector<fault>& batch_session::faults(std::size_t handle) const {
     return circuits_[handle].faults;
 }
 
+const engine_pool& batch_session::pool(std::size_t handle) const {
+    require(handle < circuits_.size(), "batch_session: bad circuit handle");
+    return *circuits_[handle].pool;
+}
+
 batch_session::result batch_session::run_one(const job& j) const {
     require(j.circuit < circuits_.size(), "batch_session: bad circuit handle");
     const compiled_circuit& cc = circuits_[j.circuit];
@@ -65,25 +72,28 @@ batch_session::result batch_session::run_one(const job& j) const {
     switch (j.kind) {
         case job_kind::test_length: {
             cop_detect_estimator analysis;
-            analysis.adopt_view(*cc.view);
+            // Adopting the circuit's warm pool shares engines built by
+            // earlier jobs and earlier run() calls; the estimator's own
+            // state stays private.
+            analysis.adopt_pool(*cc.pool);
             const double conf =
                 j.confidence > 0.0 ? j.confidence : options_.confidence;
             r.length = required_test_length(nl, cc.faults, analysis, weights,
-                                            conf);
+                                            conf, j.opt.threads);
             break;
         }
         case job_kind::optimize: {
             cop_detect_estimator analysis;
-            analysis.adopt_view(*cc.view);
-            // Probe parallelism stays inside the job's own slice of the
-            // pool: jobs are the outer parallel dimension here, so each
-            // job runs its probe batches sequentially.
-            analysis.set_threads(1);
+            analysis.adopt_pool(*cc.pool);
+            // Stage/probe parallelism stays inside the job's own slice
+            // of the pool: jobs are the outer parallel dimension here,
+            // so each job defaults to sequential stages (opt.threads 1).
+            analysis.set_threads(j.opt.threads);
             r.optimized =
                 optimize_weights(nl, cc.faults, analysis, weights, j.opt);
             r.length = required_test_length(nl, cc.faults, analysis,
                                             r.optimized.weights,
-                                            j.opt.confidence);
+                                            j.opt.confidence, j.opt.threads);
             break;
         }
         case job_kind::fault_sim: {

@@ -8,9 +8,16 @@
 // runs, required-test-length queries, weighted fault simulations — that
 // execute concurrently on the work-stealing pool. Every job gets private
 // estimator/simulator state over the shared immutable view, so the only
-// sharing is read-only; results are written into a slot per job, keyed by
+// mutable sharing is the per-circuit engine_pool (mutex-guarded
+// checkout/return); results are written into a slot per job, keyed by
 // the circuit's revision stamp, and are bit-identical to running the same
 // jobs sequentially.
+//
+// Cross-request reuse: each circuit keeps one warm engine_pool for the
+// session's lifetime. Engines built by one run() call go back warm and
+// serve the next call after an incremental re-sync, so a long-lived
+// session never pays the full-analysis build twice for the same
+// concurrency level — asserted via pool(h).stats().hits in the tests.
 
 #pragma once
 
@@ -27,6 +34,7 @@
 
 namespace wrpt {
 
+class engine_pool;
 class thread_pool;
 
 class batch_session {
@@ -57,6 +65,9 @@ public:
     const netlist& circuit(std::size_t handle) const;
     const circuit_view& view(std::size_t handle) const;
     const std::vector<fault>& faults(std::size_t handle) const;
+    /// The circuit's warm engine pool (shared by every job working it;
+    /// stats() exposes the cross-run hit/miss counters).
+    const engine_pool& pool(std::size_t handle) const;
 
     enum class job_kind : std::uint8_t {
         test_length,  ///< ANALYSIS + NORMALIZE at fixed weights
@@ -70,7 +81,9 @@ public:
         /// Weights: evaluation point (test_length, fault_sim) or starting
         /// vector (optimize). Empty = uniform 0.5.
         weight_vector weights;
-        /// optimize jobs only.
+        /// optimize jobs; opt.threads also shards the ANALYSIS/NORMALIZE
+        /// stages of test_length jobs (default 1: jobs are the outer
+        /// parallel dimension, so each job keeps its stages sequential).
         optimize_options opt;
         /// fault_sim jobs only.
         std::uint64_t patterns = 4096;
@@ -111,6 +124,9 @@ private:
         std::unique_ptr<netlist> nl;   // stable address for views/results
         std::unique_ptr<circuit_view> view;
         std::vector<fault> faults;
+        // Warm engines over `view`, kept across run() calls; every job's
+        // estimator adopts this pool instead of growing its own.
+        std::unique_ptr<engine_pool> pool;
     };
 
     result run_one(const job& j) const;

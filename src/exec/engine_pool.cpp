@@ -1,0 +1,97 @@
+#include "exec/engine_pool.h"
+
+#include "core/circuit_view.h"
+#include "prob/cop_engine.h"
+#include "prob/probe.h"
+#include "util/error.h"
+
+namespace wrpt {
+
+engine_pool::engine_pool(const circuit_view& cv) : cv_(&cv) {
+    require(cv.has_input_cones(),
+            "engine_pool: view compiled without input cones");
+}
+
+engine_pool::~engine_pool() = default;
+
+std::uint64_t engine_pool::revision() const {
+    return cv_->source().revision();
+}
+
+engine_pool::lease::lease(engine_pool* pool, std::unique_ptr<cop_engine> e,
+                          bool fresh)
+    : pool_(pool), engine_(std::move(e)), fresh_(fresh) {}
+
+engine_pool::lease::lease(lease&& other) noexcept
+    : pool_(other.pool_),
+      engine_(std::move(other.engine_)),
+      fresh_(other.fresh_) {
+    other.pool_ = nullptr;
+}
+
+engine_pool::lease& engine_pool::lease::operator=(lease&& other) noexcept {
+    if (this != &other) {
+        if (pool_ && engine_) pool_->give_back(std::move(engine_));
+        pool_ = other.pool_;
+        engine_ = std::move(other.engine_);
+        fresh_ = other.fresh_;
+        other.pool_ = nullptr;
+    }
+    return *this;
+}
+
+engine_pool::lease::~lease() {
+    if (pool_ && engine_) pool_->give_back(std::move(engine_));
+}
+
+engine_pool::lease engine_pool::checkout(const weight_vector& base) {
+    require(base.size() == cv_->source().input_count(),
+            "engine_pool: weight count mismatch");
+    std::unique_ptr<cop_engine> engine;
+    {
+        std::scoped_lock lock(mutex_);
+        if (free_.empty()) {
+            ++stats_.misses;
+            ++total_;
+        } else {
+            ++stats_.hits;
+            engine = std::move(free_.back());
+            free_.pop_back();
+        }
+    }
+    if (!engine) {
+        // Build outside the lock: concurrent first checkouts analyze in
+        // parallel instead of queueing behind one build.
+        return lease(this, std::make_unique<cop_engine>(*cv_, base), true);
+    }
+    const probe moves = probe_between(engine->weights(), base);
+    if (!moves.empty()) {
+        engine->set_inputs(moves);
+        engine->commit();
+        std::scoped_lock lock(mutex_);
+        ++stats_.resyncs;
+    }
+    return lease(this, std::move(engine), false);
+}
+
+engine_pool::counters engine_pool::stats() const {
+    std::scoped_lock lock(mutex_);
+    return stats_;
+}
+
+std::size_t engine_pool::size() const {
+    std::scoped_lock lock(mutex_);
+    return total_;
+}
+
+std::size_t engine_pool::warm_count() const {
+    std::scoped_lock lock(mutex_);
+    return free_.size();
+}
+
+void engine_pool::give_back(std::unique_ptr<cop_engine> engine) {
+    std::scoped_lock lock(mutex_);
+    free_.push_back(std::move(engine));
+}
+
+}  // namespace wrpt

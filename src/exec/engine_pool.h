@@ -1,0 +1,105 @@
+// Shared pool of incremental COP engines over one compiled circuit_view —
+// the exec-layer component under every parallel ANALYSIS/PREPARE path.
+//
+// An engine (cop_engine) is expensive to build (one full testability
+// analysis) and cheap to move (incremental union-of-cones transactions),
+// so the right ownership model is a pool: engines are built lazily when
+// every existing one is on loan, kept warm when returned, and re-synced
+// to a caller's base vector by an incremental move on the next checkout.
+// The pool is keyed by the view's revision stamp; a circuit change means
+// a new pool, never a silent stale engine.
+//
+// Concurrency contract: checkout()/return and the counters are
+// mutex-guarded; the engine handed out by a lease is exclusively owned by
+// the holder until the lease dies, and only ever touches the shared
+// *immutable* view. Determinism: a cop_engine's state at a given weight
+// vector is bit-identical however it got there (the cop_engine
+// invariant), so computations that key their results by fault/probe index
+// do not depend on which pool engine served them — the property every
+// sharded stage in opt/ rests on.
+//
+// Both prob (cop_detect_estimator's sharded ANALYSIS and parallel
+// PREPARE) and exec (batch_session's per-circuit warm pools shared across
+// run() calls) sit on this type.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "io/weights_io.h"
+
+namespace wrpt {
+
+class circuit_view;
+class cop_engine;
+
+class engine_pool {
+public:
+    /// The view must outlive the pool and be compiled with input_cones
+    /// (checked). No engine is built until the first checkout.
+    explicit engine_pool(const circuit_view& cv);
+    ~engine_pool();
+
+    engine_pool(const engine_pool&) = delete;
+    engine_pool& operator=(const engine_pool&) = delete;
+
+    const circuit_view& view() const { return *cv_; }
+    /// Revision stamp of the netlist the pooled engines analyze.
+    std::uint64_t revision() const;
+
+    /// Exclusive loan of one engine. Move-only; returns the engine to the
+    /// pool (warm, at whatever weights it last held) on destruction.
+    class lease {
+    public:
+        lease() = default;
+        lease(lease&& other) noexcept;
+        lease& operator=(lease&& other) noexcept;
+        ~lease();
+
+        cop_engine& engine() { return *engine_; }
+        const cop_engine& engine() const { return *engine_; }
+        /// True when this checkout had to build the engine (pool miss).
+        bool fresh() const { return fresh_; }
+        explicit operator bool() const { return engine_ != nullptr; }
+
+    private:
+        friend class engine_pool;
+        lease(engine_pool* pool, std::unique_ptr<cop_engine> e, bool fresh);
+
+        engine_pool* pool_ = nullptr;
+        std::unique_ptr<cop_engine> engine_;
+        bool fresh_ = false;
+    };
+
+    /// Check out an engine synced to `base`: a warm engine is moved there
+    /// by one incremental transaction; if every engine is on loan a new
+    /// one is analyzed at `base` directly. Build and re-sync both happen
+    /// outside the pool lock, so concurrent checkouts only serialize on
+    /// the free-list bookkeeping.
+    lease checkout(const weight_vector& base);
+
+    struct counters {
+        std::size_t hits = 0;    ///< checkouts served by a warm engine
+        std::size_t misses = 0;  ///< checkouts that built a new engine
+        std::size_t resyncs = 0; ///< warm checkouts that needed a base move
+    };
+    counters stats() const;
+
+    /// Engines owned in total (warm + on loan) / currently checked in.
+    std::size_t size() const;
+    std::size_t warm_count() const;
+
+private:
+    void give_back(std::unique_ptr<cop_engine> engine);
+
+    const circuit_view* cv_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<cop_engine>> free_;
+    std::size_t total_ = 0;
+    counters stats_;
+};
+
+}  // namespace wrpt

@@ -1,262 +1,41 @@
 #include "opt/optimizer.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "opt/minimize.h"
 #include "opt/normalize.h"
 #include "opt/objective.h"
-#include "util/error.h"
+#include "opt/pipeline.h"
+#include "exec/thread_pool.h"
 
 namespace wrpt {
-namespace {
-
-double snap_to_grid(double y, double grid, double lo, double hi) {
-    if (grid <= 0.0) return std::clamp(y, lo, hi);
-    const double snapped = std::round(y / grid) * grid;
-    return std::clamp(snapped, lo, hi);
-}
-
-}  // namespace
 
 optimize_result optimize_weights(const netlist& nl,
                                  const std::vector<fault>& faults,
                                  detect_estimator& analysis,
                                  const weight_vector& start,
                                  const optimize_options& options) {
-    require(start.size() == nl.input_count(),
-            "optimize_weights: starting vector size mismatch");
-    require(options.weight_min > 0.0 && options.weight_max < 1.0 &&
-                options.weight_min < options.weight_max,
-            "optimize_weights: weight bounds must satisfy 0 < min < max < 1");
-    require(options.max_sweeps >= 1, "optimize_weights: max_sweeps >= 1");
-
-    const double q = confidence_to_q(options.confidence);
-    optimize_result res;
-    res.weights = start;
-    for (double& w : res.weights)
-        w = std::clamp(w, options.weight_min, options.weight_max);
-
-    // ANALYSIS + SORT + NORMALIZE at the starting vector.
-    std::vector<double> probs = analysis.estimate(nl, faults, res.weights);
-    ++res.analysis_calls;
-    std::vector<std::size_t> order = sort_faults(probs);
-    res.zero_prob_faults = faults.size() - order.size();
-
-    auto run_normalize = [&](const std::vector<double>& ps,
-                             const std::vector<std::size_t>& ord) {
-        std::vector<double> sorted;
-        sorted.reserve(ord.size());
-        for (std::size_t idx : ord) sorted.push_back(ps[idx]);
-        return normalize_sorted(sorted, q);
-    };
-
-    normalize_result norm = run_normalize(probs, order);
-    res.feasible = norm.feasible;
-    res.initial_test_length = norm.test_length;
-    res.final_test_length = norm.test_length;
-    if (!norm.feasible || order.empty()) return res;
-
-    // Select F^: everything whose objective term at the current N is within
-    // exp(-window) of the hardest fault's term, floored at NORMALIZE's nf.
-    auto select_hard = [&](double n) {
-        std::vector<fault> hard;
-        const double p_hardest = probs[order.front()];
-        const double cutoff =
-            (n > 0.0) ? p_hardest + options.relevance_window / n
-                      : std::numeric_limits<double>::infinity();
-        for (std::size_t k = 0; k < order.size(); ++k) {
-            if (hard.size() >= options.max_relevant_faults) break;
-            const double p = probs[order[k]];
-            if (p > cutoff && hard.size() >= std::max<std::size_t>(
-                                                 norm.relevant_faults, 1))
-                break;
-            hard.push_back(faults[order[k]]);
-        }
-        return hard;
-    };
-
-    double n_old = std::numeric_limits<double>::infinity();
-    double n_new = norm.test_length;
-
-    // Best iterate seen so far; a sweep of coordinate steps on estimated
-    // affine models can overshoot, and we never return a worse tuple than
-    // the best one encountered.
-    weight_vector best_weights = res.weights;
-    double best_n = n_new;
-
-    bool escaped = false;
-    std::size_t sweeps = 0;
-    while (sweeps < options.max_sweeps) {
-        if (n_old - n_new <= options.alpha) {
-            // Converged or stalled. Coordinate descent stalls on symmetric
-            // circuits: with the partner input at 0.5 an equality term is
-            // flat in each single weight (a comparator at uniform weights,
-            // the E==F comparator of a controller, ...), so the gradient
-            // vanishes without being at an optimum. Probe three
-            // deterministic perturbations of the current point and, if one
-            // improves the test length, continue from it.
-            if (!options.saddle_escape || escaped || sweeps == 0) break;
-            escaped = true;
-            const double d = options.saddle_perturbation;
-            const weight_vector base = res.weights;
-            weight_vector best_cand;
-            double best_cand_n = n_new;
-            std::vector<double> cand_probs;
-            // Relative probes explore around the stalled point; the two
-            // absolute matched-uniform probes jump straight into the
-            // "operands matched high/low" basins that equality-dominated
-            // circuits need but coordinate descent cannot reach once it has
-            // mismatched the operands.
-            // The candidates are wholesale perturbations, but they are
-            // still probes from the current point: one batch of
-            // multi-input moves, answered by the estimator's incremental
-            // engine (union-of-cones transactions with rollback) instead
-            // of five full re-analyses or engine rebuilds.
-            std::vector<weight_vector> cands(5);
-            std::vector<probe> cand_probes(5);
-            for (int dir = 0; dir < 5; ++dir) {
-                weight_vector cand = base;
-                for (std::size_t i = 0; i < cand.size(); ++i) {
-                    double value;
-                    switch (dir) {
-                        case 0: value = base[i] + d; break;
-                        case 1: value = base[i] - d; break;
-                        case 2:
-                            value = base[i] + ((i % 2 == 0) ? d : -d);
-                            break;
-                        case 3: value = 0.9; break;
-                        default: value = 0.1; break;
-                    }
-                    cand[i] = snap_to_grid(value, options.grid,
-                                           options.weight_min,
-                                           options.weight_max);
-                }
-                cand_probes[dir] = probe_between(base, cand);
-                cands[dir] = std::move(cand);
-            }
-            std::vector<std::vector<double>> cand_results =
-                analysis.estimate_probes(nl, faults, base, cand_probes);
-            res.analysis_calls += cand_probes.size();
-            for (int dir = 0; dir < 5; ++dir) {
-                std::vector<double>& p = cand_results[dir];
-                const normalize_result cn = run_normalize(p, sort_faults(p));
-                if (cn.feasible && cn.test_length < best_cand_n) {
-                    best_cand_n = cn.test_length;
-                    best_cand = std::move(cands[dir]);
-                    cand_probs = std::move(p);
-                }
-            }
-            if (best_cand.empty()) break;  // no probe beats the current point
-            res.weights = std::move(best_cand);
-            probs = std::move(cand_probs);
-            order = sort_faults(probs);
-            norm = run_normalize(probs, order);
-            n_old = std::numeric_limits<double>::infinity();
-            n_new = norm.test_length;
-            if (n_new < best_n) {
-                best_n = n_new;
-                best_weights = res.weights;
-            }
-        }
-        n_old = n_new;
-        ++sweeps;
-
-        const std::vector<fault> hard = select_hard(n_new);
-
-        // PREPARE: p_f at the two ends of the admissible interval for
-        // every input, issued as probe batches of prepare_block
-        // coordinates (2*B probes per batch) at the current vector. (For
-        // an exact estimator p_f is affine in x_i — Lemma 1 — so any two
-        // points determine it; for analytic estimators the secant over
-        // [weight_min, weight_max] is the better fit.) The probe shape
-        // lets estimators with incremental state answer each in O(fanout
-        // cone of input i) instead of O(nodes), and execute a batch on
-        // per-thread engines. The block size is a fixed constant — not a
-        // function of the thread count — so the optimized weights are
-        // bit-identical for every thread count.
-        const double lo = options.weight_min;
-        const double hi = options.weight_max;
-        const std::size_t block =
-            std::max<std::size_t>(1, options.prepare_block);
-        std::vector<probe> probes;
-        std::vector<affine_fault> f01(hard.size());
-        for (std::size_t b0 = 0; b0 < nl.input_count(); b0 += block) {
-            const std::size_t b1 =
-                std::min(b0 + block, nl.input_count());
-            probes.clear();
-            for (std::size_t i = b0; i < b1; ++i) {
-                probes.push_back({{i, lo}});
-                probes.push_back({{i, hi}});
-            }
-            const std::vector<std::vector<double>> prepared =
-                analysis.estimate_probes(nl, hard, res.weights, probes);
-            res.analysis_calls += probes.size();
-
-            // MINIMIZE + assignment x_i := y for the block's coordinates,
-            // every affine model fitted at the common block base, steps
-            // capped by the trust region. Coordinates within a block move
-            // simultaneously (Jacobi); blocks see each other's updates
-            // (Gauss-Seidel), which preserves the sequential sweep's
-            // convergence on circuits with coupled inputs.
-            weight_vector stepped_weights = res.weights;
-            for (std::size_t i = b0; i < b1; ++i) {
-                const std::vector<double>& p_lo = prepared[2 * (i - b0)];
-                const std::vector<double>& p_hi = prepared[2 * (i - b0) + 1];
-                bool any_dependence = false;
-                for (std::size_t k = 0; k < hard.size(); ++k) {
-                    const double slope = (p_hi[k] - p_lo[k]) / (hi - lo);
-                    const double at_zero = p_lo[k] - lo * slope;
-                    f01[k] = {at_zero, at_zero + slope};
-                    if (std::abs(slope) > 1e-15) any_dependence = true;
-                }
-                // A coordinate none of the relevant faults depends on is
-                // left alone (moving it to the midpoint would churn for
-                // nothing).
-                if (!any_dependence) continue;
-
-                const minimize_result m = minimize_single_input(
-                    f01, n_new, options.weight_min, options.weight_max);
-                const double stepped =
-                    std::clamp(m.y, res.weights[i] - options.trust_step,
-                               res.weights[i] + options.trust_step);
-                stepped_weights[i] = snap_to_grid(stepped, options.grid,
-                                                  options.weight_min,
-                                                  options.weight_max);
-            }
-            res.weights = std::move(stepped_weights);
-        }
-
-        // Re-ANALYSIS; the order of detection probabilities may have
-        // changed (the paper's "caution"), so re-SORT and re-NORMALIZE.
-        probs = analysis.estimate(nl, faults, res.weights);
-        ++res.analysis_calls;
-        order = sort_faults(probs);
-        res.zero_prob_faults = faults.size() - order.size();
-        norm = run_normalize(probs, order);
-        if (!norm.feasible || order.empty()) break;
-        n_new = norm.test_length;
-        res.history.push_back({n_new, norm.relevant_faults});
-        if (n_new < best_n) {
-            best_n = n_new;
-            best_weights = res.weights;
-        }
-    }
-    res.weights = best_weights;
-    res.final_test_length = best_n;
-    res.feasible = true;
-    return res;
+    optimize_pipeline pipeline(nl, faults, analysis, start, options);
+    return pipeline.run();
 }
 
 test_length_report required_test_length(const netlist& nl,
                                         const std::vector<fault>& faults,
                                         detect_estimator& analysis,
                                         const weight_vector& weights,
-                                        double confidence) {
+                                        double confidence, unsigned threads) {
     const double q = confidence_to_q(confidence);
-    const std::vector<double> probs = analysis.estimate(nl, faults, weights);
-    const normalize_result norm = normalize_detection_probs(probs, q);
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    const std::vector<double> probs = analysis.estimate_faults(
+        nl, {faults.data(), faults.size()}, weights, threads);
+
+    // SORT + sharded NORMALIZE (same exec contract as the pipeline's
+    // stages: element-ordered reduction, thread-count invariant).
+    normalize_exec exec;
+    exec.threads = threads;
+    exec.pool = threads > 1 ? &shared_thread_pool() : nullptr;
+    const normalize_result norm = normalize_detection_probs(probs, q, exec);
+
     test_length_report rep;
     rep.feasible = norm.feasible;
     rep.test_length = norm.test_length;

@@ -23,6 +23,11 @@
 // X, so the estimator can answer them incrementally and in parallel, and
 // the result is bit-identical for every thread count. The trust region
 // and best-iterate tracking keep the simultaneous update stable.
+//
+// The loop itself lives in opt/pipeline.h as explicit stage objects over
+// a shared optimize_context — ANALYSIS and NORMALIZE shard across the
+// exec/thread_pool (see optimize_options::threads), PREPARE batches onto
+// pool engines, and every stage result is thread-count invariant.
 
 #pragma once
 
@@ -79,6 +84,13 @@ struct optimize_options {
     /// the cascaded comparator's optimum within ~2% of the fully
     /// sequential sweep while still exposing 16 probes per batch.
     std::size_t prepare_block = 8;
+    /// Worker threads for the sharded ANALYSIS and NORMALIZE stages
+    /// (0 = one per hardware thread, 1 = sequential). Purely a
+    /// performance knob: fault shards and objective-term shards are keyed
+    /// by index and merged in a fixed order, so every stage result —
+    /// weights, history, test lengths — is bit-identical for every value.
+    /// (PREPARE's probe parallelism is the estimator's set_threads.)
+    unsigned threads = 1;
 };
 
 struct sweep_record {
@@ -99,6 +111,10 @@ struct optimize_result {
 /// Run the optimizing procedure. `faults` should already exclude proven
 /// redundancies (the paper assumes every fault of F is detectable); faults
 /// the estimator scores 0 are excluded from NORMALIZE and reported.
+///
+/// This is a thin wrapper over the staged pipeline in opt/pipeline.h
+/// (stage objects for ANALYSIS, SORT, NORMALIZE, PREPARE, MINIMIZE and
+/// SADDLE_ESCAPE over a shared optimize_context).
 optimize_result optimize_weights(const netlist& nl,
                                  const std::vector<fault>& faults,
                                  detect_estimator& analysis,
@@ -114,10 +130,13 @@ struct test_length_report {
     std::size_t zero_prob_faults = 0;
     double hardest_probability = 0.0;
 };
+/// `threads` shards ANALYSIS (across pool engines) and NORMALIZE's
+/// objective terms; the report is bit-identical for every thread count.
 test_length_report required_test_length(const netlist& nl,
                                         const std::vector<fault>& faults,
                                         detect_estimator& analysis,
                                         const weight_vector& weights,
-                                        double confidence = 0.999);
+                                        double confidence = 0.999,
+                                        unsigned threads = 1);
 
 }  // namespace wrpt

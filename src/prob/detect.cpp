@@ -6,6 +6,7 @@
 #include "bdd/bdd.h"
 #include "core/circuit_view.h"
 #include "core/gate_eval.h"
+#include "exec/engine_pool.h"
 #include "exec/thread_pool.h"
 #include "prob/cop_engine.h"
 #include "prob/observability.h"
@@ -25,10 +26,14 @@ void cop_detect_estimator::adopt_view(const circuit_view& cv) {
     require(cv.has_input_cones(),
             "cop estimator: adopted view compiled without input cones");
     adopted_view_ = &cv;
+    own_pool_.reset();
     view_.reset();
-    engine_.reset();
-    chunk_engines_.clear();
     cached_revision_ = cv.source().revision();
+}
+
+void cop_detect_estimator::adopt_pool(engine_pool& pool) {
+    adopt_view(pool.view());
+    shared_pool_ = &pool;
 }
 
 const circuit_view& cop_detect_estimator::ensure_view(const netlist& nl,
@@ -46,15 +51,24 @@ const circuit_view& cop_detect_estimator::ensure_view(const netlist& nl,
     const bool stale = !view_ || cached_revision_ != nl.revision() ||
                        (engine_structures && !view_->has_input_cones());
     if (stale) {
+        // The pool borrows the view, so it dies before the view does.
+        own_pool_.reset();
         circuit_view::compile_options co;
         co.input_cones = engine_structures;
         co.driven_pins = engine_structures;
         view_ = std::make_unique<circuit_view>(circuit_view::compile(nl, co));
-        engine_.reset();
-        chunk_engines_.clear();
         cached_revision_ = nl.revision();
     }
     return *view_;
+}
+
+engine_pool& cop_detect_estimator::ensure_pool(const netlist& nl) {
+    const circuit_view& cv = ensure_view(nl, true);
+    if (shared_pool_ && shared_pool_->revision() == nl.revision())
+        return *shared_pool_;
+    if (!own_pool_ || own_pool_->revision() != nl.revision())
+        own_pool_ = std::make_unique<engine_pool>(cv);
+    return *own_pool_;
 }
 
 bool cop_detect_estimator::engine_applies(const netlist& nl) {
@@ -62,30 +76,8 @@ bool cop_detect_estimator::engine_applies(const netlist& nl) {
     return ensure_view(nl, true).mean_cone_fraction() <= engine_cone_limit_;
 }
 
-cop_engine& cop_detect_estimator::ensure_engine(const netlist& nl,
-                                                const weight_vector& weights) {
-    require(weights.size() == nl.input_count(),
-            "cop estimator: weight count mismatch");
-    const circuit_view& cv = ensure_view(nl, true);
-    if (engine_) {
-        // Any base move — one coordinate after MINIMIZE or a wholesale
-        // jump to a saddle-escape winner — is one batched incremental
-        // transaction over the union of the moved cones; the engine is
-        // never rebuilt for a weight change.
-        const probe moves = probe_between(engine_->weights(), weights);
-        if (moves.empty()) return *engine_;
-        engine_->set_inputs(moves);
-        engine_->commit();
-        if (moves.size() > 1) ++stats_.batched_moves;
-        return *engine_;
-    }
-    engine_ = std::make_unique<cop_engine>(cv, weights);
-    ++stats_.engine_builds;
-    return *engine_;
-}
-
 std::vector<double> cop_detect_estimator::read_faults(
-    const cop_engine& engine, const std::vector<fault>& faults) const {
+    const cop_engine& engine, std::span<const fault> faults) const {
     std::vector<double> out;
     out.reserve(faults.size());
     for (const fault& f : faults) out.push_back(engine.fault_probability(f));
@@ -95,28 +87,72 @@ std::vector<double> cop_detect_estimator::read_faults(
 std::vector<double> cop_detect_estimator::estimate(
     const netlist& nl, const std::vector<fault>& faults,
     const weight_vector& weights) {
-    std::vector<double> out;
-    out.reserve(faults.size());
+    return estimate_faults(nl, {faults.data(), faults.size()}, weights, 1);
+}
+
+std::vector<double> cop_detect_estimator::estimate_faults(
+    const netlist& nl, std::span<const fault> faults,
+    const weight_vector& weights, unsigned threads) {
+    require(weights.size() == nl.input_count(),
+            "cop estimator: weight count mismatch");
+    threads = threads == 0
+                  ? std::max(1u, std::thread::hardware_concurrency())
+                  : threads;
     if (!engine_applies(nl)) {
         // Full-recompute path (the benchmark baseline, and the fast path
         // for circuits with near-global cones): both testability sweeps
-        // re-run per call over the cached view.
+        // re-run per call over the cached view; the per-fault read shards
+        // over the pool (each fault's value is a pure function of the
+        // shared sweeps, so the output is index-keyed and thread-count
+        // independent).
         ++stats_.full_estimates;
         const circuit_view& cv = ensure_view(nl, false);
         const std::vector<double> p = cop_signal_probabilities(cv, weights);
         const observability_result obs = cop_observabilities(cv, p);
-        for (const fault& f : faults) {
+        std::vector<double> out(faults.size());
+        const auto read_one = [&](std::size_t j) {
+            const fault& f = faults[j];
             const node_id site = fault_site_driver(nl, f);
             const double act = stuck_value(f.value) ? 1.0 - p[site] : p[site];
             const double o =
                 f.is_stem()
                     ? obs.stem[f.where]
                     : obs.pin_obs(f.where, static_cast<std::size_t>(f.pin));
-            out.push_back(act * o);
+            out[j] = act * o;
+        };
+        if (threads <= 1 || faults.size() < 2) {
+            for (std::size_t j = 0; j < faults.size(); ++j) read_one(j);
+        } else {
+            shared_thread_pool().parallel_for(faults.size(), read_one);
         }
         return out;
     }
-    return read_faults(ensure_engine(nl, weights), faults);
+
+    engine_pool& pool = ensure_pool(nl);
+    if (threads <= 1 || faults.size() < 2) {
+        const engine_pool::lease lease = pool.checkout(weights);
+        note_checkout(lease.fresh());
+        return read_faults(lease.engine(), faults);
+    }
+
+    // Sharded ANALYSIS: contiguous fault chunks, one pool engine per
+    // chunk, every engine synced to `weights`. The engines' states are
+    // bit-identical (cop_engine invariant) and results are keyed by
+    // fault index, so the output matches the sequential read exactly.
+    std::vector<double> out(faults.size());
+    const std::size_t chunk = (faults.size() + threads - 1) / threads;
+    const std::size_t chunk_count = (faults.size() + chunk - 1) / chunk;
+    std::vector<std::uint8_t> fresh(chunk_count, 0);
+    shared_thread_pool().parallel_for(chunk_count, [&](std::size_t c) {
+        const engine_pool::lease lease = pool.checkout(weights);
+        fresh[c] = lease.fresh() ? 1 : 0;
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, faults.size());
+        for (std::size_t j = begin; j < end; ++j)
+            out[j] = lease.engine().fault_probability(faults[j]);
+    });
+    for (std::uint8_t f : fresh) note_checkout(f != 0);
+    return out;
 }
 
 std::vector<std::vector<double>> cop_detect_estimator::estimate_probes(
@@ -138,10 +174,15 @@ std::vector<std::vector<double>> cop_detect_estimator::estimate_probes(
         if (p.size() > 1) ++stats_.batched_moves;
     stats_.engine_probes += probes.size();
 
+    engine_pool& pool = ensure_pool(nl);
     if (threads <= 1) {
-        // Sequential: every probe is a transaction on the cached engine —
-        // apply the moves, read the faults, roll back.
-        cop_engine& engine = ensure_engine(nl, base);
+        // Sequential: every probe is a transaction on one pool engine —
+        // apply the moves, read the faults, roll back. The engine goes
+        // back warm, so the next call (or the next estimator adopting
+        // the same shared pool) re-syncs instead of rebuilding.
+        engine_pool::lease lease = pool.checkout(base);
+        note_checkout(lease.fresh());
+        cop_engine& engine = lease.engine();
         for (std::size_t k = 0; k < probes.size(); ++k) {
             const cop_engine::checkpoint ck = engine.mark();
             engine.set_inputs(probes[k]);
@@ -151,39 +192,32 @@ std::vector<std::vector<double>> cop_detect_estimator::estimate_probes(
         return out;
     }
 
-    // Parallel: contiguous probe chunks, one cached engine per slot over
-    // the shared compiled view. Slot engines persist across batches and
-    // re-sync to the batch base by an incremental union-of-cones move, so
-    // a sweep issued as many small batches costs each slot one full
-    // analysis ever. A slot engine's state at `base` is bit-identical to
-    // the sequential engine's (the cop_engine invariant), so results do
-    // not depend on the thread count; they are keyed by probe index, so
-    // they do not depend on scheduling either.
-    const circuit_view& cv = ensure_view(nl, true);
+    // Parallel: contiguous probe chunks, one pool engine per chunk over
+    // the shared compiled view. Returned engines stay warm in the pool
+    // and re-sync to the batch base by an incremental union-of-cones
+    // move, so a sweep issued as many small batches builds each engine
+    // once ever. An engine's state at `base` is bit-identical to the
+    // sequential engine's (the cop_engine invariant), so results do not
+    // depend on the thread count; they are keyed by probe index, so they
+    // do not depend on scheduling either.
     const std::size_t chunk =
         (probes.size() + threads - 1) / threads;
     const std::size_t chunk_count = (probes.size() + chunk - 1) / chunk;
-    if (chunk_engines_.size() < chunk_count)
-        chunk_engines_.resize(chunk_count);
-    for (std::size_t c = 0; c < chunk_count; ++c)
-        if (!chunk_engines_[c]) ++stats_.engine_builds;
+    std::vector<std::uint8_t> fresh(chunk_count, 0);
     shared_thread_pool().parallel_for(chunk_count, [&](std::size_t c) {
-        std::unique_ptr<cop_engine>& engine = chunk_engines_[c];
-        if (!engine) {
-            engine = std::make_unique<cop_engine>(cv, base);
-        } else {
-            engine->set_inputs(probe_between(engine->weights(), base));
-            engine->commit();
-        }
+        engine_pool::lease lease = pool.checkout(base);
+        fresh[c] = lease.fresh() ? 1 : 0;
+        cop_engine& engine = lease.engine();
         const std::size_t begin = c * chunk;
         const std::size_t end = std::min(begin + chunk, probes.size());
         for (std::size_t k = begin; k < end; ++k) {
-            const cop_engine::checkpoint ck = engine->mark();
-            engine->set_inputs(probes[k]);
-            out[k] = read_faults(*engine, faults);
-            engine->rollback(ck);
+            const cop_engine::checkpoint ck = engine.mark();
+            engine.set_inputs(probes[k]);
+            out[k] = read_faults(engine, faults);
+            engine.rollback(ck);
         }
     });
+    for (std::uint8_t f : fresh) note_checkout(f != 0);
     return out;
 }
 

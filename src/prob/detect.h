@@ -59,6 +59,23 @@ public:
         return out;
     }
 
+    /// Sharded ANALYSIS surface: detection probabilities for a fault
+    /// shard (or the whole list) at `weights`, with `threads` workers
+    /// (0 = one per hardware thread, 1 = sequential). Results are keyed
+    /// by fault index, and each fault's probability is a pure function of
+    /// (netlist, weights), so the output is bit-identical for every
+    /// thread count — the property the optimizer's sharded ANALYSIS
+    /// stage rests on. The default ignores `threads` and materializes a
+    /// fault vector for estimate().
+    virtual std::vector<double> estimate_faults(const netlist& nl,
+                                                std::span<const fault> faults,
+                                                const weight_vector& weights,
+                                                unsigned threads = 1) {
+        (void)threads;
+        return estimate(nl, std::vector<fault>(faults.begin(), faults.end()),
+                        weights);
+    }
+
     /// Worker-thread hint for estimators whose estimate_probes can
     /// execute probes in parallel (1 = sequential). Purely a performance
     /// knob: results do not depend on it.
@@ -78,9 +95,12 @@ public:
 
 /// Analytic estimator: p_f = P(site carries the error value) * obs(line).
 ///
-/// Keeps a compiled circuit_view and an incremental cop_engine for the
-/// last (netlist, weights) pair, so PREPARE's single-input probes cost
-/// O(fanout cone of the input) instead of O(nodes) — see cop_engine.h.
+/// Keeps a compiled circuit_view and an engine_pool of incremental
+/// cop_engines for the last netlist, so PREPARE's single-input probes
+/// cost O(fanout cone of the input) instead of O(nodes) — see
+/// cop_engine.h — and sharded ANALYSIS reads fault shards on concurrent
+/// pool engines. The pool can also be adopted from outside
+/// (batch_session keeps one warm per circuit across run() calls).
 class cop_detect_estimator final : public detect_estimator {
 public:
     cop_detect_estimator();
@@ -89,6 +109,17 @@ public:
     std::vector<double> estimate(const netlist& nl,
                                  const std::vector<fault>& faults,
                                  const weight_vector& weights) override;
+
+    /// Sharded ANALYSIS: the fault shard is cut into per-thread chunks,
+    /// each read on its own pool engine synced to `weights`. An engine's
+    /// state at `weights` is bit-identical whatever engine serves the
+    /// chunk (the cop_engine invariant) and results are keyed by fault
+    /// index, so the output matches the sequential path exactly for
+    /// every thread count.
+    std::vector<double> estimate_faults(const netlist& nl,
+                                        std::span<const fault> faults,
+                                        const weight_vector& weights,
+                                        unsigned threads = 1) override;
 
     /// Batched probes over the incremental engine: each probe is one
     /// multi-input cop_engine transaction (union-of-cones move) answered
@@ -111,12 +142,15 @@ public:
     /// Cost counters (cumulative since construction). The optimizer's
     /// efficiency tests assert on these: a saddle-escape probe must ride
     /// the incremental engine (engine_probes) instead of forcing another
-    /// full analysis (engine_builds stays put).
+    /// full analysis (engine_builds stays put), and warm-pool reuse in
+    /// batch_session is assertable through pool_hits/pool_misses.
     struct counters {
         std::size_t engine_builds = 0;   ///< full cop_engine analyses
         std::size_t engine_probes = 0;   ///< probes answered incrementally
         std::size_t batched_moves = 0;   ///< multi-input transactions
         std::size_t full_estimates = 0;  ///< full-recompute estimate() calls
+        std::size_t pool_hits = 0;       ///< checkouts served warm
+        std::size_t pool_misses = 0;     ///< checkouts that built an engine
     };
     const counters& stats() const { return stats_; }
 
@@ -136,14 +170,27 @@ public:
     /// every estimator working on it.
     void adopt_view(const class circuit_view& cv);
 
+    /// Share an externally owned engine pool (implies adopting its view).
+    /// The pool must outlive the estimator; batch_session keeps one warm
+    /// pool per circuit and hands it to every job's estimator, so engines
+    /// built by one run() call serve the next — asserted via pool_hits.
+    void adopt_pool(class engine_pool& pool);
+
 private:
     const class circuit_view& ensure_view(const netlist& nl,
                                           bool engine_structures);
-    class cop_engine& ensure_engine(const netlist& nl,
-                                    const weight_vector& weights);
+    class engine_pool& ensure_pool(const netlist& nl);
     bool engine_applies(const netlist& nl);
+    void note_checkout(bool fresh) {
+        if (fresh) {
+            ++stats_.pool_misses;
+            ++stats_.engine_builds;
+        } else {
+            ++stats_.pool_hits;
+        }
+    }
     std::vector<double> read_faults(const class cop_engine& engine,
-                                    const std::vector<fault>& faults) const;
+                                    std::span<const fault> faults) const;
 
     bool incremental_ = true;
     unsigned threads_ = 1;
@@ -151,12 +198,13 @@ private:
     std::uint64_t cached_revision_ = 0;
     const class circuit_view* adopted_view_ = nullptr;
     std::unique_ptr<class circuit_view> view_;
-    std::unique_ptr<class cop_engine> engine_;
-    // Per-slot engines for the parallel probe path, kept across batches:
-    // slot c serves probe chunk c of a batch and re-syncs to the batch
-    // base by incremental moves, so a sweep of many small batches costs
-    // each slot one full analysis ever, not one per batch.
-    std::vector<std::unique_ptr<class cop_engine>> chunk_engines_;
+    // Engines live in a pool (exec/engine_pool): the sequential paths
+    // check one engine out per call and return it warm; parallel
+    // ANALYSIS shards and PREPARE probe chunks check out one engine
+    // each. A shared pool adopted from batch_session keeps engines warm
+    // across estimator lifetimes; otherwise the estimator grows its own.
+    class engine_pool* shared_pool_ = nullptr;
+    std::unique_ptr<class engine_pool> own_pool_;
     counters stats_;
 };
 

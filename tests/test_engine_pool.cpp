@@ -1,0 +1,157 @@
+// Tests for the exec-layer engine pool: checkout/return semantics, lazy
+// build, incremental re-sync, counters, and thread-safety under the
+// work-stealing pool.
+
+#include "exec/engine_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit_view.h"
+#include "exec/thread_pool.h"
+#include "fault/fault.h"
+#include "gen/comparator.h"
+#include "gen/sharded.h"
+#include "prob/cop_engine.h"
+#include "util/error.h"
+
+namespace wrpt {
+namespace {
+
+circuit_view compile_engine_view(const netlist& nl) {
+    circuit_view::compile_options co;
+    co.input_cones = true;
+    co.driven_pins = true;
+    return circuit_view::compile(nl, co);
+}
+
+TEST(engine_pool, builds_lazily_then_reuses_warm_engines) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8pool");
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.revision(), nl.revision());
+
+    const weight_vector w = uniform_weights(nl);
+    {
+        engine_pool::lease lease = pool.checkout(w);
+        EXPECT_TRUE(lease.fresh());
+        EXPECT_EQ(lease.engine().weights(), w);
+        EXPECT_EQ(pool.size(), 1u);
+        EXPECT_EQ(pool.warm_count(), 0u);  // on loan
+    }
+    EXPECT_EQ(pool.warm_count(), 1u);  // returned warm
+
+    {
+        engine_pool::lease lease = pool.checkout(w);
+        EXPECT_FALSE(lease.fresh());  // the warm engine, no rebuild
+        EXPECT_EQ(pool.size(), 1u);
+    }
+    const engine_pool::counters st = pool.stats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.resyncs, 0u);  // same weights both times
+}
+
+TEST(engine_pool, checkout_resyncs_to_the_requested_base) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8sync");
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+
+    weight_vector w1 = uniform_weights(nl);
+    weight_vector w2 = uniform_weights(nl);
+    for (std::size_t i = 0; i < w2.size(); ++i)
+        w2[i] = (i % 2 == 0) ? 0.9 : 0.1;
+
+    { engine_pool::lease lease = pool.checkout(w1); }
+    engine_pool::lease lease = pool.checkout(w2);
+    EXPECT_FALSE(lease.fresh());
+    EXPECT_EQ(lease.engine().weights(), w2);
+    EXPECT_EQ(pool.stats().resyncs, 1u);
+
+    // The re-synced state is bit-identical to a fresh analysis at w2 —
+    // the invariant every sharded consumer of the pool relies on.
+    const cop_engine reference(cv, w2);
+    const auto faults = generate_full_faults(nl);
+    for (const fault& f : faults)
+        ASSERT_EQ(lease.engine().fault_probability(f),
+                  reference.fault_probability(f))
+            << to_string(nl, f);
+}
+
+TEST(engine_pool, rejects_wrong_sized_base_and_plain_views) {
+    const netlist nl = make_cascaded_comparator(1, "cmp4bad");
+    const circuit_view plain = circuit_view::compile(nl, {});
+    EXPECT_THROW(engine_pool bad(plain), invalid_input);
+
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+    EXPECT_THROW(pool.checkout(weight_vector(nl.input_count() + 1, 0.5)),
+                 invalid_input);
+}
+
+TEST(engine_pool, lease_moves_transfer_ownership) {
+    const netlist nl = make_cascaded_comparator(1, "cmp4mv");
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+
+    engine_pool::lease a = pool.checkout(uniform_weights(nl));
+    EXPECT_TRUE(static_cast<bool>(a));
+    engine_pool::lease b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(pool.warm_count(), 0u);
+    b = engine_pool::lease();  // returns the engine
+    EXPECT_EQ(pool.warm_count(), 1u);
+}
+
+TEST(engine_pool, concurrent_checkout_stress_under_thread_pool) {
+    // Many tasks checkout/probe/return concurrently; every task must see
+    // an engine exactly at its requested base, states bit-identical to
+    // fresh analyses. Runs under TSan in CI.
+    const netlist nl = make_sharded_comparators(6, 3);
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+    const auto faults = generate_full_faults(nl);
+    const weight_vector uniform = uniform_weights(nl);
+
+    // A handful of reference states, computed sequentially.
+    std::vector<weight_vector> bases;
+    for (unsigned v = 0; v < 4; ++v) {
+        weight_vector w = uniform;
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] = 0.1 + 0.05 * static_cast<double>((i + v) % 16);
+        bases.push_back(std::move(w));
+    }
+    std::vector<std::vector<double>> expected;
+    for (const weight_vector& w : bases) {
+        const cop_engine ref(cv, w);
+        std::vector<double> p;
+        p.reserve(faults.size());
+        for (const fault& f : faults) p.push_back(ref.fault_probability(f));
+        expected.push_back(std::move(p));
+    }
+
+    constexpr std::size_t tasks = 64;
+    std::vector<std::uint8_t> ok(tasks, 0);
+    thread_pool workers(4);
+    workers.parallel_for(tasks, [&](std::size_t t) {
+        const std::size_t v = t % bases.size();
+        engine_pool::lease lease = pool.checkout(bases[v]);
+        bool good = lease.engine().weights() == bases[v];
+        for (std::size_t j = 0; good && j < faults.size(); ++j)
+            good = lease.engine().fault_probability(faults[j]) ==
+                   expected[v][j];
+        ok[t] = good ? 1 : 0;
+    });
+    for (std::size_t t = 0; t < tasks; ++t) EXPECT_EQ(ok[t], 1u) << t;
+
+    const engine_pool::counters st = pool.stats();
+    EXPECT_EQ(st.hits + st.misses, tasks);
+    // Engines never exceed the peak concurrency (5 executors: 4 workers
+    // + the caller), and all of them came home.
+    EXPECT_LE(pool.size(), 5u);
+    EXPECT_EQ(pool.warm_count(), pool.size());
+}
+
+}  // namespace
+}  // namespace wrpt

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/engine_pool.h"
 #include "exec/thread_pool.h"
 #include "gen/comparator.h"
 #include "gen/ecc.h"
@@ -320,6 +321,36 @@ TEST(batch_session, matrix_runs_every_pair_in_row_major_order) {
     EXPECT_EQ(results[0].length.test_length, results[1].length.test_length);
     EXPECT_EQ(results[2].length.test_length, results[3].length.test_length);
     for (const auto& r : results) EXPECT_TRUE(r.length.feasible);
+}
+
+TEST(batch_session, keeps_engine_pools_warm_across_run_calls) {
+    // The cross-request reuse contract: engines built by one run() call
+    // serve the next run() after an incremental re-sync instead of being
+    // rebuilt. Asserted through the per-circuit pool counters.
+    batch_session::options so;
+    so.threads = 1;
+    batch_session session(so);
+    const std::size_t h = session.add_circuit(make_sharded_comparators(6, 3));
+    EXPECT_EQ(session.pool(h).size(), 0u);  // engines build lazily
+
+    batch_session::job j;
+    j.circuit = h;
+    j.kind = batch_session::job_kind::optimize;
+
+    const auto first = session.run({j});
+    const engine_pool::counters after_first = session.pool(h).stats();
+    EXPECT_GE(after_first.misses, 1u);  // the first run built the engines
+
+    const auto second = session.run({j});
+    const engine_pool::counters after_second = session.pool(h).stats();
+    // Warm reuse: the second run checked out without building anything.
+    EXPECT_GT(after_second.hits, after_first.hits);
+    EXPECT_EQ(after_second.misses, after_first.misses);
+    // And reuse does not change answers.
+    EXPECT_EQ(second[0].optimized.weights, first[0].optimized.weights);
+    EXPECT_EQ(second[0].optimized.final_test_length,
+              first[0].optimized.final_test_length);
+    EXPECT_EQ(second[0].length.test_length, first[0].length.test_length);
 }
 
 TEST(batch_session, add_circuit_file_round_trip) {

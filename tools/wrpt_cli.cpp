@@ -7,14 +7,16 @@
 //   wrpt_cli simulate <circuit> [--weights file] [--patterns 4096]
 //   wrpt_cli atpg     <circuit> [--backtracks 512]
 //   wrpt_cli selftest <circuit> [--weights file] [--patterns 4096]
-//   wrpt_cli batch    <dir>     [--threads N] [--optimize 1]
-//                     [--patterns 4096] [--confidence 0.999]
+//   wrpt_cli batch    <dir>     [--threads N] [--stage-threads N]
+//                     [--optimize 1] [--patterns 4096]
+//                     [--confidence 0.999]
 //
 // <circuit> is either a .bench file path or a suite name (S1, S2, c432,
 // c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
 // `batch` serves every .bench file under <dir> through one batch_session:
 // compile once, then run test-length / optimize / fault-sim jobs for all
-// circuits concurrently on the session pool.
+// circuits concurrently on the session pool. Unloadable files are
+// reported per file and skipped; the run continues and exits non-zero.
 
 #include <algorithm>
 #include <cstdio>
@@ -112,11 +114,15 @@ int cmd_optimize(const cli_options& opt) {
     const netlist nl = load_circuit(opt.circuit);
     const auto faults = generate_full_faults(nl);
     auto estimator = make_estimator(opt.flag("estimator", "cop"));
-    // Batched PREPARE on per-thread engines; results are bit-identical
-    // for every thread count.
-    estimator->set_threads(
-        static_cast<unsigned>(opt.flag_u64("threads", 1)));
+    // --threads drives every parallel stage: batched PREPARE on pool
+    // engines (set_threads) and the sharded ANALYSIS/NORMALIZE stages
+    // (optimize_options::threads). Results are bit-identical for every
+    // thread count.
+    const unsigned threads =
+        static_cast<unsigned>(opt.flag_u64("threads", 1));
+    estimator->set_threads(threads);
     optimize_options oo;
+    oo.threads = threads;
     oo.confidence = opt.flag_double("confidence", 0.999);
     stopwatch sw;
     const optimize_result res = optimize_weights(
@@ -209,10 +215,31 @@ int cmd_batch(const cli_options& opt) {
     so.confidence = opt.flag_double("confidence", 0.999);
     batch_session session(so);
     stopwatch compile_sw;
-    for (const std::string& f : files) session.add_circuit_file(f);
+    // An unreadable or corrupt .bench file fails alone: it is reported
+    // per file on stderr and the rest of the directory still runs; the
+    // exit code then flags the partial failure.
+    std::size_t failed_files = 0;
+    for (const std::string& f : files) {
+        try {
+            session.add_circuit_file(f);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "batch: skipping %s: %s\n", f.c_str(),
+                         e.what());
+            ++failed_files;
+        }
+    }
     const double compile_s = compile_sw.seconds();
+    if (session.circuit_count() == 0) {
+        std::fprintf(stderr, "batch: no loadable .bench files under %s\n",
+                     opt.circuit.c_str());
+        return 1;
+    }
 
     const bool optimize = opt.flag_u64("optimize", 1) != 0;
+    // Per-job stage threads (sharded ANALYSIS/NORMALIZE inside one job);
+    // default 1 because the jobs themselves fill the session pool.
+    const unsigned stage_threads =
+        static_cast<unsigned>(opt.flag_u64("stage-threads", 1));
     std::vector<batch_session::job> jobs;
     for (std::size_t c = 0; c < session.circuit_count(); ++c) {
         batch_session::job j;
@@ -220,6 +247,7 @@ int cmd_batch(const cli_options& opt) {
         j.kind = optimize ? batch_session::job_kind::optimize
                           : batch_session::job_kind::test_length;
         j.opt.confidence = so.confidence;
+        j.opt.threads = stage_threads;
         jobs.push_back(j);
 
         batch_session::job s;
@@ -254,6 +282,11 @@ int cmd_batch(const cli_options& opt) {
         std::printf("coverage %.2f%% @ %llu patterns\n", rs.coverage_percent,
                     static_cast<unsigned long long>(rs.patterns_applied));
     }
+    if (failed_files > 0) {
+        std::fprintf(stderr, "batch: %zu file(s) failed to load\n",
+                     failed_files);
+        return 1;
+    }
     return 0;
 }
 
@@ -264,7 +297,7 @@ int usage() {
         "batch> <circuit|dir> [--flag value]...\n"
         "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
         "  flags: --confidence --estimator --weights --out --patterns "
-        "--seed --backtracks --threads --optimize\n");
+        "--seed --backtracks --threads --stage-threads --optimize\n");
     return 64;
 }
 
