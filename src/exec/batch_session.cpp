@@ -6,6 +6,7 @@
 #include "prob/detect.h"
 #include "sim/fault_sim.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace wrpt {
 
@@ -26,6 +27,7 @@ std::size_t batch_session::add_circuit(netlist nl) {
         circuit_view::compile(*cc.nl, co));
     cc.faults = generate_full_faults(*cc.nl);
     cc.pool = std::make_unique<engine_pool>(*cc.view);
+    cc.pool->set_capacity(options_.max_engines);
     circuits_.push_back(std::move(cc));
     return circuits_.size() - 1;
 }
@@ -54,97 +56,176 @@ const engine_pool& batch_session::pool(std::size_t handle) const {
     return *circuits_[handle].pool;
 }
 
-batch_session::result batch_session::run_one(const job& j) const {
-    require(j.circuit < circuits_.size(), "batch_session: bad circuit handle");
-    const compiled_circuit& cc = circuits_[j.circuit];
+engine_pool& batch_session::pool(std::size_t handle) {
+    require(handle < circuits_.size(), "batch_session: bad circuit handle");
+    return *circuits_[handle].pool;
+}
+
+batch_session::result batch_session::run_one(const svc::job_request& j) const {
+    const std::size_t handle = std::visit(
+        [](const auto& p) { return p.circuit; }, j);
+    require(handle < circuits_.size(), "batch_session: bad circuit handle");
+    const compiled_circuit& cc = circuits_[handle];
     const netlist& nl = *cc.nl;
 
     result r;
-    r.circuit = j.circuit;
+    r.circuit = handle;
     r.revision = nl.revision();
-    r.kind = j.kind;
+    r.kind = svc::kind_of(j);
 
+    const weight_vector& requested = std::visit(
+        [](const auto& p) -> const weight_vector& { return p.weights; }, j);
     const weight_vector weights =
-        j.weights.empty() ? uniform_weights(nl) : j.weights;
+        requested.empty() ? uniform_weights(nl) : requested;
     require(weights.size() == nl.input_count(),
             "batch_session: weight count mismatch");
 
-    switch (j.kind) {
-        case job_kind::test_length: {
-            cop_detect_estimator analysis;
-            // Adopting the circuit's warm pool shares engines built by
-            // earlier jobs and earlier run() calls; the estimator's own
-            // state stays private.
-            analysis.adopt_pool(*cc.pool);
-            const double conf =
-                j.confidence > 0.0 ? j.confidence : options_.confidence;
-            r.length = required_test_length(nl, cc.faults, analysis, weights,
-                                            conf, j.opt.threads);
-            break;
-        }
-        case job_kind::optimize: {
-            cop_detect_estimator analysis;
-            analysis.adopt_pool(*cc.pool);
-            // Stage/probe parallelism stays inside the job's own slice
-            // of the pool: jobs are the outer parallel dimension here,
-            // so each job defaults to sequential stages (opt.threads 1).
-            analysis.set_threads(j.opt.threads);
-            r.optimized =
-                optimize_weights(nl, cc.faults, analysis, weights, j.opt);
-            r.length = required_test_length(nl, cc.faults, analysis,
-                                            r.optimized.weights,
-                                            j.opt.confidence, j.opt.threads);
-            break;
-        }
-        case job_kind::fault_sim: {
-            fault_sim_options fo;
-            fo.max_patterns = j.patterns;
-            // Jobs fill the pool; block-level parallelism inside one
-            // simulation would oversubscribe it.
-            fo.threads = 1;
-            weighted_random_source source(weights, j.seed);
-            const fault_sim_result sim =
-                run_fault_simulation(*cc.view, cc.faults, source, fo);
-            r.patterns_applied = sim.patterns_applied;
-            r.fault_count = cc.faults.size();
-            r.detected = sim.detected_count;
-            r.coverage_percent = sim.coverage_percent(cc.faults.size());
-            break;
-        }
-    }
+    stopwatch sw;
+    std::visit(
+        [&](const auto& p) {
+            using T = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<T, svc::test_length_request>) {
+                cop_detect_estimator analysis;
+                // Adopting the circuit's warm pool shares engines built by
+                // earlier jobs and earlier run() calls; the estimator's
+                // own state stays private.
+                analysis.adopt_pool(*cc.pool);
+                const double conf =
+                    p.confidence > 0.0 ? p.confidence : options_.confidence;
+                r.length = required_test_length(nl, cc.faults, analysis,
+                                                weights, conf, p.threads);
+            } else if constexpr (std::is_same_v<T, svc::optimize_request>) {
+                cop_detect_estimator analysis;
+                analysis.adopt_pool(*cc.pool);
+                // Stage/probe parallelism stays inside the job's own slice
+                // of the pool: jobs are the outer parallel dimension here,
+                // so each job defaults to sequential stages (threads 1).
+                analysis.set_threads(p.options.threads);
+                r.optimized = optimize_weights(nl, cc.faults, analysis,
+                                               weights, p.options);
+                r.length = required_test_length(
+                    nl, cc.faults, analysis, r.optimized.weights,
+                    p.options.confidence, p.options.threads);
+            } else if constexpr (std::is_same_v<T, svc::fault_sim_request>) {
+                fault_sim_options fo;
+                fo.max_patterns = p.patterns;
+                // Jobs fill the pool; block-level parallelism inside one
+                // simulation would oversubscribe it.
+                fo.threads = 1;
+                weighted_random_source source(weights, p.seed);
+                const fault_sim_result sim =
+                    run_fault_simulation(*cc.view, cc.faults, source, fo);
+                r.patterns_applied = sim.patterns_applied;
+                r.fault_count = cc.faults.size();
+                r.detected = sim.detected_count;
+                r.coverage_percent = sim.coverage_percent(cc.faults.size());
+            }
+        },
+        j);
+    r.elapsed_seconds = sw.seconds();
     return r;
 }
 
 std::vector<batch_session::result> batch_session::run(
-    const std::vector<job>& jobs) {
-    std::vector<result> results(jobs.size());
+    const std::vector<svc::job_request>& requests) {
+    std::vector<result> results(requests.size());
     // One parallel item per job; results are written by job index, so the
     // batch output is identical to a sequential loop for every pool size.
-    pool_->parallel_for(jobs.size(),
-                        [&](std::size_t i) { results[i] = run_one(jobs[i]); });
+    pool_->parallel_for(requests.size(), [&](std::size_t i) {
+        results[i] = run_one(requests[i]);
+    });
     return results;
+}
+
+svc::job_request batch_session::job::to_request() const {
+    switch (kind) {
+        case job_kind::test_length: {
+            svc::test_length_request p;
+            p.circuit = circuit;
+            p.weights = weights;
+            p.confidence = confidence;
+            p.threads = opt.threads;
+            return p;
+        }
+        case job_kind::optimize: {
+            svc::optimize_request p;
+            p.circuit = circuit;
+            p.weights = weights;
+            p.options = opt;
+            return p;
+        }
+        case job_kind::fault_sim: {
+            svc::fault_sim_request p;
+            p.circuit = circuit;
+            p.weights = weights;
+            p.patterns = patterns;
+            p.seed = seed;
+            return p;
+        }
+    }
+    throw invalid_input("batch_session: bad job kind");
+}
+
+std::vector<batch_session::result> batch_session::run(
+    const std::vector<job>& jobs) {
+    std::vector<svc::job_request> requests;
+    requests.reserve(jobs.size());
+    for (const job& j : jobs) requests.push_back(j.to_request());
+    return run(requests);
+}
+
+std::vector<svc::job_request> batch_session::expand_matrix(
+    const svc::matrix_request& m) const {
+    std::vector<std::size_t> targets = m.circuits;
+    if (targets.empty()) {
+        targets.resize(circuit_count());
+        for (std::size_t c = 0; c < targets.size(); ++c) targets[c] = c;
+    }
+    std::vector<svc::job_request> requests;
+    requests.reserve(targets.size() * m.weight_sets.size());
+    for (std::size_t c : targets) {
+        for (const weight_vector& w : m.weight_sets) {
+            switch (m.kind) {
+                case job_kind::test_length: {
+                    svc::test_length_request p;
+                    p.circuit = c;
+                    p.weights = w;
+                    p.confidence = m.confidence;
+                    p.threads = m.options.threads;
+                    requests.push_back(std::move(p));
+                    break;
+                }
+                case job_kind::optimize: {
+                    svc::optimize_request p;
+                    p.circuit = c;
+                    p.weights = w;
+                    p.options = m.options;
+                    requests.push_back(std::move(p));
+                    break;
+                }
+                case job_kind::fault_sim: {
+                    svc::fault_sim_request p;
+                    p.circuit = c;
+                    p.weights = w;
+                    p.patterns = m.patterns;
+                    p.seed = m.seed;
+                    requests.push_back(std::move(p));
+                    break;
+                }
+            }
+        }
+    }
+    return requests;
 }
 
 std::vector<batch_session::result> batch_session::run_matrix(
     job_kind kind, const std::vector<std::size_t>& circuits,
     const std::vector<weight_vector>& weight_sets) {
-    std::vector<std::size_t> targets = circuits;
-    if (targets.empty()) {
-        targets.resize(circuit_count());
-        for (std::size_t c = 0; c < targets.size(); ++c) targets[c] = c;
-    }
-    std::vector<job> jobs;
-    jobs.reserve(targets.size() * weight_sets.size());
-    for (std::size_t c : targets) {
-        for (const weight_vector& w : weight_sets) {
-            job j;
-            j.circuit = c;
-            j.kind = kind;
-            j.weights = w;
-            jobs.push_back(std::move(j));
-        }
-    }
-    return run(jobs);
+    svc::matrix_request m;
+    m.kind = kind;
+    m.circuits = circuits;
+    m.weight_sets = weight_sets;
+    return run(expand_matrix(m));
 }
 
 }  // namespace wrpt

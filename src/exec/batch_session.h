@@ -31,6 +31,7 @@
 #include "io/weights_io.h"
 #include "netlist/netlist.h"
 #include "opt/optimizer.h"
+#include "svc/request.h"
 
 namespace wrpt {
 
@@ -44,6 +45,10 @@ public:
         unsigned threads = 0;
         /// Confidence for test_length jobs that leave their own at 0.
         double confidence = 0.999;
+        /// Per-circuit engine-pool capacity: at most this many warm
+        /// engines are retained per circuit (0 = unbounded) — see
+        /// engine_pool::set_capacity.
+        std::size_t max_engines = 0;
     };
 
     batch_session();  // default options (defined out of line: the nested
@@ -66,14 +71,41 @@ public:
     const circuit_view& view(std::size_t handle) const;
     const std::vector<fault>& faults(std::size_t handle) const;
     /// The circuit's warm engine pool (shared by every job working it;
-    /// stats() exposes the cross-run hit/miss counters).
+    /// stats() exposes the cross-run hit/miss/eviction counters). The
+    /// non-const overload allows capacity changes and explicit eviction
+    /// (svc::service's evict request rides it).
     const engine_pool& pool(std::size_t handle) const;
+    engine_pool& pool(std::size_t handle);
 
-    enum class job_kind : std::uint8_t {
-        test_length,  ///< ANALYSIS + NORMALIZE at fixed weights
-        optimize,     ///< the full OPTIMIZE procedure
-        fault_sim,    ///< weighted-random fault simulation
+    /// The job vocabulary is the typed request layer (svc/request.h):
+    /// svc::job_request — test_length_request, optimize_request or
+    /// fault_sim_request — is what run() executes natively.
+    using job_kind = svc::job_kind;
+
+    struct result {
+        std::size_t circuit = 0;
+        std::uint64_t revision = 0;  ///< revision stamp the job ran against
+        job_kind kind = job_kind::test_length;
+        double elapsed_seconds = 0.0;  ///< wall time of this job alone
+        /// test_length (also filled for optimize: the final length).
+        test_length_report length;
+        /// optimize jobs.
+        optimize_result optimized;
+        /// fault_sim jobs.
+        std::uint64_t patterns_applied = 0;
+        std::size_t fault_count = 0;
+        std::size_t detected = 0;
+        double coverage_percent = 0.0;
     };
+
+    /// Execute all requests concurrently; results[i] answers requests[i].
+    /// Bit-identical to running the requests one by one in order.
+    std::vector<result> run(const std::vector<svc::job_request>& requests);
+
+    // --- deprecated adapters (kept for one PR) ------------------------------
+    // The pre-svc job struct and matrix call. Both convert to
+    // svc::job_request and forward to run(); new code should build the
+    // typed requests directly (svc::service adds caching on top).
 
     struct job {
         std::size_t circuit = 0;
@@ -90,34 +122,28 @@ public:
         std::uint64_t seed = 1;
         /// test_length jobs: 0 = session default confidence.
         double confidence = 0.0;
+
+        /// The typed request this job describes.
+        svc::job_request to_request() const;
     };
 
-    struct result {
-        std::size_t circuit = 0;
-        std::uint64_t revision = 0;  ///< revision stamp the job ran against
-        job_kind kind = job_kind::test_length;
-        /// test_length (also filled for optimize: the final length).
-        test_length_report length;
-        /// optimize jobs.
-        optimize_result optimized;
-        /// fault_sim jobs.
-        std::uint64_t patterns_applied = 0;
-        std::size_t fault_count = 0;
-        std::size_t detected = 0;
-        double coverage_percent = 0.0;
-    };
-
-    /// Execute all jobs concurrently; results[i] answers jobs[i].
-    /// Bit-identical to running the jobs one by one in order.
+    /// Deprecated: converts each job via to_request() and forwards.
     std::vector<result> run(const std::vector<job>& jobs);
 
-    /// The serving request shape: every (circuit, weight vector) pair as
-    /// one job of the given kind, results in row-major order (circuit
-    ///-major: results[c * weight_sets.size() + w]). An empty circuit list
-    /// means every registered circuit.
+    /// Deprecated: builds the equivalent svc::matrix_request job list
+    /// (every (circuit, weight vector) pair as one job of `kind`,
+    /// results circuit-major: results[c * weight_sets.size() + w]; an
+    /// empty circuit list means every registered circuit) and forwards.
+    /// svc::service::handle(matrix_request) is the cached replacement.
     std::vector<result> run_matrix(job_kind kind,
                                    const std::vector<std::size_t>& circuits,
                                    const std::vector<weight_vector>& weight_sets);
+
+    /// Expand a matrix request into its job list (circuit-major order) —
+    /// the single definition of the N x M request shape, shared by
+    /// run_matrix and svc::service.
+    std::vector<svc::job_request> expand_matrix(
+        const svc::matrix_request& m) const;
 
 private:
     struct compiled_circuit {
@@ -129,7 +155,7 @@ private:
         std::unique_ptr<engine_pool> pool;
     };
 
-    result run_one(const job& j) const;
+    result run_one(const svc::job_request& j) const;
 
     options options_;
     std::vector<compiled_circuit> circuits_;

@@ -1,5 +1,7 @@
 #include "exec/engine_pool.h"
 
+#include <algorithm>
+
 #include "core/circuit_view.h"
 #include "prob/cop_engine.h"
 #include "prob/probe.h"
@@ -19,50 +21,55 @@ std::uint64_t engine_pool::revision() const {
 }
 
 engine_pool::lease::lease(engine_pool* pool, std::unique_ptr<cop_engine> e,
-                          bool fresh)
-    : pool_(pool), engine_(std::move(e)), fresh_(fresh) {}
+                          bool fresh, std::uint64_t stamp)
+    : pool_(pool), engine_(std::move(e)), fresh_(fresh), stamp_(stamp) {}
 
 engine_pool::lease::lease(lease&& other) noexcept
     : pool_(other.pool_),
       engine_(std::move(other.engine_)),
-      fresh_(other.fresh_) {
+      fresh_(other.fresh_),
+      stamp_(other.stamp_) {
     other.pool_ = nullptr;
 }
 
 engine_pool::lease& engine_pool::lease::operator=(lease&& other) noexcept {
     if (this != &other) {
-        if (pool_ && engine_) pool_->give_back(std::move(engine_));
+        if (pool_ && engine_) pool_->give_back(std::move(engine_), stamp_);
         pool_ = other.pool_;
         engine_ = std::move(other.engine_);
         fresh_ = other.fresh_;
+        stamp_ = other.stamp_;
         other.pool_ = nullptr;
     }
     return *this;
 }
 
 engine_pool::lease::~lease() {
-    if (pool_ && engine_) pool_->give_back(std::move(engine_));
+    if (pool_ && engine_) pool_->give_back(std::move(engine_), stamp_);
 }
 
 engine_pool::lease engine_pool::checkout(const weight_vector& base) {
     require(base.size() == cv_->source().input_count(),
             "engine_pool: weight count mismatch");
     std::unique_ptr<cop_engine> engine;
+    std::uint64_t stamp = 0;
     {
         std::scoped_lock lock(mutex_);
+        stamp = ++stamp_;
         if (free_.empty()) {
             ++stats_.misses;
             ++total_;
         } else {
             ++stats_.hits;
-            engine = std::move(free_.back());
+            engine = std::move(free_.back().engine);
             free_.pop_back();
         }
     }
     if (!engine) {
         // Build outside the lock: concurrent first checkouts analyze in
         // parallel instead of queueing behind one build.
-        return lease(this, std::make_unique<cop_engine>(*cv_, base), true);
+        return lease(this, std::make_unique<cop_engine>(*cv_, base), true,
+                     stamp);
     }
     const probe moves = probe_between(engine->weights(), base);
     if (!moves.empty()) {
@@ -71,12 +78,50 @@ engine_pool::lease engine_pool::checkout(const weight_vector& base) {
         std::scoped_lock lock(mutex_);
         ++stats_.resyncs;
     }
-    return lease(this, std::move(engine), false);
+    return lease(this, std::move(engine), false, stamp);
 }
 
 engine_pool::counters engine_pool::stats() const {
     std::scoped_lock lock(mutex_);
     return stats_;
+}
+
+std::size_t engine_pool::evict_locked(std::size_t keep,
+                                      std::vector<warm_engine>& victims) {
+    if (free_.size() <= keep) return 0;
+    // LRU by checkout stamp: the engines idle the longest (smallest
+    // stamp) go first, regardless of return order.
+    const std::size_t drop = free_.size() - keep;
+    std::partial_sort(free_.begin(), free_.begin() + drop, free_.end(),
+                      [](const warm_engine& a, const warm_engine& b) {
+                          return a.stamp < b.stamp;
+                      });
+    victims.assign(std::make_move_iterator(free_.begin()),
+                   std::make_move_iterator(free_.begin() + drop));
+    free_.erase(free_.begin(), free_.begin() + drop);
+    stats_.evictions += drop;
+    total_ -= drop;
+    return drop;
+}
+
+void engine_pool::set_capacity(std::size_t max_engines) {
+    // Destroy evicted engines outside the lock (engine teardown is not
+    // cheap and needs nothing from the pool).
+    std::vector<warm_engine> victims;
+    std::scoped_lock lock(mutex_);
+    capacity_ = max_engines;
+    if (capacity_ != 0) evict_locked(capacity_, victims);
+}
+
+std::size_t engine_pool::capacity() const {
+    std::scoped_lock lock(mutex_);
+    return capacity_;
+}
+
+std::size_t engine_pool::evict(std::size_t keep) {
+    std::vector<warm_engine> victims;
+    std::scoped_lock lock(mutex_);
+    return evict_locked(keep, victims);
 }
 
 std::size_t engine_pool::size() const {
@@ -89,9 +134,14 @@ std::size_t engine_pool::warm_count() const {
     return free_.size();
 }
 
-void engine_pool::give_back(std::unique_ptr<cop_engine> engine) {
+void engine_pool::give_back(std::unique_ptr<cop_engine> engine,
+                            std::uint64_t stamp) {
+    // victims outlives the lock, so evicted engines are destroyed after
+    // the mutex is released (engine teardown needs nothing from the pool).
+    std::vector<warm_engine> victims;
     std::scoped_lock lock(mutex_);
-    free_.push_back(std::move(engine));
+    free_.push_back(warm_engine{std::move(engine), stamp});
+    if (capacity_ != 0) evict_locked(capacity_, victims);
 }
 
 }  // namespace wrpt

@@ -67,11 +67,13 @@ public:
 
     private:
         friend class engine_pool;
-        lease(engine_pool* pool, std::unique_ptr<cop_engine> e, bool fresh);
+        lease(engine_pool* pool, std::unique_ptr<cop_engine> e, bool fresh,
+              std::uint64_t stamp);
 
         engine_pool* pool_ = nullptr;
         std::unique_ptr<cop_engine> engine_;
         bool fresh_ = false;
+        std::uint64_t stamp_ = 0;  ///< checkout stamp, for LRU eviction
     };
 
     /// Check out an engine synced to `base`: a warm engine is moved there
@@ -82,23 +84,49 @@ public:
     lease checkout(const weight_vector& base);
 
     struct counters {
-        std::size_t hits = 0;    ///< checkouts served by a warm engine
-        std::size_t misses = 0;  ///< checkouts that built a new engine
-        std::size_t resyncs = 0; ///< warm checkouts that needed a base move
+        std::size_t hits = 0;      ///< checkouts served by a warm engine
+        std::size_t misses = 0;    ///< checkouts that built a new engine
+        std::size_t resyncs = 0;   ///< warm checkouts that needed a base move
+        std::size_t evictions = 0; ///< engines destroyed by the capacity cap
     };
     counters stats() const;
+
+    /// Capacity policy: at most `max_engines` warm engines are retained
+    /// when leases return (0 = unbounded). A burst of concurrent leases
+    /// may still build O(burst) engines — checkouts never block — but the
+    /// coldest engines (least-recently checked out, by checkout stamp)
+    /// are destroyed as the burst drains, so the pool cannot hold
+    /// O(burst) full COP states forever.
+    void set_capacity(std::size_t max_engines);
+    std::size_t capacity() const;
+
+    /// Drop warm engines beyond `keep` (coldest first, by checkout
+    /// stamp); returns how many were destroyed. Counted as evictions.
+    std::size_t evict(std::size_t keep = 0);
 
     /// Engines owned in total (warm + on loan) / currently checked in.
     std::size_t size() const;
     std::size_t warm_count() const;
 
 private:
-    void give_back(std::unique_ptr<cop_engine> engine);
+    struct warm_engine {
+        std::unique_ptr<cop_engine> engine;
+        std::uint64_t stamp = 0;  ///< value of stamp_ at last checkout
+    };
+
+    void give_back(std::unique_ptr<cop_engine> engine, std::uint64_t stamp);
+    /// Move the coldest warm engines into `victims` until at most `keep`
+    /// remain; returns how many were dropped. Caller holds mutex_; the
+    /// victims are destroyed after the lock is released.
+    std::size_t evict_locked(std::size_t keep,
+                             std::vector<warm_engine>& victims);
 
     const circuit_view* cv_;
     mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<cop_engine>> free_;
+    std::vector<warm_engine> free_;
     std::size_t total_ = 0;
+    std::size_t capacity_ = 0;  ///< 0 = unbounded
+    std::uint64_t stamp_ = 0;   ///< monotonic checkout stamp
     counters stats_;
 };
 

@@ -1,0 +1,411 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "exec/engine_pool.h"
+#include "gen/suite.h"
+#include "io/bench_io.h"
+#include "svc/wire.h"
+#include "util/error.h"
+
+namespace wrpt::svc {
+
+service::service() : service(options{}) {}
+
+service::service(options opt) : options_(opt) {
+    batch_session::options so;
+    so.threads = opt.threads;
+    so.confidence = opt.confidence;
+    so.max_engines = opt.max_engines;
+    session_ = std::make_unique<batch_session>(so);
+}
+
+service::~service() = default;
+
+bool service::cache_key::operator<(const cache_key& other) const {
+    return std::tie(circuit, revision, kind, weights, options) <
+           std::tie(other.circuit, other.revision, other.kind, other.weights,
+                    other.options);
+}
+
+service::cache_counters service::cache_stats() const {
+    cache_counters c;
+    c.hits = cache_hits_;
+    c.misses = cache_misses_;
+    c.evictions = cache_evictions_;
+    c.entries = cache_.size();
+    return c;
+}
+
+response service::handle(const request& q) {
+    ++requests_;
+    try {
+        return std::visit(
+            [&](const auto& p) -> response {
+                using T = std::decay_t<decltype(p)>;
+                if constexpr (std::is_same_v<T, load_circuit_request>) {
+                    return handle_load(q.id, p);
+                } else if constexpr (std::is_same_v<T, stats_request>) {
+                    return handle_stats(q.id);
+                } else if constexpr (std::is_same_v<T, evict_request>) {
+                    return handle_evict(q.id, p);
+                } else if constexpr (std::is_same_v<T, shutdown_request>) {
+                    response r;
+                    r.id = q.id;
+                    r.payload = shutdown_response{};
+                    return r;
+                } else if constexpr (std::is_same_v<T, matrix_request>) {
+                    response r;
+                    r.id = q.id;
+                    matrix_response m;
+                    m.results =
+                        run_jobs(q.id, session_->expand_matrix(p));
+                    r.payload = std::move(m);
+                    return r;
+                } else {
+                    // One of the three job kinds: a batch of one.
+                    return run_jobs(q.id, {job_request{p}}).front();
+                }
+            },
+            q.payload);
+    } catch (const std::exception& e) {
+        return make_error(q.id, e.what());
+    }
+}
+
+response service::handle_load(std::uint64_t id,
+                              const load_circuit_request& p) {
+    const int sources = (p.bench.empty() ? 0 : 1) + (p.path.empty() ? 0 : 1) +
+                        (p.suite.empty() ? 0 : 1);
+    require(sources == 1,
+            "load_circuit: exactly one of bench/path/suite must be given");
+    netlist nl = !p.bench.empty()
+                     ? read_bench_string(p.bench,
+                                         p.name.empty() ? "bench" : p.name)
+                 : !p.path.empty() ? read_bench_file(p.path)
+                                   : build_suite_circuit(p.suite);
+    if (!p.name.empty()) nl.set_name(p.name);
+    const std::size_t handle = session_->add_circuit(std::move(nl));
+
+    const netlist& stored = session_->circuit(handle);
+    const netlist_stats st = stored.stats();
+    load_circuit_response out;
+    out.circuit = handle;
+    out.name = stored.name();
+    out.inputs = st.input_count;
+    out.outputs = st.output_count;
+    out.gates = st.gate_count;
+    out.faults = session_->faults(handle).size();
+    out.revision = stored.revision();
+
+    response r;
+    r.id = id;
+    r.payload = std::move(out);
+    return r;
+}
+
+response service::handle_stats(std::uint64_t id) {
+    stats_response out;
+    out.requests = requests_;
+    out.cache_hits = cache_hits_;
+    out.cache_misses = cache_misses_;
+    out.cache_entries = cache_.size();
+    out.cache_evictions = cache_evictions_;
+    out.circuits = session_->circuit_count();
+    for (std::size_t c = 0; c < session_->circuit_count(); ++c) {
+        const engine_pool& pool = session_->pool(c);
+        const engine_pool::counters pc = pool.stats();
+        pool_stats_payload ps;
+        ps.circuit = c;
+        ps.revision = pool.revision();
+        ps.engines = pool.size();
+        ps.warm = pool.warm_count();
+        ps.capacity = pool.capacity();
+        ps.hits = pc.hits;
+        ps.misses = pc.misses;
+        ps.resyncs = pc.resyncs;
+        ps.evictions = pc.evictions;
+        out.pools.push_back(ps);
+    }
+    response r;
+    r.id = id;
+    r.payload = std::move(out);
+    return r;
+}
+
+response service::handle_evict(std::uint64_t id, const evict_request& p) {
+    evict_response out;
+    if (p.all) {
+        out.cache_entries = cache_.size();
+        cache_.clear();
+        cache_order_.clear();
+        for (std::size_t c = 0; c < session_->circuit_count(); ++c)
+            out.engines += session_->pool(c).evict(p.keep_engines);
+    } else {
+        require(p.circuit < session_->circuit_count(),
+                "evict: bad circuit handle");
+        for (auto it = cache_.begin(); it != cache_.end();) {
+            if (it->first.circuit == p.circuit) {
+                it = cache_.erase(it);
+                ++out.cache_entries;
+            } else {
+                ++it;
+            }
+        }
+        out.engines = session_->pool(p.circuit).evict(p.keep_engines);
+    }
+    cache_evictions_ += out.cache_entries;
+    response r;
+    r.id = id;
+    r.payload = out;
+    return r;
+}
+
+namespace {
+
+/// Option-payload validation, so predictably bad options answer with a
+/// per-job envelope instead of throwing deep inside a concurrent batch.
+std::string validate_confidence(double confidence, bool zero_ok) {
+    if (zero_ok && confidence == 0.0) return {};  // session default
+    if (!std::isfinite(confidence) || confidence <= 0.0 || confidence >= 1.0)
+        return "confidence must lie in (0,1)";
+    return {};
+}
+
+std::string validate_options(const test_length_request& p) {
+    return validate_confidence(p.confidence, true);
+}
+
+std::string validate_options(const optimize_request& p) {
+    if (std::string msg = validate_confidence(p.options.confidence, false);
+        !msg.empty())
+        return msg;
+    if (p.options.max_sweeps == 0) return "max_sweeps must be at least 1";
+    if (!(p.options.weight_min > 0.0) ||
+        !(p.options.weight_max < 1.0) ||
+        !(p.options.weight_min < p.options.weight_max))
+        return "need 0 < weight_min < weight_max < 1";
+    if (!std::isfinite(p.options.alpha) || p.options.alpha < 0.0)
+        return "alpha must be finite and non-negative";
+    if (!std::isfinite(p.options.grid) || p.options.grid < 0.0 ||
+        p.options.grid >= 1.0)
+        return "grid must lie in [0,1)";
+    if (!(p.options.trust_step > 0.0)) return "trust_step must be positive";
+    if (p.options.prepare_block == 0)
+        return "prepare_block must be at least 1";
+    return {};
+}
+
+std::string validate_options(const fault_sim_request&) { return {}; }
+
+}  // namespace
+
+std::string service::validate(const job_request& j) const {
+    const std::size_t handle =
+        std::visit([](const auto& p) { return p.circuit; }, j);
+    if (handle >= session_->circuit_count())
+        return "bad circuit handle " + std::to_string(handle);
+    const weight_vector& weights = std::visit(
+        [](const auto& p) -> const weight_vector& { return p.weights; }, j);
+    if (!weights.empty() &&
+        weights.size() != session_->circuit(handle).input_count())
+        return "weight count mismatch: got " + std::to_string(weights.size()) +
+               ", circuit has " +
+               std::to_string(session_->circuit(handle).input_count()) +
+               " inputs";
+    for (const double w : weights) {
+        if (!std::isfinite(w)) return "weights must be finite";
+        if (w < 0.0 || w > 1.0) return "weights must lie in [0,1]";
+    }
+    return std::visit([](const auto& p) { return validate_options(p); }, j);
+}
+
+service::cache_key service::key_of(const job_request& j) const {
+    cache_key key;
+    key.circuit = std::visit([](const auto& p) { return p.circuit; }, j);
+    key.revision = session_->circuit(key.circuit).revision();
+    key.kind = kind_of(j);
+    const weight_vector& requested = std::visit(
+        [](const auto& p) -> const weight_vector& { return p.weights; }, j);
+    // Resolve the empty (= uniform) shorthand so both spellings of the
+    // same query share one entry.
+    key.weights = requested.empty()
+                      ? uniform_weights(session_->circuit(key.circuit))
+                      : requested;
+    // Canonical option fingerprint: the wire encoding of the job with the
+    // keyed-elsewhere fields (circuit, weights) and the result-neutral
+    // thread counts normalized away — results are thread-invariant by
+    // the pipeline's bit-identity contract, so clients that differ only
+    // in threads share entries. Exact by construction — the encoder
+    // prints every option field, always in the same order, with
+    // round-trip double formatting.
+    job_request normalized = j;
+    std::visit(
+        [](auto& p) {
+            using T = std::decay_t<decltype(p)>;
+            p.circuit = 0;
+            p.weights.clear();
+            if constexpr (std::is_same_v<T, test_length_request>)
+                p.threads = 1;
+            else if constexpr (std::is_same_v<T, optimize_request>)
+                p.options.threads = 1;
+        },
+        normalized);
+    request q;
+    std::visit([&](auto&& p) { q.payload = std::move(p); },
+               std::move(normalized));
+    key.options = encode(q);
+    return key;
+}
+
+void service::insert_cached(cache_key key, const batch_session::result& r) {
+    const std::uint64_t seq = ++cache_sequence_;
+    // The order index is only needed (and only maintained) under a cap;
+    // without one it would grow unboundedly for nothing.
+    if (options_.max_cache_entries != 0) cache_order_.emplace(seq, key);
+    cache_[std::move(key)] = cache_entry{r, seq};
+    if (options_.max_cache_entries == 0) return;
+    while (cache_.size() > options_.max_cache_entries &&
+           !cache_order_.empty()) {
+        const auto oldest = cache_order_.begin();
+        const auto it = cache_.find(oldest->second);
+        // Skip stale order records: the key was dropped by an evict
+        // request, or re-inserted later under a newer sequence.
+        if (it != cache_.end() && it->second.sequence == oldest->first) {
+            cache_.erase(it);
+            ++cache_evictions_;
+        }
+        cache_order_.erase(oldest);
+    }
+}
+
+response service::to_response(std::uint64_t id,
+                              const batch_session::result& r, bool cached) {
+    response out;
+    out.id = id;
+    const double elapsed_ms = cached ? 0.0 : r.elapsed_seconds * 1e3;
+    length_payload length;
+    length.feasible = r.length.feasible;
+    length.test_length = r.length.test_length;
+    length.relevant_faults = r.length.relevant_faults;
+    length.zero_prob_faults = r.length.zero_prob_faults;
+    length.hardest_probability = r.length.hardest_probability;
+    switch (r.kind) {
+        case job_kind::test_length: {
+            test_length_response p;
+            p.circuit = r.circuit;
+            p.revision = r.revision;
+            p.cached = cached;
+            p.elapsed_ms = elapsed_ms;
+            p.length = length;
+            out.payload = std::move(p);
+            break;
+        }
+        case job_kind::optimize: {
+            optimize_response p;
+            p.circuit = r.circuit;
+            p.revision = r.revision;
+            p.cached = cached;
+            p.elapsed_ms = elapsed_ms;
+            p.feasible = r.optimized.feasible;
+            p.initial_length = r.optimized.initial_test_length;
+            p.final_length = r.optimized.final_test_length;
+            p.sweeps = r.optimized.history.size();
+            p.analysis_calls = r.optimized.analysis_calls;
+            p.zero_prob_faults = r.optimized.zero_prob_faults;
+            p.weights = r.optimized.weights;
+            p.length = length;
+            out.payload = std::move(p);
+            break;
+        }
+        case job_kind::fault_sim: {
+            fault_sim_response p;
+            p.circuit = r.circuit;
+            p.revision = r.revision;
+            p.cached = cached;
+            p.elapsed_ms = elapsed_ms;
+            p.patterns = r.patterns_applied;
+            p.faults = r.fault_count;
+            p.detected = r.detected;
+            p.coverage = r.coverage_percent;
+            out.payload = std::move(p);
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<response> service::run_jobs(std::uint64_t id,
+                                        const std::vector<job_request>& jobs) {
+    std::vector<response> out(jobs.size());
+    std::vector<cache_key> keys(jobs.size());
+    // Validate and probe the cache up front; only distinct cache misses
+    // go to the session (duplicate keys within one batch compute once and
+    // fan the result out), and they still run concurrently as one batch.
+    std::map<cache_key, std::size_t> leaders;  // key -> slot in to_run
+    std::vector<std::vector<std::size_t>> owners;  // per slot: job indices
+    std::vector<job_request> to_run;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (std::string msg = validate(jobs[i]); !msg.empty()) {
+            out[i] = make_error(id, msg);
+            continue;
+        }
+        keys[i] = key_of(jobs[i]);
+        if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
+            ++cache_hits_;
+            out[i] = to_response(id, it->second.result, true);
+            continue;
+        }
+        const auto [slot, fresh] = leaders.try_emplace(keys[i], to_run.size());
+        if (fresh) {
+            to_run.push_back(jobs[i]);
+            owners.push_back({i});
+        } else {
+            owners[slot->second].push_back(i);
+        }
+    }
+    if (!to_run.empty()) {
+        std::vector<batch_session::result> results;
+        std::vector<std::string> errors(to_run.size());
+        std::vector<bool> computed(to_run.size(), false);
+        try {
+            results = session_->run(to_run);
+            std::fill(computed.begin(), computed.end(), true);
+        } catch (const std::exception&) {
+            // A failure inside the concurrent batch must not collapse the
+            // whole request (the per-entry envelope contract): rerun each
+            // job alone so every entry gets its own answer or error.
+            results.resize(to_run.size());
+            for (std::size_t k = 0; k < to_run.size(); ++k) {
+                try {
+                    results[k] = session_->run({to_run[k]}).front();
+                    computed[k] = true;
+                } catch (const std::exception& e) {
+                    errors[k] = e.what();
+                }
+            }
+        }
+        for (std::size_t k = 0; k < to_run.size(); ++k) {
+            if (!computed[k]) {
+                for (const std::size_t i : owners[k])
+                    out[i] = make_error(id, errors[k]);
+                continue;
+            }
+            // The first job with this key is the miss that computed; any
+            // duplicates in the same batch are answered from its entry.
+            ++cache_misses_;
+            insert_cached(keys[owners[k].front()], results[k]);
+            out[owners[k].front()] = to_response(id, results[k], false);
+            for (std::size_t d = 1; d < owners[k].size(); ++d) {
+                ++cache_hits_;
+                out[owners[k][d]] = to_response(id, results[k], true);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace wrpt::svc

@@ -1,0 +1,130 @@
+// The unified serving facade: one object that owns a batch_session,
+// routes typed requests (svc/request.h) to it, and answers repeated work
+// from a per-circuit result cache.
+//
+// Result cache: job results are memoized under the exact key
+//
+//   (circuit revision, resolved weight vector, job kind, options hash)
+//
+// where "resolved" means an empty (= uniform) request vector and the
+// explicit uniform vector share an entry, and the options hash is the
+// canonical wire encoding of the job's option payload (confidence and
+// stage threads for test_length; every optimize_options field for
+// optimize; patterns and seed for fault_sim) — byte-equal options, not
+// approximately-equal ones, hit. All three job kinds are deterministic
+// given their key (the bit-identity invariants of the pipeline and the
+// seeded simulator), so a hit replays the stored result unchanged;
+// hit/miss/eviction counters are served by the stats request. Keys are
+// exact (full weight vectors compared), so a cache hit can never alias
+// two different queries.
+//
+// Every request is answered with a response envelope: failures
+// (unknown circuit handles, malformed weights, non-finite values) become
+// ok=false error payloads instead of exceptions, so a serving loop never
+// dies on a bad request. Matrix requests validate and answer each job
+// individually — invalid entries get per-entry error envelopes while the
+// valid remainder still runs concurrently on the session pool.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch_session.h"
+#include "svc/request.h"
+
+namespace wrpt::svc {
+
+class service {
+public:
+    struct options {
+        /// Worker threads for the underlying batch_session (0 = hardware).
+        unsigned threads = 0;
+        /// Session default confidence for test_length jobs at 0.
+        double confidence = 0.999;
+        /// Per-circuit engine-pool capacity (0 = unbounded).
+        std::size_t max_engines = 0;
+        /// Result-cache entry cap across all circuits (0 = unbounded);
+        /// the oldest entries are evicted first.
+        std::size_t max_cache_entries = 0;
+    };
+
+    service();
+    explicit service(options opt);
+    ~service();
+
+    service(const service&) = delete;
+    service& operator=(const service&) = delete;
+
+    /// Route one request; never throws for request-level failures (they
+    /// come back as error envelopes with the request id echoed).
+    response handle(const request& q);
+
+    /// The underlying session, for callers that need direct access to
+    /// compiled circuits (views, fault lists, pools).
+    batch_session& session() { return *session_; }
+    const batch_session& session() const { return *session_; }
+
+    /// Cache counters (also served by the stats request).
+    struct cache_counters {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+    };
+    cache_counters cache_stats() const;
+
+private:
+    struct cache_key {
+        /// Handle AND revision: the handle keeps structurally-copied
+        /// circuits (which share a revision stamp) from aliasing, the
+        /// revision orphans entries when a circuit is re-stamped.
+        std::size_t circuit = 0;
+        std::uint64_t revision = 0;
+        job_kind kind = job_kind::test_length;
+        weight_vector weights;
+        std::string options;  ///< canonical option fingerprint
+
+        bool operator<(const cache_key& other) const;
+    };
+
+    struct cache_entry {
+        batch_session::result result;
+        std::uint64_t sequence = 0;  ///< insertion order, for eviction
+    };
+
+    response handle_load(std::uint64_t id, const load_circuit_request& p);
+    response handle_stats(std::uint64_t id);
+    response handle_evict(std::uint64_t id, const evict_request& p);
+
+    /// Answer a batch of jobs: cached entries replay, the rest run
+    /// concurrently through the session. responses[i] answers jobs[i].
+    std::vector<response> run_jobs(std::uint64_t id,
+                                   const std::vector<job_request>& jobs);
+
+    /// Validate a job against the session (handle range, weight values);
+    /// returns a non-empty message on failure.
+    std::string validate(const job_request& j) const;
+    cache_key key_of(const job_request& j) const;
+    void insert_cached(cache_key key, const batch_session::result& r);
+    static response to_response(std::uint64_t id,
+                                const batch_session::result& r, bool cached);
+
+    options options_;
+    std::unique_ptr<batch_session> session_;
+    std::map<cache_key, cache_entry> cache_;
+    /// Insertion order (sequence -> key) for O(log n) oldest-first
+    /// eviction under max_cache_entries. May hold stale entries for keys
+    /// already dropped by an evict request; they are skipped lazily.
+    std::map<std::uint64_t, cache_key> cache_order_;
+    std::uint64_t cache_sequence_ = 0;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t cache_misses_ = 0;
+    std::uint64_t cache_evictions_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+}  // namespace wrpt::svc

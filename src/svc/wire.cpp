@@ -1,0 +1,921 @@
+#include "svc/wire.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wrpt::svc {
+
+namespace {
+
+// --- minimal JSON value model + recursive-descent parser --------------------
+
+struct jvalue {
+    enum kind_t { null_v, bool_v, num_v, str_v, arr_v, obj_v };
+    kind_t kind = null_v;
+    bool b = false;
+    double num = 0.0;
+    std::uint64_t unum = 0;   // exact value for unsigned integer literals
+    bool has_unum = false;
+    std::string str;
+    std::vector<jvalue> arr;
+    std::vector<std::pair<std::string, jvalue>> obj;
+
+    const jvalue* find(const std::string& key) const {
+        for (const auto& [k, v] : obj)
+            if (k == key) return &v;
+        return nullptr;
+    }
+};
+
+class parser {
+public:
+    explicit parser(const std::string& text)
+        : p_(text.data()), end_(text.data() + text.size()) {}
+
+    jvalue parse() {
+        jvalue v = value();
+        skip_ws();
+        if (p_ != end_) fail("trailing characters after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw wire_error("wire: " + why);
+    }
+
+    void skip_ws() {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\r' || *p_ == '\n'))
+            ++p_;
+    }
+
+    char peek() {
+        skip_ws();
+        if (p_ == end_) fail("unexpected end of input");
+        return *p_;
+    }
+
+    void expect(char c) {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + *p_ + "'");
+        ++p_;
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (p_ != end_ && *p_ == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    // A long-lived daemon must answer a hostile line with an error
+    // envelope, not a blown stack: cap the recursion depth far above any
+    // legitimate request shape (matrix responses nest three levels).
+    static constexpr int max_depth = 64;
+
+    jvalue value() {
+        if (depth_ >= max_depth) fail("nesting deeper than 64 levels");
+        ++depth_;
+        jvalue v;
+        switch (peek()) {
+            case '{': v = object(); break;
+            case '[': v = array(); break;
+            case '"': v = string_value(); break;
+            case 't': case 'f': v = boolean(); break;
+            case 'n': v = null_value(); break;
+            default: v = number(); break;
+        }
+        --depth_;
+        return v;
+    }
+
+    jvalue object() {
+        expect('{');
+        jvalue v;
+        v.kind = jvalue::obj_v;
+        if (consume('}')) return v;
+        do {
+            jvalue key = string_value();
+            expect(':');
+            v.obj.emplace_back(std::move(key.str), value());
+        } while (consume(','));
+        expect('}');
+        return v;
+    }
+
+    jvalue array() {
+        expect('[');
+        jvalue v;
+        v.kind = jvalue::arr_v;
+        if (consume(']')) return v;
+        do {
+            v.arr.push_back(value());
+        } while (consume(','));
+        expect(']');
+        return v;
+    }
+
+    jvalue string_value() {
+        expect('"');
+        jvalue v;
+        v.kind = jvalue::str_v;
+        while (true) {
+            if (p_ == end_) fail("unterminated string");
+            const char c = *p_++;
+            if (c == '"') break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                v.str.push_back(c);
+                continue;
+            }
+            if (p_ == end_) fail("unterminated escape");
+            const char e = *p_++;
+            switch (e) {
+                case '"': v.str.push_back('"'); break;
+                case '\\': v.str.push_back('\\'); break;
+                case '/': v.str.push_back('/'); break;
+                case 'b': v.str.push_back('\b'); break;
+                case 'f': v.str.push_back('\f'); break;
+                case 'n': v.str.push_back('\n'); break;
+                case 'r': v.str.push_back('\r'); break;
+                case 't': v.str.push_back('\t'); break;
+                case 'u': v.str += unicode_escape(); break;
+                default: fail("bad escape character");
+            }
+        }
+        return v;
+    }
+
+    unsigned hex4() {
+        if (end_ - p_ < 4) fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = *p_++;
+            code <<= 4;
+            if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("bad \\u escape digit");
+        }
+        return code;
+    }
+
+    std::string unicode_escape() {
+        // The encoder only emits \u00XX for control characters, but
+        // accept the full range — including surrogate pairs, which must
+        // combine into one code point (raw CESU-8 would poison every
+        // later response with invalid UTF-8).
+        unsigned code = hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (end_ - p_ < 2 || p_[0] != '\\' || p_[1] != 'u')
+                fail("unpaired high surrogate in \\u escape");
+            p_ += 2;
+            const unsigned low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                fail("bad low surrogate in \\u escape");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+        }
+        std::string out;
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        return out;
+    }
+
+    jvalue boolean() {
+        jvalue v;
+        v.kind = jvalue::bool_v;
+        if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+            v.b = true;
+            p_ += 4;
+        } else if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+            v.b = false;
+            p_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    jvalue null_value() {
+        if (end_ - p_ < 4 || std::string_view(p_, 4) != "null")
+            fail("bad literal");
+        p_ += 4;
+        jvalue v;
+        v.kind = jvalue::null_v;
+        return v;
+    }
+
+    jvalue number() {
+        const char* start = p_;
+        if (p_ != end_ && *p_ == '-') ++p_;
+        while (p_ != end_ &&
+               ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                *p_ == 'E' || *p_ == '+' || *p_ == '-'))
+            ++p_;
+        if (p_ == start) fail("expected a value");
+        jvalue v;
+        v.kind = jvalue::num_v;
+        const auto [dp, derr] = std::from_chars(start, p_, v.num);
+        if (derr != std::errc{} || dp != p_ || !std::isfinite(v.num))
+            fail("bad number (non-finite values are not representable)");
+        // Keep the exact value of unsigned integer literals (revision
+        // stamps, seeds, SIZE_MAX-style sentinels exceed 2^53).
+        if (*start != '-') {
+            std::uint64_t u = 0;
+            const auto [up, uerr] = std::from_chars(start, p_, u);
+            if (uerr == std::errc{} && up == p_) {
+                v.unum = u;
+                v.has_unum = true;
+            }
+        }
+        return v;
+    }
+
+    const char* p_;
+    const char* end_;
+    int depth_ = 0;
+};
+
+// --- typed field accessors (tolerant: missing/unknown fields keep defaults) -
+
+[[noreturn]] void bad(const std::string& why) { throw wire_error("wire: " + why); }
+
+const jvalue& member(const jvalue& o, const std::string& key) {
+    const jvalue* v = o.find(key);
+    if (!v) bad("missing field \"" + key + "\"");
+    return *v;
+}
+
+std::uint64_t get_u64(const jvalue& o, const std::string& key,
+                      std::uint64_t fallback) {
+    const jvalue* v = o.find(key);
+    if (!v) return fallback;
+    if (v->kind != jvalue::num_v || !v->has_unum)
+        bad("field \"" + key + "\" must be an unsigned integer");
+    return v->unum;
+}
+
+std::size_t get_size(const jvalue& o, const std::string& key,
+                     std::size_t fallback) {
+    return static_cast<std::size_t>(get_u64(o, key, fallback));
+}
+
+double get_double(const jvalue& o, const std::string& key, double fallback) {
+    const jvalue* v = o.find(key);
+    if (!v) return fallback;
+    if (v->kind != jvalue::num_v) bad("field \"" + key + "\" must be a number");
+    return v->num;
+}
+
+bool get_bool(const jvalue& o, const std::string& key, bool fallback) {
+    const jvalue* v = o.find(key);
+    if (!v) return fallback;
+    if (v->kind != jvalue::bool_v)
+        bad("field \"" + key + "\" must be a boolean");
+    return v->b;
+}
+
+std::string get_string(const jvalue& o, const std::string& key,
+                       const std::string& fallback) {
+    const jvalue* v = o.find(key);
+    if (!v) return fallback;
+    if (v->kind != jvalue::str_v) bad("field \"" + key + "\" must be a string");
+    return v->str;
+}
+
+weight_vector get_weights(const jvalue& o, const std::string& key) {
+    const jvalue* v = o.find(key);
+    if (!v) return {};
+    if (v->kind != jvalue::arr_v) bad("field \"" + key + "\" must be an array");
+    weight_vector w;
+    w.reserve(v->arr.size());
+    for (const jvalue& e : v->arr) {
+        if (e.kind != jvalue::num_v)
+            bad("field \"" + key + "\" must hold numbers");
+        w.push_back(e.num);
+    }
+    return w;
+}
+
+// --- canonical encoder helpers ----------------------------------------------
+
+void put_escaped(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    const auto [p, err] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)err;
+    out.append(buf, p);
+}
+
+void put_double(std::string& out, double v) {
+    if (!std::isfinite(v))
+        bad("cannot encode non-finite number");
+    // Shortest representation that round-trips exactly; integral values
+    // print without an exponent or trailing ".0", matching the parser's
+    // unsigned-integer fast path.
+    char buf[32];
+    const auto [p, err] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)err;
+    out.append(buf, p);
+}
+
+void put_bool(std::string& out, bool v) { out += v ? "true" : "false"; }
+
+void put_weights(std::string& out, const weight_vector& w) {
+    out.push_back('[');
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (i) out.push_back(',');
+        put_double(out, w[i]);
+    }
+    out.push_back(']');
+}
+
+// Tiny object-writer: field(...) inserts the comma separators so every
+// encoder below reads as a flat field list in canonical order.
+struct owriter {
+    std::string& out;
+    bool first = true;
+
+    void key(const std::string& k) {
+        if (!first) out.push_back(',');
+        first = false;
+        put_escaped(out, k);
+        out.push_back(':');
+    }
+    void field(const std::string& k, const std::string& v) {
+        key(k);
+        put_escaped(out, v);
+    }
+    void field_u64(const std::string& k, std::uint64_t v) {
+        key(k);
+        put_u64(out, v);
+    }
+    void field_double(const std::string& k, double v) {
+        key(k);
+        put_double(out, v);
+    }
+    void field_bool(const std::string& k, bool v) {
+        key(k);
+        put_bool(out, v);
+    }
+    void field_weights(const std::string& k, const weight_vector& w) {
+        key(k);
+        put_weights(out, w);
+    }
+};
+
+// --- optimize_options <-> JSON ----------------------------------------------
+
+void put_options(std::string& out, const optimize_options& o) {
+    out.push_back('{');
+    owriter w{out};
+    w.field_double("confidence", o.confidence);
+    w.field_double("alpha", o.alpha);
+    w.field_u64("max_sweeps", o.max_sweeps);
+    w.field_double("weight_min", o.weight_min);
+    w.field_double("weight_max", o.weight_max);
+    w.field_double("grid", o.grid);
+    w.field_u64("max_relevant_faults", o.max_relevant_faults);
+    w.field_double("relevance_window", o.relevance_window);
+    w.field_bool("saddle_escape", o.saddle_escape);
+    w.field_double("saddle_perturbation", o.saddle_perturbation);
+    w.field_double("trust_step", o.trust_step);
+    w.field_u64("prepare_block", o.prepare_block);
+    w.field_u64("threads", o.threads);
+    out.push_back('}');
+}
+
+optimize_options get_options(const jvalue& parent, const std::string& key) {
+    optimize_options o;
+    const jvalue* v = parent.find(key);
+    if (!v) return o;
+    if (v->kind != jvalue::obj_v)
+        bad("field \"" + key + "\" must be an object");
+    o.confidence = get_double(*v, "confidence", o.confidence);
+    o.alpha = get_double(*v, "alpha", o.alpha);
+    o.max_sweeps = get_size(*v, "max_sweeps", o.max_sweeps);
+    o.weight_min = get_double(*v, "weight_min", o.weight_min);
+    o.weight_max = get_double(*v, "weight_max", o.weight_max);
+    o.grid = get_double(*v, "grid", o.grid);
+    o.max_relevant_faults =
+        get_size(*v, "max_relevant_faults", o.max_relevant_faults);
+    o.relevance_window = get_double(*v, "relevance_window", o.relevance_window);
+    o.saddle_escape = get_bool(*v, "saddle_escape", o.saddle_escape);
+    o.saddle_perturbation =
+        get_double(*v, "saddle_perturbation", o.saddle_perturbation);
+    o.trust_step = get_double(*v, "trust_step", o.trust_step);
+    o.prepare_block = get_size(*v, "prepare_block", o.prepare_block);
+    o.threads = static_cast<unsigned>(get_u64(*v, "threads", o.threads));
+    return o;
+}
+
+// --- kind names -------------------------------------------------------------
+
+const char* job_kind_name(job_kind k) {
+    switch (k) {
+        case job_kind::test_length: return "test_length";
+        case job_kind::optimize: return "optimize";
+        case job_kind::fault_sim: return "fault_sim";
+    }
+    bad("bad job kind");
+}
+
+job_kind job_kind_from(const std::string& name) {
+    if (name == "test_length") return job_kind::test_length;
+    if (name == "optimize") return job_kind::optimize;
+    if (name == "fault_sim") return job_kind::fault_sim;
+    bad("unknown job kind \"" + name + "\"");
+}
+
+// --- length payload ---------------------------------------------------------
+
+void put_length(std::string& out, const length_payload& l) {
+    out.push_back('{');
+    owriter w{out};
+    w.field_bool("feasible", l.feasible);
+    w.field_double("test_length", l.test_length);
+    w.field_u64("relevant_faults", l.relevant_faults);
+    w.field_u64("zero_prob_faults", l.zero_prob_faults);
+    w.field_double("hardest_probability", l.hardest_probability);
+    out.push_back('}');
+}
+
+length_payload get_length(const jvalue& parent, const std::string& key) {
+    length_payload l;
+    const jvalue* v = parent.find(key);
+    if (!v) return l;
+    if (v->kind != jvalue::obj_v)
+        bad("field \"" + key + "\" must be an object");
+    l.feasible = get_bool(*v, "feasible", l.feasible);
+    l.test_length = get_double(*v, "test_length", l.test_length);
+    l.relevant_faults = get_size(*v, "relevant_faults", l.relevant_faults);
+    l.zero_prob_faults = get_size(*v, "zero_prob_faults", l.zero_prob_faults);
+    l.hardest_probability =
+        get_double(*v, "hardest_probability", l.hardest_probability);
+    return l;
+}
+
+response decode_response_value(const jvalue& o);
+
+}  // namespace
+
+// --- request encoding -------------------------------------------------------
+
+std::string encode(const request& q) {
+    std::string out;
+    out.push_back('{');
+    owriter w{out};
+    std::visit(
+        [&](const auto& p) {
+            using T = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<T, load_circuit_request>) {
+                w.field("req", "load_circuit");
+                w.field_u64("id", q.id);
+                w.field("name", p.name);
+                w.field("bench", p.bench);
+                w.field("path", p.path);
+                w.field("suite", p.suite);
+            } else if constexpr (std::is_same_v<T, test_length_request>) {
+                w.field("req", "test_length");
+                w.field_u64("id", q.id);
+                w.field_u64("circuit", p.circuit);
+                w.field_weights("weights", p.weights);
+                w.field_double("confidence", p.confidence);
+                w.field_u64("threads", p.threads);
+            } else if constexpr (std::is_same_v<T, optimize_request>) {
+                w.field("req", "optimize");
+                w.field_u64("id", q.id);
+                w.field_u64("circuit", p.circuit);
+                w.field_weights("weights", p.weights);
+                w.key("options");
+                put_options(out, p.options);
+            } else if constexpr (std::is_same_v<T, fault_sim_request>) {
+                w.field("req", "fault_sim");
+                w.field_u64("id", q.id);
+                w.field_u64("circuit", p.circuit);
+                w.field_weights("weights", p.weights);
+                w.field_u64("patterns", p.patterns);
+                w.field_u64("seed", p.seed);
+            } else if constexpr (std::is_same_v<T, matrix_request>) {
+                w.field("req", "matrix");
+                w.field_u64("id", q.id);
+                w.field("kind", job_kind_name(p.kind));
+                w.key("circuits");
+                out.push_back('[');
+                for (std::size_t i = 0; i < p.circuits.size(); ++i) {
+                    if (i) out.push_back(',');
+                    put_u64(out, p.circuits[i]);
+                }
+                out.push_back(']');
+                w.key("weight_sets");
+                out.push_back('[');
+                for (std::size_t i = 0; i < p.weight_sets.size(); ++i) {
+                    if (i) out.push_back(',');
+                    put_weights(out, p.weight_sets[i]);
+                }
+                out.push_back(']');
+                w.key("options");
+                put_options(out, p.options);
+                w.field_u64("patterns", p.patterns);
+                w.field_u64("seed", p.seed);
+                w.field_double("confidence", p.confidence);
+            } else if constexpr (std::is_same_v<T, stats_request>) {
+                w.field("req", "stats");
+                w.field_u64("id", q.id);
+            } else if constexpr (std::is_same_v<T, evict_request>) {
+                w.field("req", "evict");
+                w.field_u64("id", q.id);
+                w.field_bool("all", p.all);
+                w.field_u64("circuit", p.circuit);
+                w.field_u64("keep_engines", p.keep_engines);
+            } else if constexpr (std::is_same_v<T, shutdown_request>) {
+                w.field("req", "shutdown");
+                w.field_u64("id", q.id);
+            }
+        },
+        q.payload);
+    out.push_back('}');
+    return out;
+}
+
+// --- request decoding -------------------------------------------------------
+
+request decode_request(const std::string& line) {
+    const jvalue o = parser(line).parse();
+    if (o.kind != jvalue::obj_v) bad("request must be a JSON object");
+    const std::string kind = member(o, "req").str;
+    request q;
+    q.id = get_u64(o, "id", 0);
+    if (kind == "load_circuit") {
+        load_circuit_request p;
+        p.name = get_string(o, "name", "");
+        p.bench = get_string(o, "bench", "");
+        p.path = get_string(o, "path", "");
+        p.suite = get_string(o, "suite", "");
+        q.payload = std::move(p);
+    } else if (kind == "test_length") {
+        test_length_request p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.weights = get_weights(o, "weights");
+        p.confidence = get_double(o, "confidence", 0.0);
+        p.threads = static_cast<unsigned>(get_u64(o, "threads", 1));
+        q.payload = std::move(p);
+    } else if (kind == "optimize") {
+        optimize_request p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.weights = get_weights(o, "weights");
+        p.options = get_options(o, "options");
+        q.payload = std::move(p);
+    } else if (kind == "fault_sim") {
+        fault_sim_request p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.weights = get_weights(o, "weights");
+        p.patterns = get_u64(o, "patterns", p.patterns);
+        p.seed = get_u64(o, "seed", p.seed);
+        q.payload = std::move(p);
+    } else if (kind == "matrix") {
+        matrix_request p;
+        p.kind = job_kind_from(get_string(o, "kind", "test_length"));
+        if (const jvalue* v = o.find("circuits")) {
+            if (v->kind != jvalue::arr_v) bad("\"circuits\" must be an array");
+            for (const jvalue& e : v->arr) {
+                if (e.kind != jvalue::num_v || !e.has_unum)
+                    bad("\"circuits\" must hold unsigned integers");
+                p.circuits.push_back(static_cast<std::size_t>(e.unum));
+            }
+        }
+        if (const jvalue* v = o.find("weight_sets")) {
+            if (v->kind != jvalue::arr_v)
+                bad("\"weight_sets\" must be an array");
+            for (const jvalue& e : v->arr) {
+                if (e.kind != jvalue::arr_v)
+                    bad("\"weight_sets\" must hold arrays");
+                weight_vector ws;
+                ws.reserve(e.arr.size());
+                for (const jvalue& n : e.arr) {
+                    if (n.kind != jvalue::num_v)
+                        bad("\"weight_sets\" must hold numbers");
+                    ws.push_back(n.num);
+                }
+                p.weight_sets.push_back(std::move(ws));
+            }
+        }
+        p.options = get_options(o, "options");
+        p.patterns = get_u64(o, "patterns", p.patterns);
+        p.seed = get_u64(o, "seed", p.seed);
+        p.confidence = get_double(o, "confidence", p.confidence);
+        q.payload = std::move(p);
+    } else if (kind == "stats") {
+        q.payload = stats_request{};
+    } else if (kind == "evict") {
+        evict_request p;
+        // Naming a circuit implies a per-circuit evict; "all" must be
+        // explicit to wipe the whole daemon when a circuit is given.
+        p.all = get_bool(o, "all", o.find("circuit") == nullptr);
+        p.circuit = get_size(o, "circuit", 0);
+        p.keep_engines = get_size(o, "keep_engines", 0);
+        q.payload = std::move(p);
+    } else if (kind == "shutdown") {
+        q.payload = shutdown_request{};
+    } else {
+        bad("unknown request kind \"" + kind + "\"");
+    }
+    return q;
+}
+
+// --- response encoding ------------------------------------------------------
+
+std::string encode(const response& r) {
+    std::string out;
+    out.push_back('{');
+    owriter w{out};
+    w.field_u64("id", r.id);
+    w.field_bool("ok", r.ok);
+    std::visit(
+        [&](const auto& p) {
+            using T = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<T, error_response>) {
+                w.field("resp", "error");
+                w.field("error", p.message);
+            } else if constexpr (std::is_same_v<T, load_circuit_response>) {
+                w.field("resp", "load_circuit");
+                w.field_u64("circuit", p.circuit);
+                w.field("name", p.name);
+                w.field_u64("inputs", p.inputs);
+                w.field_u64("outputs", p.outputs);
+                w.field_u64("gates", p.gates);
+                w.field_u64("faults", p.faults);
+                w.field_u64("revision", p.revision);
+            } else if constexpr (std::is_same_v<T, test_length_response>) {
+                w.field("resp", "test_length");
+                w.field_u64("circuit", p.circuit);
+                w.field_u64("revision", p.revision);
+                w.field_bool("cached", p.cached);
+                w.field_double("elapsed_ms", p.elapsed_ms);
+                w.key("length");
+                put_length(out, p.length);
+            } else if constexpr (std::is_same_v<T, optimize_response>) {
+                w.field("resp", "optimize");
+                w.field_u64("circuit", p.circuit);
+                w.field_u64("revision", p.revision);
+                w.field_bool("cached", p.cached);
+                w.field_double("elapsed_ms", p.elapsed_ms);
+                w.field_bool("feasible", p.feasible);
+                w.field_double("initial_length", p.initial_length);
+                w.field_double("final_length", p.final_length);
+                w.field_u64("sweeps", p.sweeps);
+                w.field_u64("analysis_calls", p.analysis_calls);
+                w.field_u64("zero_prob_faults", p.zero_prob_faults);
+                w.field_weights("weights", p.weights);
+                w.key("length");
+                put_length(out, p.length);
+            } else if constexpr (std::is_same_v<T, fault_sim_response>) {
+                w.field("resp", "fault_sim");
+                w.field_u64("circuit", p.circuit);
+                w.field_u64("revision", p.revision);
+                w.field_bool("cached", p.cached);
+                w.field_double("elapsed_ms", p.elapsed_ms);
+                w.field_u64("patterns", p.patterns);
+                w.field_u64("faults", p.faults);
+                w.field_u64("detected", p.detected);
+                w.field_double("coverage", p.coverage);
+            } else if constexpr (std::is_same_v<T, matrix_response>) {
+                w.field("resp", "matrix");
+                w.key("results");
+                out.push_back('[');
+                for (std::size_t i = 0; i < p.results.size(); ++i) {
+                    if (i) out.push_back(',');
+                    out += encode(p.results[i]);
+                }
+                out.push_back(']');
+            } else if constexpr (std::is_same_v<T, stats_response>) {
+                w.field("resp", "stats");
+                w.field_u64("requests", p.requests);
+                w.key("cache");
+                {
+                    out.push_back('{');
+                    owriter c{out};
+                    c.field_u64("hits", p.cache_hits);
+                    c.field_u64("misses", p.cache_misses);
+                    c.field_u64("entries", p.cache_entries);
+                    c.field_u64("evictions", p.cache_evictions);
+                    out.push_back('}');
+                }
+                w.field_u64("circuits", p.circuits);
+                w.key("pools");
+                out.push_back('[');
+                for (std::size_t i = 0; i < p.pools.size(); ++i) {
+                    if (i) out.push_back(',');
+                    const pool_stats_payload& ps = p.pools[i];
+                    out.push_back('{');
+                    owriter c{out};
+                    c.field_u64("circuit", ps.circuit);
+                    c.field_u64("revision", ps.revision);
+                    c.field_u64("engines", ps.engines);
+                    c.field_u64("warm", ps.warm);
+                    c.field_u64("capacity", ps.capacity);
+                    c.field_u64("hits", ps.hits);
+                    c.field_u64("misses", ps.misses);
+                    c.field_u64("resyncs", ps.resyncs);
+                    c.field_u64("evictions", ps.evictions);
+                    out.push_back('}');
+                }
+                out.push_back(']');
+            } else if constexpr (std::is_same_v<T, evict_response>) {
+                w.field("resp", "evict");
+                w.field_u64("cache_entries", p.cache_entries);
+                w.field_u64("engines", p.engines);
+            } else if constexpr (std::is_same_v<T, shutdown_response>) {
+                w.field("resp", "shutdown");
+            }
+        },
+        r.payload);
+    out.push_back('}');
+    return out;
+}
+
+// --- response decoding ------------------------------------------------------
+
+namespace {
+
+response decode_response_value(const jvalue& o) {
+    if (o.kind != jvalue::obj_v) bad("response must be a JSON object");
+    const std::string kind = member(o, "resp").str;
+    response r;
+    r.id = get_u64(o, "id", 0);
+    r.ok = get_bool(o, "ok", true);
+    if (kind == "error") {
+        error_response p;
+        p.message = get_string(o, "error", "");
+        r.payload = std::move(p);
+    } else if (kind == "load_circuit") {
+        load_circuit_response p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.name = get_string(o, "name", "");
+        p.inputs = get_size(o, "inputs", 0);
+        p.outputs = get_size(o, "outputs", 0);
+        p.gates = get_size(o, "gates", 0);
+        p.faults = get_size(o, "faults", 0);
+        p.revision = get_u64(o, "revision", 0);
+        r.payload = std::move(p);
+    } else if (kind == "test_length") {
+        test_length_response p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.revision = get_u64(o, "revision", 0);
+        p.cached = get_bool(o, "cached", false);
+        p.elapsed_ms = get_double(o, "elapsed_ms", 0.0);
+        p.length = get_length(o, "length");
+        r.payload = std::move(p);
+    } else if (kind == "optimize") {
+        optimize_response p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.revision = get_u64(o, "revision", 0);
+        p.cached = get_bool(o, "cached", false);
+        p.elapsed_ms = get_double(o, "elapsed_ms", 0.0);
+        p.feasible = get_bool(o, "feasible", false);
+        p.initial_length = get_double(o, "initial_length", 0.0);
+        p.final_length = get_double(o, "final_length", 0.0);
+        p.sweeps = get_size(o, "sweeps", 0);
+        p.analysis_calls = get_size(o, "analysis_calls", 0);
+        p.zero_prob_faults = get_size(o, "zero_prob_faults", 0);
+        p.weights = get_weights(o, "weights");
+        p.length = get_length(o, "length");
+        r.payload = std::move(p);
+    } else if (kind == "fault_sim") {
+        fault_sim_response p;
+        p.circuit = get_size(o, "circuit", 0);
+        p.revision = get_u64(o, "revision", 0);
+        p.cached = get_bool(o, "cached", false);
+        p.elapsed_ms = get_double(o, "elapsed_ms", 0.0);
+        p.patterns = get_u64(o, "patterns", 0);
+        p.faults = get_size(o, "faults", 0);
+        p.detected = get_size(o, "detected", 0);
+        p.coverage = get_double(o, "coverage", 0.0);
+        r.payload = std::move(p);
+    } else if (kind == "matrix") {
+        matrix_response p;
+        if (const jvalue* v = o.find("results")) {
+            if (v->kind != jvalue::arr_v) bad("\"results\" must be an array");
+            for (const jvalue& e : v->arr)
+                p.results.push_back(decode_response_value(e));
+        }
+        r.payload = std::move(p);
+    } else if (kind == "stats") {
+        stats_response p;
+        p.requests = get_u64(o, "requests", 0);
+        if (const jvalue* v = o.find("cache")) {
+            if (v->kind != jvalue::obj_v) bad("\"cache\" must be an object");
+            p.cache_hits = get_u64(*v, "hits", 0);
+            p.cache_misses = get_u64(*v, "misses", 0);
+            p.cache_entries = get_size(*v, "entries", 0);
+            p.cache_evictions = get_u64(*v, "evictions", 0);
+        }
+        p.circuits = get_size(o, "circuits", 0);
+        if (const jvalue* v = o.find("pools")) {
+            if (v->kind != jvalue::arr_v) bad("\"pools\" must be an array");
+            for (const jvalue& e : v->arr) {
+                if (e.kind != jvalue::obj_v)
+                    bad("\"pools\" must hold objects");
+                pool_stats_payload ps;
+                ps.circuit = get_size(e, "circuit", 0);
+                ps.revision = get_u64(e, "revision", 0);
+                ps.engines = get_size(e, "engines", 0);
+                ps.warm = get_size(e, "warm", 0);
+                ps.capacity = get_size(e, "capacity", 0);
+                ps.hits = get_size(e, "hits", 0);
+                ps.misses = get_size(e, "misses", 0);
+                ps.resyncs = get_size(e, "resyncs", 0);
+                ps.evictions = get_size(e, "evictions", 0);
+                p.pools.push_back(ps);
+            }
+        }
+        r.payload = std::move(p);
+    } else if (kind == "evict") {
+        evict_response p;
+        p.cache_entries = get_size(o, "cache_entries", 0);
+        p.engines = get_size(o, "engines", 0);
+        r.payload = std::move(p);
+    } else if (kind == "shutdown") {
+        r.payload = shutdown_response{};
+    } else {
+        bad("unknown response kind \"" + kind + "\"");
+    }
+    return r;
+}
+
+}  // namespace
+
+response decode_response(const std::string& line) {
+    return decode_response_value(parser(line).parse());
+}
+
+std::uint64_t extract_id(const std::string& line) {
+    try {
+        const jvalue o = parser(line).parse();
+        if (o.kind == jvalue::obj_v) return get_u64(o, "id", 0);
+    } catch (const wire_error&) {
+        // Malformed line: fall through to the text scan below.
+    }
+    // Cheap scan for an "id":<digits> pair so even truncated lines get an
+    // addressed error envelope.
+    const std::string needle = "\"id\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) return 0;
+    std::uint64_t id = 0;
+    const auto [p, err] = std::from_chars(
+        line.data() + pos + needle.size(), line.data() + line.size(), id);
+    (void)p;
+    return err == std::errc{} ? id : 0;
+}
+
+}  // namespace wrpt::svc

@@ -1,0 +1,47 @@
+// Line-oriented JSON codec for the service API — the wire protocol of
+// `wrpt_cli serve`.
+//
+// One request or response per line, UTF-8 JSON objects, no external
+// dependencies (hand-rolled recursive-descent parser in wire.cpp, in the
+// spirit of the .bench text utilities). The encoders are canonical: every
+// field of a kind is emitted, always in the same order, with doubles
+// printed in shortest round-trip form (std::to_chars) — so
+// encode(decode(encode(x))) == encode(x) byte for byte, and weight
+// vectors survive the trip losslessly.
+//
+// The decoder is tolerant of unknown fields (they are skipped, so newer
+// clients can talk to older servers) but strict about values: malformed
+// JSON, non-finite numbers (JSON cannot carry NaN/inf; overflowing
+// literals like 1e999 are rejected), and unknown request/response kinds
+// throw wire_error.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/request.h"
+#include "util/error.h"
+
+namespace wrpt::svc {
+
+/// Thrown on malformed wire text (bad JSON, bad kind, non-finite number).
+class wire_error : public error {
+public:
+    explicit wire_error(const std::string& what) : error(what) {}
+};
+
+/// Canonical one-line JSON encodings (no trailing newline).
+std::string encode(const request& q);
+std::string encode(const response& r);
+
+/// Parse one line. Throws wire_error on malformed input.
+request decode_request(const std::string& line);
+response decode_response(const std::string& line);
+
+/// Best-effort extraction of the "id" field from a line that may not
+/// parse as a full request — used to address error envelopes. Returns 0
+/// when no id can be recovered.
+std::uint64_t extract_id(const std::string& line);
+
+}  // namespace wrpt::svc

@@ -153,5 +153,91 @@ TEST(engine_pool, concurrent_checkout_stress_under_thread_pool) {
     EXPECT_EQ(pool.warm_count(), pool.size());
 }
 
+TEST(engine_pool, capacity_cap_evicts_cold_engines_on_return) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8cap");
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+    pool.set_capacity(2);
+    EXPECT_EQ(pool.capacity(), 2u);
+
+    const weight_vector w = uniform_weights(nl);
+    {
+        // A burst of four concurrent leases builds four engines —
+        // checkouts never block on the cap...
+        engine_pool::lease a = pool.checkout(w);
+        engine_pool::lease b = pool.checkout(w);
+        engine_pool::lease c = pool.checkout(w);
+        engine_pool::lease d = pool.checkout(w);
+        EXPECT_EQ(pool.size(), 4u);
+        EXPECT_EQ(pool.stats().evictions, 0u);
+    }
+    // ...but as the burst drains only `capacity` warm engines survive.
+    EXPECT_EQ(pool.warm_count(), 2u);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.stats().evictions, 2u);
+
+    // Warm checkouts still hit after the trim.
+    const std::size_t hits_before = pool.stats().hits;
+    { engine_pool::lease e = pool.checkout(w); }
+    EXPECT_EQ(pool.stats().hits, hits_before + 1);
+}
+
+TEST(engine_pool, eviction_is_lru_by_checkout_stamp) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8lru");
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+
+    weight_vector w1 = uniform_weights(nl);
+    weight_vector w2 = w1;
+    w2[0] = 0.25;
+    // Two engines at distinguishable weights, held simultaneously so the
+    // pool owns both; `first` has the older checkout stamp.
+    {
+        engine_pool::lease first = pool.checkout(w1);
+        engine_pool::lease second = pool.checkout(w2);
+    }
+    EXPECT_EQ(pool.warm_count(), 2u);
+
+    // Shrinking the cap to one must drop the least-recently checked-out
+    // engine (w1's) and keep the newer one, regardless of return order.
+    pool.set_capacity(1);
+    EXPECT_EQ(pool.warm_count(), 1u);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+    {
+        engine_pool::lease survivor = pool.checkout(w2);
+        EXPECT_FALSE(survivor.fresh());
+        EXPECT_EQ(survivor.engine().weights(), w2);
+        EXPECT_EQ(pool.stats().resyncs, 0u);  // already at w2: the newer one
+    }
+}
+
+TEST(engine_pool, explicit_evict_drops_warm_engines_and_counts) {
+    const netlist nl = make_cascaded_comparator(2, "cmp8evict");
+    const circuit_view cv = compile_engine_view(nl);
+    engine_pool pool(cv);
+
+    const weight_vector w = uniform_weights(nl);
+    {
+        engine_pool::lease a = pool.checkout(w);
+        engine_pool::lease b = pool.checkout(w);
+        engine_pool::lease c = pool.checkout(w);
+    }
+    EXPECT_EQ(pool.warm_count(), 3u);
+
+    EXPECT_EQ(pool.evict(1), 2u);
+    EXPECT_EQ(pool.warm_count(), 1u);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.stats().evictions, 2u);
+
+    EXPECT_EQ(pool.evict(), 1u);  // drop everything
+    EXPECT_EQ(pool.warm_count(), 0u);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.stats().evictions, 3u);
+
+    // The pool still works after a full purge: next checkout rebuilds.
+    engine_pool::lease fresh = pool.checkout(w);
+    EXPECT_TRUE(fresh.fresh());
+}
+
 }  // namespace
 }  // namespace wrpt

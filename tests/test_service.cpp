@@ -1,0 +1,814 @@
+// Tests for the unified service API: lossless JSON wire round-trips of
+// every request/response kind (including error envelopes, NaN/inf
+// rejection and unknown-field tolerance), the service facade's result
+// cache (hits asserted via the stats request, bit-identity against
+// direct batch_session calls), and the evict request.
+
+#include "svc/service.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "exec/batch_session.h"
+#include "exec/engine_pool.h"
+#include "gen/comparator.h"
+#include "io/bench_io.h"
+#include "svc/wire.h"
+#include "util/rng.h"
+
+namespace wrpt {
+namespace {
+
+using namespace wrpt::svc;
+
+// encode -> decode -> encode must reproduce the first encoding byte for
+// byte: the encoder is canonical and the decoder lossless.
+void expect_request_roundtrip(const request& q) {
+    const std::string wire1 = encode(q);
+    const request back = decode_request(wire1);
+    EXPECT_EQ(back.id, q.id);
+    EXPECT_EQ(back.kind(), q.kind());
+    EXPECT_EQ(encode(back), wire1);
+}
+
+void expect_response_roundtrip(const response& r) {
+    const std::string wire1 = encode(r);
+    const response back = decode_response(wire1);
+    EXPECT_EQ(back.id, r.id);
+    EXPECT_EQ(back.ok, r.ok);
+    EXPECT_EQ(back.kind(), r.kind());
+    EXPECT_EQ(encode(back), wire1);
+}
+
+TEST(wire, every_request_kind_round_trips_byte_for_byte) {
+    request load;
+    load.id = 1;
+    load_circuit_request lp;
+    lp.name = "cmp";
+    lp.bench = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+    lp.path = "";
+    lp.suite = "";
+    load.payload = lp;
+    expect_request_roundtrip(load);
+
+    request length;
+    length.id = 2;
+    test_length_request tp;
+    tp.circuit = 3;
+    tp.weights = {0.1, 0.25, 1.0 / 3.0, 0.95};
+    tp.confidence = 0.9995;
+    tp.threads = 8;
+    length.payload = tp;
+    expect_request_roundtrip(length);
+
+    request optimize;
+    optimize.id = 3;
+    optimize_request op;
+    op.circuit = 1;
+    op.weights = {0.5, 0.5};
+    op.options.confidence = 0.99;
+    op.options.alpha = 0.125;
+    op.options.max_sweeps = 7;
+    op.options.grid = 0.0;
+    op.options.saddle_escape = false;
+    op.options.prepare_block = SIZE_MAX;  // the sentinel must survive
+    op.options.threads = 4;
+    optimize.payload = op;
+    expect_request_roundtrip(optimize);
+    const auto decoded =
+        std::get<optimize_request>(decode_request(encode(optimize)).payload);
+    EXPECT_EQ(decoded.options.prepare_block, SIZE_MAX);
+    EXPECT_EQ(decoded.options.max_sweeps, 7u);
+    EXPECT_FALSE(decoded.options.saddle_escape);
+
+    request sim;
+    sim.id = 4;
+    fault_sim_request sp;
+    sp.circuit = 2;
+    sp.weights = {0.05, 0.95};
+    sp.patterns = 1u << 20;
+    sp.seed = 0xdeadbeefcafeULL;
+    sim.payload = sp;
+    expect_request_roundtrip(sim);
+
+    request matrix;
+    matrix.id = 5;
+    matrix_request mp;
+    mp.kind = job_kind::optimize;
+    mp.circuits = {0, 2, 5};
+    mp.weight_sets = {{0.5, 0.5}, {}, {0.1, 0.9}};
+    mp.options.max_sweeps = 3;
+    mp.patterns = 128;
+    mp.seed = 7;
+    mp.confidence = 0.999;
+    matrix.payload = mp;
+    expect_request_roundtrip(matrix);
+
+    request stats;
+    stats.id = 6;
+    stats.payload = stats_request{};
+    expect_request_roundtrip(stats);
+
+    request evict;
+    evict.id = 7;
+    evict_request ep;
+    ep.all = false;
+    ep.circuit = 4;
+    ep.keep_engines = 2;
+    evict.payload = ep;
+    expect_request_roundtrip(evict);
+
+    request shutdown;
+    shutdown.id = 8;
+    shutdown.payload = shutdown_request{};
+    expect_request_roundtrip(shutdown);
+}
+
+TEST(wire, every_response_kind_round_trips_byte_for_byte) {
+    expect_response_roundtrip(make_error(9, "bad circuit handle 7"));
+
+    response load;
+    load.id = 1;
+    load_circuit_response lr;
+    lr.circuit = 0;
+    lr.name = "cmp\"quoted\"\nline";  // escaping must survive
+    lr.inputs = 8;
+    lr.outputs = 3;
+    lr.gates = 54;
+    lr.faults = 130;
+    lr.revision = 0xffffffffffffffffULL;  // u64 precision must survive
+    load.payload = lr;
+    expect_response_roundtrip(load);
+    const auto lback =
+        std::get<load_circuit_response>(decode_response(encode(load)).payload);
+    EXPECT_EQ(lback.revision, 0xffffffffffffffffULL);
+    EXPECT_EQ(lback.name, lr.name);
+
+    response length;
+    length.id = 2;
+    test_length_response tr;
+    tr.circuit = 1;
+    tr.revision = 42;
+    tr.cached = true;
+    tr.elapsed_ms = 0.0;
+    tr.length = {true, 1234.5678, 96, 2, 0.00123456789012345};
+    length.payload = tr;
+    expect_response_roundtrip(length);
+
+    response optimize;
+    optimize.id = 3;
+    optimize_response orr;
+    orr.circuit = 0;
+    orr.revision = 7;
+    orr.cached = false;
+    orr.elapsed_ms = 12.5;
+    orr.feasible = true;
+    orr.initial_length = 5000.25;
+    orr.final_length = 1000.125;
+    orr.sweeps = 6;
+    orr.analysis_calls = 19;
+    orr.zero_prob_faults = 0;
+    orr.weights = {0.05, 0.5, 0.95, 0.3000000000000001};
+    orr.length = {true, 1000.125, 88, 0, 0.004};
+    optimize.payload = orr;
+    expect_response_roundtrip(optimize);
+    const auto oback =
+        std::get<optimize_response>(decode_response(encode(optimize)).payload);
+    EXPECT_EQ(oback.weights, orr.weights);  // exact doubles, not approximate
+
+    response sim;
+    sim.id = 4;
+    fault_sim_response sr;
+    sr.circuit = 2;
+    sr.revision = 40;
+    sr.cached = false;
+    sr.elapsed_ms = 3.25;
+    sr.patterns = 4096;
+    sr.faults = 130;
+    sr.detected = 127;
+    sr.coverage = 97.69230769230769;
+    sim.payload = sr;
+    expect_response_roundtrip(sim);
+
+    response matrix;
+    matrix.id = 5;
+    matrix_response mr;
+    mr.results.push_back(length);
+    mr.results.push_back(make_error(5, "weight count mismatch"));
+    matrix.payload = mr;
+    expect_response_roundtrip(matrix);
+    const auto mback =
+        std::get<matrix_response>(decode_response(encode(matrix)).payload);
+    ASSERT_EQ(mback.results.size(), 2u);
+    EXPECT_FALSE(mback.results[1].ok);
+
+    response stats;
+    stats.id = 6;
+    stats_response str;
+    str.requests = 12;
+    str.cache_hits = 3;
+    str.cache_misses = 5;
+    str.cache_entries = 4;
+    str.cache_evictions = 1;
+    str.circuits = 2;
+    str.pools.push_back({0, 41, 3, 2, 4, 10, 3, 5, 1});
+    str.pools.push_back({1, 42, 1, 1, 0, 2, 1, 0, 0});
+    stats.payload = str;
+    expect_response_roundtrip(stats);
+
+    response evict;
+    evict.id = 7;
+    evict.payload = evict_response{3, 2};
+    expect_response_roundtrip(evict);
+
+    response shutdown;
+    shutdown.id = 8;
+    shutdown.payload = shutdown_response{};
+    expect_response_roundtrip(shutdown);
+}
+
+TEST(wire, fuzzed_weight_vectors_survive_the_trip_losslessly) {
+    rng r(0x5eed);
+    for (int trial = 0; trial < 50; ++trial) {
+        request q;
+        q.id = static_cast<std::uint64_t>(trial);
+        test_length_request p;
+        p.circuit = trial;
+        const std::size_t n = 1 + (r.next_word() % 40);
+        for (std::size_t i = 0; i < n; ++i)
+            p.weights.push_back(
+                static_cast<double>(r.next_word()) * 0x1p-64);
+        q.payload = p;
+        const request back = decode_request(encode(q));
+        EXPECT_EQ(std::get<test_length_request>(back.payload).weights,
+                  p.weights);
+        EXPECT_EQ(encode(back), encode(q));
+    }
+}
+
+TEST(wire, decoder_tolerates_unknown_fields) {
+    const request q = decode_request(
+        R"({"req":"test_length","id":9,"circuit":1,"weights":[0.5],)"
+        R"("confidence":0.99,"threads":2,)"
+        R"("future_knob":{"nested":[1,2,{"deep":true}]},"comment":"hi"})");
+    EXPECT_EQ(q.id, 9u);
+    const auto& p = std::get<test_length_request>(q.payload);
+    EXPECT_EQ(p.circuit, 1u);
+    EXPECT_EQ(p.weights, (weight_vector{0.5}));
+    EXPECT_EQ(p.confidence, 0.99);
+    EXPECT_EQ(p.threads, 2u);
+}
+
+TEST(wire, rejects_malformed_and_non_finite_input) {
+    EXPECT_THROW(decode_request("not json"), wire_error);
+    EXPECT_THROW(decode_request("{\"req\":\"optimize\",..."), wire_error);
+    EXPECT_THROW(decode_request(R"({"id":1})"), wire_error);  // no kind
+    EXPECT_THROW(decode_request(R"({"req":"warp_core","id":1})"), wire_error);
+    // JSON has no NaN/Infinity tokens, and overflowing literals must not
+    // sneak a non-finite weight through.
+    EXPECT_THROW(
+        decode_request(R"({"req":"test_length","id":1,"weights":[NaN]})"),
+        wire_error);
+    EXPECT_THROW(
+        decode_request(
+            R"({"req":"test_length","id":1,"weights":[Infinity]})"),
+        wire_error);
+    EXPECT_THROW(
+        decode_request(R"({"req":"test_length","id":1,"weights":[1e999]})"),
+        wire_error);
+    // Encoding a non-finite value is refused too.
+    request q;
+    test_length_request p;
+    p.weights = {std::numeric_limits<double>::quiet_NaN()};
+    q.payload = p;
+    EXPECT_THROW(encode(q), wire_error);
+}
+
+TEST(wire, surrogate_pairs_combine_into_utf8_and_unpaired_ones_fail) {
+    const request q = decode_request(
+        R"({"req":"load_circuit","id":1,"name":"😀","suite":"S1"})");
+    // U+1F600 as proper 4-byte UTF-8, not a CESU-8 surrogate pair.
+    EXPECT_EQ(std::get<load_circuit_request>(q.payload).name,
+              "\xF0\x9F\x98\x80");
+    // The raw UTF-8 re-encoding still round-trips.
+    EXPECT_EQ(encode(decode_request(encode(q))), encode(q));
+
+    EXPECT_THROW(
+        decode_request(R"({"req":"stats","id":1,"x":"\ud83d"})"), wire_error);
+    EXPECT_THROW(
+        decode_request(R"({"req":"stats","id":1,"x":"\ude00"})"), wire_error);
+    EXPECT_THROW(
+        decode_request(R"({"req":"stats","id":1,"x":"\ud83dA"})"),
+        wire_error);
+}
+
+TEST(wire, deeply_nested_input_fails_cleanly_instead_of_crashing) {
+    // A hostile line must produce a wire_error envelope, not a blown
+    // stack in the long-lived daemon.
+    const std::string bomb(300000, '[');
+    EXPECT_THROW(decode_request(bomb), wire_error);
+    EXPECT_EQ(extract_id(bomb), 0u);  // best-effort path survives too
+    // Legitimate nesting (a matrix response nests three object levels)
+    // stays well under the cap.
+    std::string deep = R"({"req":"stats","id":1,"x":)";
+    for (int i = 0; i < 40; ++i) deep += "[";
+    for (int i = 0; i < 40; ++i) deep += "]";
+    deep += "}";
+    EXPECT_EQ(decode_request(deep).id, 1u);
+}
+
+TEST(wire, extract_id_recovers_ids_from_broken_lines) {
+    EXPECT_EQ(extract_id(R"({"req":"stats","id":41})"), 41u);
+    EXPECT_EQ(extract_id(R"({"req":"optimize","id":7,"truncated)"), 7u);
+    EXPECT_EQ(extract_id("garbage"), 0u);
+}
+
+// --- service facade ---------------------------------------------------------
+
+std::size_t load_comparator(service& s, const std::string& name) {
+    request q;
+    load_circuit_request p;
+    p.name = name;
+    p.bench = write_bench_string(make_cascaded_comparator(2, name));
+    q.payload = std::move(p);
+    const response r = s.handle(q);
+    EXPECT_TRUE(r.ok);
+    const auto& out = std::get<load_circuit_response>(r.payload);
+    EXPECT_EQ(out.name, name);
+    EXPECT_GT(out.inputs, 0u);
+    EXPECT_GT(out.faults, 0u);
+    return out.circuit;
+}
+
+optimize_options fast_options() {
+    optimize_options oo;
+    oo.max_sweeps = 3;
+    return oo;
+}
+
+TEST(service, repeated_optimize_is_answered_from_the_result_cache) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_cmp");
+
+    request q;
+    q.id = 10;
+    optimize_request p;
+    p.circuit = c;
+    p.options = fast_options();
+    q.payload = p;
+
+    const response first = s.handle(q);
+    ASSERT_TRUE(first.ok);
+    const auto& r1 = std::get<optimize_response>(first.payload);
+    EXPECT_FALSE(r1.cached);
+    EXPECT_TRUE(r1.feasible);
+    EXPECT_FALSE(r1.weights.empty());
+
+    q.id = 11;
+    const response second = s.handle(q);
+    ASSERT_TRUE(second.ok);
+    const auto& r2 = std::get<optimize_response>(second.payload);
+    EXPECT_TRUE(r2.cached);
+    EXPECT_EQ(second.id, 11u);  // the envelope echoes the new request id
+    // Bit-identical replay: the full weight vector and both lengths.
+    EXPECT_EQ(r2.weights, r1.weights);
+    EXPECT_EQ(r2.final_length, r1.final_length);
+    EXPECT_EQ(r2.initial_length, r1.initial_length);
+    EXPECT_EQ(r2.elapsed_ms, 0.0);  // the hit costs nothing
+
+    // The stats request is the observable contract for the hit.
+    request sq;
+    sq.id = 12;
+    sq.payload = stats_request{};
+    const response stats = s.handle(sq);
+    ASSERT_TRUE(stats.ok);
+    const auto& st = std::get<stats_response>(stats.payload);
+    EXPECT_EQ(st.cache_hits, 1u);
+    EXPECT_EQ(st.cache_misses, 1u);
+    EXPECT_EQ(st.cache_entries, 1u);
+    EXPECT_EQ(st.circuits, 1u);
+    ASSERT_EQ(st.pools.size(), 1u);
+    EXPECT_EQ(st.pools[0].circuit, c);
+    EXPECT_EQ(st.pools[0].revision, s.session().circuit(c).revision());
+}
+
+TEST(service, cached_weights_are_bit_identical_to_direct_batch_session) {
+    const std::string bench =
+        write_bench_string(make_cascaded_comparator(2, "svc_direct"));
+
+    // Direct path: the pre-svc engine layer.
+    batch_session session;
+    const std::size_t direct =
+        session.add_circuit(read_bench_string(bench, "svc_direct"));
+    svc::optimize_request p;
+    p.circuit = direct;
+    p.options = fast_options();
+    const auto direct_results = session.run({svc::job_request{p}});
+    ASSERT_EQ(direct_results.size(), 1u);
+
+    // Served path, twice: the second answer comes from the cache.
+    service s;
+    request lq;
+    load_circuit_request lp;
+    lp.bench = bench;
+    lq.payload = std::move(lp);
+    const response lr = s.handle(lq);
+    ASSERT_TRUE(lr.ok);
+    request q;
+    optimize_request op;
+    op.circuit = std::get<load_circuit_response>(lr.payload).circuit;
+    op.options = fast_options();
+    q.payload = op;
+    const response uncached = s.handle(q);
+    const response cached = s.handle(q);
+    ASSERT_TRUE(uncached.ok);
+    ASSERT_TRUE(cached.ok);
+    const auto& ru = std::get<optimize_response>(uncached.payload);
+    const auto& rc = std::get<optimize_response>(cached.payload);
+    EXPECT_FALSE(ru.cached);
+    EXPECT_TRUE(rc.cached);
+
+    // Same circuit text, same options: all three answers carry the exact
+    // same optimized vector and test lengths.
+    EXPECT_EQ(ru.weights, direct_results[0].optimized.weights);
+    EXPECT_EQ(rc.weights, direct_results[0].optimized.weights);
+    EXPECT_EQ(ru.final_length,
+              direct_results[0].optimized.final_test_length);
+    EXPECT_EQ(ru.length.test_length, direct_results[0].length.test_length);
+}
+
+TEST(service, empty_weights_and_explicit_uniform_share_a_cache_entry) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_uniform");
+
+    request q1;
+    test_length_request p1;
+    p1.circuit = c;  // empty weights = uniform shorthand
+    q1.payload = p1;
+    const response r1 = s.handle(q1);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_FALSE(std::get<test_length_response>(r1.payload).cached);
+
+    request q2;
+    test_length_request p2;
+    p2.circuit = c;
+    p2.weights = uniform_weights(s.session().circuit(c));
+    q2.payload = p2;
+    const response r2 = s.handle(q2);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_TRUE(std::get<test_length_response>(r2.payload).cached);
+    EXPECT_EQ(std::get<test_length_response>(r2.payload).length.test_length,
+              std::get<test_length_response>(r1.payload).length.test_length);
+}
+
+TEST(service, different_options_or_kinds_do_not_alias_in_the_cache) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_alias");
+
+    request q1;
+    test_length_request p1;
+    p1.circuit = c;
+    p1.confidence = 0.999;
+    q1.payload = p1;
+    ASSERT_TRUE(s.handle(q1).ok);
+
+    // Same kind, different confidence: a miss, and a different answer.
+    request q2;
+    test_length_request p2;
+    p2.circuit = c;
+    p2.confidence = 0.9;
+    q2.payload = p2;
+    const response r2 = s.handle(q2);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_FALSE(std::get<test_length_response>(r2.payload).cached);
+
+    // Same weights, different kind (fault_sim): also a miss.
+    request q3;
+    fault_sim_request p3;
+    p3.circuit = c;
+    p3.patterns = 256;
+    q3.payload = p3;
+    const response r3 = s.handle(q3);
+    ASSERT_TRUE(r3.ok);
+    EXPECT_FALSE(std::get<fault_sim_response>(r3.payload).cached);
+
+    request sq;
+    sq.payload = stats_request{};
+    const auto& st =
+        std::get<stats_response>(s.handle(sq).payload);
+    EXPECT_EQ(st.cache_hits, 0u);
+    EXPECT_EQ(st.cache_misses, 3u);
+    EXPECT_EQ(st.cache_entries, 3u);
+}
+
+TEST(service, evict_clears_the_cache_and_trims_the_pools) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_evict");
+
+    request q;
+    test_length_request p;
+    p.circuit = c;
+    q.payload = p;
+    ASSERT_TRUE(s.handle(q).ok);
+    EXPECT_TRUE(std::get<test_length_response>(s.handle(q).payload).cached);
+
+    // Park a warm engine in the circuit's pool (the tiny comparator's
+    // estimator may legitimately answer without engines, so plant one).
+    {
+        engine_pool::lease lease = s.session().pool(c).checkout(
+            uniform_weights(s.session().circuit(c)));
+    }
+    ASSERT_GT(s.session().pool(c).warm_count(), 0u);
+
+    request eq;
+    evict_request ep;
+    ep.all = false;
+    ep.circuit = c;
+    eq.payload = ep;
+    const response er = s.handle(eq);
+    ASSERT_TRUE(er.ok);
+    const auto& ev = std::get<evict_response>(er.payload);
+    EXPECT_EQ(ev.cache_entries, 1u);
+    EXPECT_GT(ev.engines, 0u);  // the planted warm engine is dropped
+    EXPECT_EQ(s.session().pool(c).warm_count(), 0u);
+
+    // After eviction the same query recomputes...
+    const response again = s.handle(q);
+    ASSERT_TRUE(again.ok);
+    EXPECT_FALSE(std::get<test_length_response>(again.payload).cached);
+
+    // ...and the pool eviction shows up in the stats payload.
+    request sq;
+    sq.payload = stats_request{};
+    const auto st = std::get<stats_response>(s.handle(sq).payload);
+    ASSERT_EQ(st.pools.size(), 1u);
+    EXPECT_GT(st.pools[0].evictions, 0u);
+    EXPECT_GT(st.cache_evictions, 0u);
+}
+
+TEST(service, matrix_requests_answer_per_entry_with_error_envelopes) {
+    service s;
+    const std::size_t a = load_comparator(s, "svc_mat_a");
+    const std::size_t b = load_comparator(s, "svc_mat_b");
+
+    request q;
+    q.id = 77;
+    matrix_request m;
+    m.kind = job_kind::test_length;
+    m.circuits = {a, b, 99};  // the last handle does not exist
+    m.weight_sets = {weight_vector{}};
+    q.payload = std::move(m);
+    const response r = s.handle(q);
+    ASSERT_TRUE(r.ok);
+    const auto& mr = std::get<matrix_response>(r.payload);
+    ASSERT_EQ(mr.results.size(), 3u);
+    EXPECT_TRUE(mr.results[0].ok);
+    EXPECT_TRUE(mr.results[1].ok);
+    EXPECT_FALSE(mr.results[2].ok);  // per-entry envelope, not a dead batch
+    EXPECT_EQ(mr.results[2].id, 77u);
+
+    // The two valid answers match individual requests exactly.
+    request single;
+    test_length_request p;
+    p.circuit = a;
+    single.payload = p;
+    const auto direct =
+        std::get<test_length_response>(s.handle(single).payload);
+    EXPECT_TRUE(direct.cached);  // matrix already populated the cache
+    EXPECT_EQ(direct.length.test_length,
+              std::get<test_length_response>(mr.results[0].payload)
+                  .length.test_length);
+}
+
+TEST(wire, evict_without_all_field_defaults_to_per_circuit) {
+    // Naming a circuit but omitting "all" must NOT wipe the daemon.
+    const auto scoped = std::get<evict_request>(
+        decode_request(R"({"req":"evict","id":1,"circuit":2})").payload);
+    EXPECT_FALSE(scoped.all);
+    EXPECT_EQ(scoped.circuit, 2u);
+    // No circuit named: a global evict, as before.
+    const auto global = std::get<evict_request>(
+        decode_request(R"({"req":"evict","id":2})").payload);
+    EXPECT_TRUE(global.all);
+    // Explicit "all":true with a circuit still wins.
+    const auto forced = std::get<evict_request>(
+        decode_request(R"({"req":"evict","id":3,"all":true,"circuit":2})")
+            .payload);
+    EXPECT_TRUE(forced.all);
+}
+
+TEST(service, copied_circuits_sharing_a_revision_do_not_alias) {
+    service s;
+    // netlist copies keep their source's revision stamp; two handles of
+    // the same copied circuit must still cache and evict independently.
+    const netlist nl = make_cascaded_comparator(2, "svc_twin");
+    const std::size_t a = s.session().add_circuit(nl);
+    const std::size_t b = s.session().add_circuit(nl);
+    ASSERT_EQ(s.session().circuit(a).revision(),
+              s.session().circuit(b).revision());
+
+    request qa;
+    test_length_request pa;
+    pa.circuit = a;
+    qa.payload = pa;
+    ASSERT_TRUE(s.handle(qa).ok);
+
+    request qb;
+    test_length_request pb;
+    pb.circuit = b;
+    qb.payload = pb;
+    const response rb = s.handle(qb);
+    ASSERT_TRUE(rb.ok);
+    const auto& out = std::get<test_length_response>(rb.payload);
+    EXPECT_FALSE(out.cached);      // b's first query is not a's entry
+    EXPECT_EQ(out.circuit, b);     // and reports b's identity
+
+    // Per-circuit evict drops only the named handle's entry.
+    request eq;
+    evict_request ep;
+    ep.all = false;
+    ep.circuit = a;
+    eq.payload = ep;
+    EXPECT_EQ(std::get<evict_response>(s.handle(eq).payload).cache_entries,
+              1u);
+    EXPECT_TRUE(
+        std::get<test_length_response>(s.handle(qb).payload).cached);
+}
+
+TEST(service, thread_count_knobs_do_not_fragment_the_cache) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_threads");
+
+    request q1;
+    test_length_request p1;
+    p1.circuit = c;
+    p1.threads = 1;
+    q1.payload = p1;
+    ASSERT_TRUE(s.handle(q1).ok);
+
+    // Same query at a different thread count: results are
+    // thread-invariant, so this must hit.
+    request q2;
+    test_length_request p2;
+    p2.circuit = c;
+    p2.threads = 2;
+    q2.payload = p2;
+    EXPECT_TRUE(std::get<test_length_response>(s.handle(q2).payload).cached);
+
+    request q3;
+    optimize_request p3;
+    p3.circuit = c;
+    p3.options = fast_options();
+    p3.options.threads = 1;
+    q3.payload = p3;
+    ASSERT_TRUE(s.handle(q3).ok);
+    p3.options.threads = 2;
+    q3.payload = p3;
+    EXPECT_TRUE(std::get<optimize_response>(s.handle(q3).payload).cached);
+}
+
+TEST(service, duplicate_jobs_in_one_matrix_compute_once) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_dup");
+
+    request q;
+    matrix_request m;
+    m.kind = job_kind::test_length;
+    m.circuits = {c};
+    // The empty shorthand and the explicit uniform vector are the same
+    // query: one must compute, the other must ride its result.
+    m.weight_sets = {weight_vector{},
+                     uniform_weights(s.session().circuit(c))};
+    q.payload = std::move(m);
+    const response r = s.handle(q);
+    ASSERT_TRUE(r.ok);
+    const auto& mr = std::get<matrix_response>(r.payload);
+    ASSERT_EQ(mr.results.size(), 2u);
+    const auto& a = std::get<test_length_response>(mr.results[0].payload);
+    const auto& b = std::get<test_length_response>(mr.results[1].payload);
+    EXPECT_FALSE(a.cached);
+    EXPECT_TRUE(b.cached);
+    EXPECT_EQ(a.length.test_length, b.length.test_length);
+
+    request sq;
+    sq.payload = stats_request{};
+    const auto st = std::get<stats_response>(s.handle(sq).payload);
+    EXPECT_EQ(st.cache_misses, 1u);  // computed once, not twice
+    EXPECT_EQ(st.cache_hits, 1u);
+    EXPECT_EQ(st.cache_entries, 1u);
+}
+
+TEST(service, bad_options_get_per_entry_envelopes_in_a_matrix) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_badopt");
+
+    request q;
+    q.id = 88;
+    matrix_request m;
+    m.kind = job_kind::test_length;
+    m.circuits = {c};
+    m.weight_sets = {weight_vector{}};
+    m.confidence = 1.5;  // would throw deep inside the pipeline
+    q.payload = std::move(m);
+    const response r = s.handle(q);
+    ASSERT_TRUE(r.ok);  // the matrix envelope survives...
+    const auto& mr = std::get<matrix_response>(r.payload);
+    ASSERT_EQ(mr.results.size(), 1u);
+    EXPECT_FALSE(mr.results[0].ok);  // ...with a per-entry error inside
+    EXPECT_NE(std::get<error_response>(mr.results[0].payload)
+                  .message.find("confidence"),
+              std::string::npos);
+
+    // Bad optimize options are envelopes too, and the service survives.
+    request oq;
+    optimize_request op;
+    op.circuit = c;
+    op.options.max_sweeps = 0;
+    oq.payload = op;
+    EXPECT_FALSE(s.handle(oq).ok);
+    op.options = fast_options();
+    op.options.weight_min = 0.8;
+    op.options.weight_max = 0.2;
+    oq.payload = op;
+    EXPECT_FALSE(s.handle(oq).ok);
+}
+
+TEST(service, bad_requests_become_error_envelopes_not_exceptions) {
+    service s;
+
+    // Unknown circuit handle.
+    request q;
+    q.id = 5;
+    test_length_request p;
+    p.circuit = 123;
+    q.payload = p;
+    const response r = s.handle(q);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.id, 5u);
+    EXPECT_NE(std::get<error_response>(r.payload).message.find("handle"),
+              std::string::npos);
+
+    // Non-finite and out-of-range weights.
+    const std::size_t c = load_comparator(s, "svc_bad");
+    request q2;
+    test_length_request p2;
+    p2.circuit = c;
+    p2.weights = uniform_weights(s.session().circuit(c));
+    p2.weights[0] = std::numeric_limits<double>::infinity();
+    q2.payload = p2;
+    EXPECT_FALSE(s.handle(q2).ok);
+    p2.weights[0] = 1.5;
+    q2.payload = p2;
+    EXPECT_FALSE(s.handle(q2).ok);
+
+    // Malformed load request (two sources).
+    request q3;
+    load_circuit_request p3;
+    p3.bench = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+    p3.suite = "S1";
+    q3.payload = p3;
+    EXPECT_FALSE(s.handle(q3).ok);
+
+    // The service is still alive and serving after all of that.
+    request sq;
+    sq.payload = stats_request{};
+    EXPECT_TRUE(s.handle(sq).ok);
+}
+
+TEST(service, cache_entry_cap_evicts_oldest_entries_first) {
+    service::options so;
+    so.max_cache_entries = 2;
+    service s(so);
+    const std::size_t c = load_comparator(s, "svc_cap");
+
+    auto query = [&](double confidence) {
+        request q;
+        test_length_request p;
+        p.circuit = c;
+        p.confidence = confidence;
+        q.payload = p;
+        return s.handle(q);
+    };
+    ASSERT_TRUE(query(0.9).ok);
+    ASSERT_TRUE(query(0.99).ok);
+    ASSERT_TRUE(query(0.999).ok);  // evicts the 0.9 entry
+
+    request sq;
+    sq.payload = stats_request{};
+    {
+        const auto st = std::get<stats_response>(s.handle(sq).payload);
+        EXPECT_EQ(st.cache_entries, 2u);
+        EXPECT_EQ(st.cache_evictions, 1u);
+    }
+
+    // Newest entries still hit; the evicted oldest one recomputes.
+    EXPECT_TRUE(
+        std::get<test_length_response>(query(0.999).payload).cached);
+    EXPECT_TRUE(std::get<test_length_response>(query(0.99).payload).cached);
+    EXPECT_FALSE(std::get<test_length_response>(query(0.9).payload).cached);
+}
+
+}  // namespace
+}  // namespace wrpt

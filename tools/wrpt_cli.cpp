@@ -9,20 +9,30 @@
 //   wrpt_cli selftest <circuit> [--weights file] [--patterns 4096]
 //   wrpt_cli batch    <dir>     [--threads N] [--stage-threads N]
 //                     [--optimize 1] [--patterns 4096]
-//                     [--confidence 0.999]
+//                     [--confidence 0.999] [--max-engines N]
+//   wrpt_cli serve    [-|pipe]  [--threads N] [--confidence 0.999]
+//                     [--max-engines N] [--max-cache N]
 //
 // <circuit> is either a .bench file path or a suite name (S1, S2, c432,
 // c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
-// `batch` serves every .bench file under <dir> through one batch_session:
+// `batch` serves every .bench file under <dir> through one svc::service:
 // compile once, then run test-length / optimize / fault-sim jobs for all
 // circuits concurrently on the session pool. Unloadable files are
-// reported per file and skipped; the run continues and exits non-zero.
+// reported per file and skipped; the run continues and exits with 2 when
+// only file loads failed, 3 when any job failed.
+// `serve` is the persistent daemon: it reads one JSON request per line
+// from stdin ("-", the default) or from a named pipe / file path, routes
+// it through svc::service, and streams one JSON response per line to
+// stdout. Bad requests get per-request error envelopes (the process does
+// not exit); EOF or a {"req":"shutdown"} request ends the loop
+// gracefully.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +48,8 @@
 #include "opt/optimizer.h"
 #include "prob/detect.h"
 #include "sim/fault_sim.h"
+#include "svc/service.h"
+#include "svc/wire.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -192,6 +204,14 @@ int cmd_selftest(const cli_options& opt) {
     return 0;
 }
 
+// `batch` rides the same unified service API as the serve daemon: file
+// loads are load_circuit requests (per-file error envelopes instead of
+// exceptions), the per-circuit work is two matrix requests answered
+// through the result cache, and the summary reports per-file wall time
+// plus the cache hit/miss split.
+//
+// Exit codes: 0 = clean; 2 = some files failed to load but every job of
+// the loadable remainder succeeded; 3 = at least one job failed.
 int cmd_batch(const cli_options& opt) {
     namespace fs = std::filesystem;
     if (!fs::is_directory(opt.circuit)) {
@@ -210,25 +230,31 @@ int cmd_batch(const cli_options& opt) {
         return 1;
     }
 
-    batch_session::options so;
+    svc::service::options so;
     so.threads = static_cast<unsigned>(opt.flag_u64("threads", 0));
     so.confidence = opt.flag_double("confidence", 0.999);
-    batch_session session(so);
+    so.max_engines = opt.flag_u64("max-engines", 0);
+    svc::service service(so);
     stopwatch compile_sw;
-    // An unreadable or corrupt .bench file fails alone: it is reported
-    // per file on stderr and the rest of the directory still runs; the
-    // exit code then flags the partial failure.
+    // An unreadable or corrupt .bench file fails alone: the service
+    // answers its load request with an error envelope, the file is
+    // reported on stderr and the rest of the directory still runs.
     std::size_t failed_files = 0;
     for (const std::string& f : files) {
-        try {
-            session.add_circuit_file(f);
-        } catch (const std::exception& e) {
+        svc::request q;
+        svc::load_circuit_request load;
+        load.path = f;
+        q.payload = std::move(load);
+        const svc::response r = service.handle(q);
+        if (!r.ok) {
             std::fprintf(stderr, "batch: skipping %s: %s\n", f.c_str(),
-                         e.what());
+                         std::get<svc::error_response>(r.payload)
+                             .message.c_str());
             ++failed_files;
         }
     }
     const double compile_s = compile_sw.seconds();
+    const batch_session& session = service.session();
     if (session.circuit_count() == 0) {
         std::fprintf(stderr, "batch: no loadable .bench files under %s\n",
                      opt.circuit.c_str());
@@ -240,52 +266,148 @@ int cmd_batch(const cli_options& opt) {
     // default 1 because the jobs themselves fill the session pool.
     const unsigned stage_threads =
         static_cast<unsigned>(opt.flag_u64("stage-threads", 1));
-    std::vector<batch_session::job> jobs;
-    for (std::size_t c = 0; c < session.circuit_count(); ++c) {
-        batch_session::job j;
-        j.circuit = c;
-        j.kind = optimize ? batch_session::job_kind::optimize
-                          : batch_session::job_kind::test_length;
-        j.opt.confidence = so.confidence;
-        j.opt.threads = stage_threads;
-        jobs.push_back(j);
 
-        batch_session::job s;
-        s.circuit = c;
-        s.kind = batch_session::job_kind::fault_sim;
-        s.patterns = opt.flag_u64("patterns", 4096);
-        s.seed = opt.flag_u64("seed", 1);
-        jobs.push_back(s);
+    // Two matrix requests over every circuit at uniform weights: the
+    // analysis kind (optimize or test_length) and the validating fault
+    // simulation. Each matrix runs its jobs concurrently on the session
+    // pool; repeated invocations of the same work would be cache hits.
+    svc::request analysis_req;
+    {
+        svc::matrix_request m;
+        m.kind = optimize ? svc::job_kind::optimize
+                          : svc::job_kind::test_length;
+        m.weight_sets = {weight_vector{}};  // uniform
+        m.options.confidence = so.confidence;
+        m.options.threads = stage_threads;
+        m.confidence = so.confidence;
+        analysis_req.payload = std::move(m);
+    }
+    svc::request sim_req;
+    {
+        svc::matrix_request m;
+        m.kind = svc::job_kind::fault_sim;
+        m.weight_sets = {weight_vector{}};
+        m.patterns = opt.flag_u64("patterns", 4096);
+        m.seed = opt.flag_u64("seed", 1);
+        sim_req.payload = std::move(m);
     }
     stopwatch run_sw;
-    const auto results = session.run(jobs);
+    const svc::response analysis_resp = service.handle(analysis_req);
+    const svc::response sim_resp = service.handle(sim_req);
     const double run_s = run_sw.seconds();
+    if (!analysis_resp.ok || !sim_resp.ok) {
+        const auto& failed = !analysis_resp.ok ? analysis_resp : sim_resp;
+        std::fprintf(stderr, "batch: %s\n",
+                     std::get<svc::error_response>(failed.payload)
+                         .message.c_str());
+        return 3;
+    }
+    const auto& analysis =
+        std::get<svc::matrix_response>(analysis_resp.payload).results;
+    const auto& sims = std::get<svc::matrix_response>(sim_resp.payload).results;
 
-    std::printf("%zu circuits compiled in %.2f s, %zu jobs in %.2f s\n",
-                session.circuit_count(), compile_s, jobs.size(), run_s);
+    const svc::service::cache_counters cache = service.cache_stats();
+    std::printf("%zu circuits compiled in %.2f s, %zu jobs in %.2f s, "
+                "cache %llu hit / %llu miss\n",
+                session.circuit_count(), compile_s,
+                analysis.size() + sims.size(), run_s,
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
+    std::size_t failed_jobs = 0;
     for (std::size_t c = 0; c < session.circuit_count(); ++c) {
-        const auto& ra = results[2 * c];
-        const auto& rs = results[2 * c + 1];
         const netlist& nl = session.circuit(c);
-        std::printf("%-24s rev %llu  inputs %4zu  faults %5zu  ",
-                    nl.name().c_str(),
-                    static_cast<unsigned long long>(ra.revision),
+        std::printf("%-24s inputs %4zu  faults %5zu  ", nl.name().c_str(),
                     nl.input_count(), session.faults(c).size());
-        if (optimize)
-            std::printf("N %.4g -> %.4g  ",
-                        ra.optimized.initial_test_length,
-                        ra.optimized.final_test_length);
-        else if (ra.length.feasible)
-            std::printf("N %.4g  ", ra.length.test_length);
-        else
-            std::printf("N infeasible  ");
-        std::printf("coverage %.2f%% @ %llu patterns\n", rs.coverage_percent,
-                    static_cast<unsigned long long>(rs.patterns_applied));
+        double job_ms = 0.0;
+        bool job_cached = false;
+        if (!analysis[c].ok) {
+            ++failed_jobs;
+            std::printf("FAILED: %s",
+                        std::get<svc::error_response>(analysis[c].payload)
+                            .message.c_str());
+        } else if (optimize) {
+            const auto& ra =
+                std::get<svc::optimize_response>(analysis[c].payload);
+            std::printf("N %.4g -> %.4g  ", ra.initial_length,
+                        ra.final_length);
+            job_ms += ra.elapsed_ms;
+            job_cached = ra.cached;
+        } else {
+            const auto& ra =
+                std::get<svc::test_length_response>(analysis[c].payload);
+            if (ra.length.feasible)
+                std::printf("N %.4g  ", ra.length.test_length);
+            else
+                std::printf("N infeasible  ");
+            job_ms += ra.elapsed_ms;
+            job_cached = ra.cached;
+        }
+        if (!sims[c].ok) {
+            ++failed_jobs;
+            std::printf("  sim FAILED: %s",
+                        std::get<svc::error_response>(sims[c].payload)
+                            .message.c_str());
+        } else {
+            const auto& rs =
+                std::get<svc::fault_sim_response>(sims[c].payload);
+            std::printf("coverage %.2f%% @ %llu patterns", rs.coverage,
+                        static_cast<unsigned long long>(rs.patterns));
+            job_ms += rs.elapsed_ms;
+        }
+        std::printf("  [%.1f ms%s]\n", job_ms, job_cached ? ", cached" : "");
+    }
+    if (failed_jobs > 0) {
+        std::fprintf(stderr, "batch: %zu job(s) failed\n", failed_jobs);
+        return 3;
     }
     if (failed_files > 0) {
         std::fprintf(stderr, "batch: %zu file(s) failed to load\n",
                      failed_files);
-        return 1;
+        return 2;
+    }
+    return 0;
+}
+
+// The persistent daemon: one JSON request per line in, one JSON response
+// per line out (flushed per response, so pipes see answers immediately).
+// Request-level failures — malformed JSON, unknown kinds, bad handles —
+// become error envelopes; only EOF or a shutdown request ends the loop.
+int cmd_serve(const cli_options& opt) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (opt.circuit != "-") {
+        file.open(opt.circuit);
+        if (!file.good()) {
+            std::fprintf(stderr, "serve: cannot open '%s'\n",
+                         opt.circuit.c_str());
+            return 1;
+        }
+        in = &file;
+    }
+    svc::service::options so;
+    so.threads = static_cast<unsigned>(opt.flag_u64("threads", 0));
+    so.confidence = opt.flag_double("confidence", 0.999);
+    so.max_engines = opt.flag_u64("max-engines", 0);
+    so.max_cache_entries = opt.flag_u64("max-cache", 0);
+    svc::service service(so);
+
+    std::string line;
+    while (std::getline(*in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        svc::response r;
+        bool shutdown = false;
+        try {
+            const svc::request q = svc::decode_request(line);
+            shutdown = q.kind() == svc::request_kind::shutdown;
+            r = service.handle(q);
+        } catch (const std::exception& e) {
+            r = svc::make_error(svc::extract_id(line), e.what());
+        }
+        const std::string encoded = svc::encode(r);
+        std::fwrite(encoded.data(), 1, encoded.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        if (shutdown) break;
     }
     return 0;
 }
@@ -294,21 +416,34 @@ int usage() {
     std::fprintf(
         stderr,
         "usage: wrpt_cli <stats|lengths|optimize|simulate|atpg|selftest|"
-        "batch> <circuit|dir> [--flag value]...\n"
+        "batch|serve> <circuit|dir|-> [--flag value]...\n"
         "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
+        "  serve reads JSON-lines requests from stdin (-) or a pipe path\n"
         "  flags: --confidence --estimator --weights --out --patterns "
-        "--seed --backtracks --threads --stage-threads --optimize\n");
+        "--seed --backtracks --threads --stage-threads --optimize "
+        "--max-engines --max-cache\n");
     return 64;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) return usage();
     cli_options opt;
+    if (argc < 2) return usage();
     opt.command = argv[1];
-    opt.circuit = argv[2];
-    for (int i = 3; i + 1 < argc; i += 2) {
+    int flag_start;
+    if (opt.command == "serve" &&
+        (argc == 2 || std::strncmp(argv[2], "--", 2) == 0)) {
+        // serve's positional is optional: `serve --threads 1` reads
+        // stdin, same as `serve - --threads 1`.
+        opt.circuit = "-";
+        flag_start = 2;
+    } else {
+        if (argc < 3) return usage();
+        opt.circuit = argv[2];
+        flag_start = 3;
+    }
+    for (int i = flag_start; i + 1 < argc; i += 2) {
         const char* name = argv[i];
         if (std::strncmp(name, "--", 2) != 0) return usage();
         opt.flags[name + 2] = argv[i + 1];
@@ -321,6 +456,7 @@ int main(int argc, char** argv) {
         if (opt.command == "atpg") return cmd_atpg(opt);
         if (opt.command == "selftest") return cmd_selftest(opt);
         if (opt.command == "batch") return cmd_batch(opt);
+        if (opt.command == "serve") return cmd_serve(opt);
         return usage();
     } catch (const wrpt::error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
