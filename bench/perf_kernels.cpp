@@ -5,6 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
 #include "fault/fault.h"
 #include "gen/sharded.h"
 #include "gen/suite.h"
@@ -12,7 +18,9 @@
 #include "opt/optimizer.h"
 #include "prob/detect.h"
 #include "sim/fault_sim.h"
+#include "svc/server.h"
 #include "svc/service.h"
+#include "svc/socket.h"
 
 namespace {
 
@@ -187,6 +195,68 @@ void bm_serve_optimize(benchmark::State& state, const std::string& name,
     state.counters["cache_misses"] = static_cast<double>(cc.misses);
 }
 
+// Full-transport repeat-optimize latency: N concurrent clients, each one
+// connection to a unix-socket daemon, each sending one optimize request
+// per iteration — the remaining BENCH_serve.json rows. Relative to
+// bm_serve_optimize the cached rows price the wire (connect + codec +
+// one round trip per client); the uncached 8-client row is the
+// contended steady state, where every client recomputes the evicted
+// entry concurrently against one shared service.
+void bm_serve_socket(benchmark::State& state, const std::string& name,
+                     std::size_t clients, bool cached) {
+    svc::service service;
+    {
+        svc::request load;
+        svc::load_circuit_request lp;
+        lp.suite = name;
+        load.payload = std::move(lp);
+        if (!service.handle(load).ok) {
+            state.SkipWithError("load failed");
+            return;
+        }
+    }
+    svc::request q;
+    svc::optimize_request op;
+    op.options.max_sweeps = 3;
+    q.payload = op;
+    service.handle(q);  // populate the cache once
+    svc::request evict;
+    // As in bm_serve_optimize: drop the result-cache entry only, keep
+    // warm pooled engines.
+    evict.payload = svc::evict_request{true, 0, SIZE_MAX};
+
+    const svc::endpoint ep = svc::endpoint::unix_at(
+        (std::filesystem::temp_directory_path() /
+         ("wrpt_bm_" + std::to_string(::getpid()) + ".sock"))
+            .string());
+    svc::server server(service, ep);
+
+    for (auto _ : state) {
+        if (!cached) {
+            state.PauseTiming();
+            service.handle(evict);
+            state.ResumeTiming();
+        }
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (std::size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&] {
+                svc::client client(server.where());
+                const svc::response r = client.roundtrip(q);
+                benchmark::DoNotOptimize(r.ok);
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    }
+    server.stop();
+    server.wait();
+    const svc::service::cache_counters cc = service.cache_stats();
+    state.counters["clients"] = static_cast<double>(clients);
+    state.counters["cached"] = cached ? 1.0 : 0.0;
+    state.counters["cache_hits"] = static_cast<double>(cc.hits);
+    state.counters["cache_misses"] = static_cast<double>(cc.misses);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(bm_optimize_sweep, sharded_incremental,
@@ -255,6 +325,20 @@ BENCHMARK_CAPTURE(bm_serve_optimize, S1_cached, std::string("S1"), true)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(bm_serve_optimize, S1_uncached, std::string("S1"), false)
     ->Unit(benchmark::kMicrosecond);
+
+// The socket-transport rows: 1 vs 8 concurrent clients, cached vs
+// uncached, against one unix-socket daemon. Real time — the clients are
+// threads, the cost is a round trip, not CPU in this process's loop.
+BENCHMARK_CAPTURE(bm_serve_socket, S1_c1_cached, std::string("S1"), 1, true)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_serve_socket, S1_c1_uncached, std::string("S1"), 1,
+                  false)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_serve_socket, S1_c8_cached, std::string("S1"), 8, true)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_serve_socket, S1_c8_uncached, std::string("S1"), 8,
+                  false)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 BENCHMARK_CAPTURE(bm_analysis, S1, std::string("S1"))
     ->Unit(benchmark::kMillisecond);

@@ -137,43 +137,6 @@ std::vector<batch_session::result> batch_session::run(
     return results;
 }
 
-svc::job_request batch_session::job::to_request() const {
-    switch (kind) {
-        case job_kind::test_length: {
-            svc::test_length_request p;
-            p.circuit = circuit;
-            p.weights = weights;
-            p.confidence = confidence;
-            p.threads = opt.threads;
-            return p;
-        }
-        case job_kind::optimize: {
-            svc::optimize_request p;
-            p.circuit = circuit;
-            p.weights = weights;
-            p.options = opt;
-            return p;
-        }
-        case job_kind::fault_sim: {
-            svc::fault_sim_request p;
-            p.circuit = circuit;
-            p.weights = weights;
-            p.patterns = patterns;
-            p.seed = seed;
-            return p;
-        }
-    }
-    throw invalid_input("batch_session: bad job kind");
-}
-
-std::vector<batch_session::result> batch_session::run(
-    const std::vector<job>& jobs) {
-    std::vector<svc::job_request> requests;
-    requests.reserve(jobs.size());
-    for (const job& j : jobs) requests.push_back(j.to_request());
-    return run(requests);
-}
-
 std::vector<svc::job_request> batch_session::expand_matrix(
     const svc::matrix_request& m) const {
     std::vector<std::size_t> targets = m.circuits;
@@ -216,16 +179,6 @@ std::vector<svc::job_request> batch_session::expand_matrix(
         }
     }
     return requests;
-}
-
-std::vector<batch_session::result> batch_session::run_matrix(
-    job_kind kind, const std::vector<std::size_t>& circuits,
-    const std::vector<weight_vector>& weight_sets) {
-    svc::matrix_request m;
-    m.kind = kind;
-    m.circuits = circuits;
-    m.weight_sets = weight_sets;
-    return run(expand_matrix(m));
 }
 
 }  // namespace wrpt

@@ -102,46 +102,11 @@ public:
     /// Bit-identical to running the requests one by one in order.
     std::vector<result> run(const std::vector<svc::job_request>& requests);
 
-    // --- deprecated adapters (kept for one PR) ------------------------------
-    // The pre-svc job struct and matrix call. Both convert to
-    // svc::job_request and forward to run(); new code should build the
-    // typed requests directly (svc::service adds caching on top).
-
-    struct job {
-        std::size_t circuit = 0;
-        job_kind kind = job_kind::test_length;
-        /// Weights: evaluation point (test_length, fault_sim) or starting
-        /// vector (optimize). Empty = uniform 0.5.
-        weight_vector weights;
-        /// optimize jobs; opt.threads also shards the ANALYSIS/NORMALIZE
-        /// stages of test_length jobs (default 1: jobs are the outer
-        /// parallel dimension, so each job keeps its stages sequential).
-        optimize_options opt;
-        /// fault_sim jobs only.
-        std::uint64_t patterns = 4096;
-        std::uint64_t seed = 1;
-        /// test_length jobs: 0 = session default confidence.
-        double confidence = 0.0;
-
-        /// The typed request this job describes.
-        svc::job_request to_request() const;
-    };
-
-    /// Deprecated: converts each job via to_request() and forwards.
-    std::vector<result> run(const std::vector<job>& jobs);
-
-    /// Deprecated: builds the equivalent svc::matrix_request job list
-    /// (every (circuit, weight vector) pair as one job of `kind`,
-    /// results circuit-major: results[c * weight_sets.size() + w]; an
-    /// empty circuit list means every registered circuit) and forwards.
-    /// svc::service::handle(matrix_request) is the cached replacement.
-    std::vector<result> run_matrix(job_kind kind,
-                                   const std::vector<std::size_t>& circuits,
-                                   const std::vector<weight_vector>& weight_sets);
-
-    /// Expand a matrix request into its job list (circuit-major order) —
-    /// the single definition of the N x M request shape, shared by
-    /// run_matrix and svc::service.
+    /// Expand a matrix request into its job list (circuit-major order:
+    /// jobs[c * weight_sets.size() + w]; an empty circuit list means
+    /// every registered circuit) — the single definition of the N x M
+    /// request shape. svc::service::handle(matrix_request) runs it with
+    /// caching on top.
     std::vector<svc::job_request> expand_matrix(
         const svc::matrix_request& m) const;
 

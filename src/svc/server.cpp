@@ -1,0 +1,174 @@
+#include "svc/server.h"
+
+#include <utility>
+
+#include "svc/service.h"
+#include "svc/wire.h"
+
+namespace wrpt::svc {
+
+server::server(service& svc, const endpoint& ep)
+    : server(svc, ep, options{}) {}
+
+server::server(service& svc, const endpoint& ep, options opt)
+    : service_(&svc), options_(opt), listener_(ep) {
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+server::~server() {
+    stop();
+    wait();
+}
+
+void server::stop() {
+    // The exchange also keeps a second caller from re-walking the
+    // connection list while wait() tears it down.
+    if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+    listener_.shutdown();  // wakes the blocked accept()
+    std::scoped_lock lock(connections_mutex_);
+    for (const auto& conn : connections_)
+        if (!conn->done.load(std::memory_order_acquire))
+            conn->sock.shutdown_read();  // blocked readers wake with EOF
+}
+
+void server::wait() {
+    if (acceptor_.joinable()) acceptor_.join();
+    // The acceptor only exits once the drain started, so no new
+    // connections appear past this point and the vector is stable.
+    std::vector<std::unique_ptr<connection>> sessions;
+    {
+        std::scoped_lock lock(connections_mutex_);
+        sessions.swap(connections_);
+    }
+    for (const auto& conn : sessions) {
+        // Re-apply the drain half-close: if this wait() swapped the list
+        // out before the stop() caller's walk reached it, a blocked
+        // reader would otherwise never wake. shutdown() is idempotent.
+        if (!conn->done.load(std::memory_order_acquire))
+            conn->sock.shutdown_read();
+        if (conn->thread.joinable()) conn->thread.join();
+    }
+}
+
+server::counters server::stats() const {
+    counters c;
+    c.accepted = accepted_.load(std::memory_order_relaxed);
+    c.refused = refused_.load(std::memory_order_relaxed);
+    c.requests = requests_.load(std::memory_order_relaxed);
+    c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    c.overflows = overflows_.load(std::memory_order_relaxed);
+    c.timeouts = timeouts_.load(std::memory_order_relaxed);
+    std::scoped_lock lock(connections_mutex_);
+    for (const auto& conn : connections_)
+        if (!conn->done.load(std::memory_order_acquire)) ++c.active;
+    return c;
+}
+
+void server::reap_finished() {
+    std::vector<std::unique_ptr<connection>> finished;
+    {
+        std::scoped_lock lock(connections_mutex_);
+        for (auto it = connections_.begin(); it != connections_.end();) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(*it));
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Join (and close) outside the lock; these threads have already left
+    // their session loop.
+    for (const auto& conn : finished)
+        if (conn->thread.joinable()) conn->thread.join();
+}
+
+void server::accept_loop() {
+    for (;;) {
+        stream sock = listener_.accept();
+        if (!sock) break;  // listener shut down (drain) or fatal error
+        if (draining_.load(std::memory_order_acquire)) break;
+        reap_finished();
+        if (options_.max_connections != 0) {
+            std::size_t active = 0;
+            {
+                std::scoped_lock lock(connections_mutex_);
+                active = connections_.size();
+            }
+            if (active >= options_.max_connections) {
+                refused_.fetch_add(1, std::memory_order_relaxed);
+                continue;  // sock closes on scope exit
+            }
+        }
+        auto conn = std::make_unique<connection>();
+        conn->sock = std::move(sock);
+        connection* raw = conn.get();
+        {
+            std::scoped_lock lock(connections_mutex_);
+            connections_.push_back(std::move(conn));
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        raw->thread = std::thread([this, raw] { serve_connection(*raw); });
+    }
+}
+
+void server::serve_connection(connection& conn) {
+    line_reader reader(conn.sock, options_.max_line_bytes);
+    const int timeout =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    const int send_timeout =
+        options_.send_timeout_ms > 0 ? options_.send_timeout_ms : -1;
+    std::string line;
+    // The same session loop as the stdin daemon, per connection: ids are
+    // whatever this client chose, envelopes answer this client's broken
+    // lines, and a shutdown request drains the whole server.
+    while (!draining_.load(std::memory_order_acquire)) {
+        const line_status st = reader.read_line(line, timeout);
+        if (st == line_status::eof) break;
+        if (st == line_status::timed_out) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        if (st == line_status::overflow) {
+            // Framing is lost beyond the cap: answer once, then drop the
+            // connection.
+            overflows_.fetch_add(1, std::memory_order_relaxed);
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            const std::string envelope = encode(make_error(
+                0, "request line exceeds " +
+                       std::to_string(options_.max_line_bytes) + " bytes"));
+            try {
+                conn.sock.send_all(envelope + "\n", send_timeout);
+            } catch (const socket_error&) {
+            }
+            break;
+        }
+        if (line.find_first_not_of(" \t") == std::string::npos) continue;
+        response r;
+        bool shutdown = false;
+        try {
+            const request q = decode_request(line);
+            shutdown = q.kind() == request_kind::shutdown;
+            r = service_->handle(q);
+        } catch (const std::exception& e) {
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            r = make_error(extract_id(line), e.what());
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            conn.sock.send_all(encode(r) + "\n", send_timeout);
+        } catch (const socket_error&) {
+            break;  // client went away (or stopped reading) mid-answer
+        }
+        if (shutdown) {
+            stop();
+            break;
+        }
+    }
+    // Flush-then-close semantics for the peer; the fd itself is closed
+    // when the reaper (or wait()) destroys the connection record.
+    conn.sock.shutdown_both();
+    conn.done.store(true, std::memory_order_release);
+}
+
+}  // namespace wrpt::svc

@@ -1,0 +1,131 @@
+// Concurrent-connection daemon core: one listening socket, one session
+// per connection, all sessions over one **shared** svc::service.
+//
+// Threading model: a dedicated acceptor thread blocks in accept(); each
+// accepted connection gets its own handler thread running the same
+// JSON-lines session loop as the stdin daemon (read line -> decode ->
+// service::handle -> encode -> flush). The service is the shared state —
+// one result cache, one batch_session with its per-circuit engine pools —
+// so two connections issuing the same query truly race on the cache and
+// the engine-pool LRU; service::handle is thread-safe for exactly this
+// caller (see svc/service.h).
+//
+// Hostile and slow clients: every line is framed by svc::line_reader
+// under options::max_line_bytes — an endless line costs bounded memory
+// and earns an error envelope followed by a disconnect, a malformed line
+// earns a per-request error envelope addressed via extract_id, and a
+// connection idle past options::idle_timeout_ms is dropped. Nothing a
+// client sends can take the process down.
+//
+// Drain protocol: a {"req":"shutdown"} request on any connection (or a
+// stop() call) answers that request, then (1) wakes and retires the
+// acceptor so new connections are refused, and (2) half-closes the read
+// side of every open connection, so blocked readers see EOF while
+// requests already being computed still finish and flush their
+// responses. wait() returns once the acceptor and every handler joined.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/socket.h"
+
+namespace wrpt::svc {
+
+class service;
+
+class server {
+public:
+    struct options {
+        /// Per-line byte cap before the newline arrives; beyond it the
+        /// client gets an error envelope and a disconnect (0 = unbounded).
+        std::size_t max_line_bytes = 1u << 20;
+        /// Drop a connection idle (no complete line) this long
+        /// (0 = never). One deadline per line — a slow-drip client
+        /// cannot renew it byte by byte.
+        int idle_timeout_ms = 0;
+        /// Bound on each response write (0 = unbounded): a client that
+        /// stops reading gets disconnected instead of parking a handler
+        /// thread in send() forever — which would also wedge the drain.
+        int send_timeout_ms = 30000;
+        /// Refuse connections beyond this many concurrent sessions
+        /// (0 = unbounded). Refused connections are closed immediately.
+        std::size_t max_connections = 0;
+    };
+
+    /// Bind `ep` and start accepting. The service must outlive the
+    /// server. Throws socket_error (with the errno string) when the
+    /// endpoint cannot be bound.
+    server(service& svc, const endpoint& ep);  // default options (defined
+                                               // out of line: the nested
+                                               // aggregate is incomplete
+                                               // here)
+    server(service& svc, const endpoint& ep, options opt);
+    ~server();  // stop() + wait()
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// The bound endpoint — for TCP port 0 this carries the resolved
+    /// ephemeral port.
+    const endpoint& where() const { return listener_.bound(); }
+
+    /// Initiate the drain: refuse new connections, EOF idle readers,
+    /// let in-flight requests finish. Safe from any thread, including a
+    /// handler thread (the shutdown request rides this). Idempotent.
+    void stop();
+
+    /// Block until the drain completed and every session thread joined.
+    /// Returns immediately if already drained.
+    void wait();
+
+    bool draining() const {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    struct counters {
+        std::uint64_t accepted = 0;   ///< connections taken off the listener
+        std::uint64_t refused = 0;    ///< closed for exceeding max_connections
+        std::uint64_t requests = 0;   ///< lines answered (envelopes included)
+        std::uint64_t protocol_errors = 0;  ///< lines that failed to decode
+        std::uint64_t overflows = 0;  ///< connections dropped by the line cap
+        std::uint64_t timeouts = 0;   ///< connections dropped idle
+        std::size_t active = 0;       ///< sessions currently open
+    };
+    counters stats() const;
+
+private:
+    struct connection {
+        stream sock;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void accept_loop();
+    void serve_connection(connection& conn);
+    /// Join and destroy finished sessions (called from the acceptor).
+    void reap_finished();
+
+    service* service_;
+    options options_;
+    listener listener_;
+    std::thread acceptor_;
+    std::atomic<bool> draining_{false};
+
+    mutable std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<connection>> connections_;
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> refused_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> protocol_errors_{0};
+    std::atomic<std::uint64_t> overflows_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
+};
+
+}  // namespace wrpt::svc

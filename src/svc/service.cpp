@@ -32,6 +32,7 @@ bool service::cache_key::operator<(const cache_key& other) const {
 }
 
 service::cache_counters service::cache_stats() const {
+    std::scoped_lock lock(cache_mutex_);
     cache_counters c;
     c.hits = cache_hits_;
     c.misses = cache_misses_;
@@ -41,7 +42,7 @@ service::cache_counters service::cache_stats() const {
 }
 
 response service::handle(const request& q) {
-    ++requests_;
+    requests_.fetch_add(1, std::memory_order_relaxed);
     try {
         return std::visit(
             [&](const auto& p) -> response {
@@ -58,13 +59,7 @@ response service::handle(const request& q) {
                     r.payload = shutdown_response{};
                     return r;
                 } else if constexpr (std::is_same_v<T, matrix_request>) {
-                    response r;
-                    r.id = q.id;
-                    matrix_response m;
-                    m.results =
-                        run_jobs(q.id, session_->expand_matrix(p));
-                    r.payload = std::move(m);
-                    return r;
+                    return handle_matrix(q.id, p);
                 } else {
                     // One of the three job kinds: a batch of one.
                     return run_jobs(q.id, {job_request{p}}).front();
@@ -88,6 +83,10 @@ response service::handle_load(std::uint64_t id,
                  : !p.path.empty() ? read_bench_file(p.path)
                                    : build_suite_circuit(p.suite);
     if (!p.name.empty()) nl.set_name(p.name);
+    // Growing the circuit table invalidates concurrent readers: wait for
+    // in-flight jobs to finish, then mutate exclusively. Parsing and
+    // generation above stay outside the lock.
+    std::unique_lock session_lock(session_mutex_);
     const std::size_t handle = session_->add_circuit(std::move(nl));
 
     const netlist& stored = session_->circuit(handle);
@@ -108,12 +107,16 @@ response service::handle_load(std::uint64_t id,
 }
 
 response service::handle_stats(std::uint64_t id) {
+    std::shared_lock session_lock(session_mutex_);
     stats_response out;
-    out.requests = requests_;
-    out.cache_hits = cache_hits_;
-    out.cache_misses = cache_misses_;
-    out.cache_entries = cache_.size();
-    out.cache_evictions = cache_evictions_;
+    out.requests = requests_.load(std::memory_order_relaxed);
+    {
+        std::scoped_lock cache_lock(cache_mutex_);
+        out.cache_hits = cache_hits_;
+        out.cache_misses = cache_misses_;
+        out.cache_entries = cache_.size();
+        out.cache_evictions = cache_evictions_;
+    }
     out.circuits = session_->circuit_count();
     for (std::size_t c = 0; c < session_->circuit_count(); ++c) {
         const engine_pool& pool = session_->pool(c);
@@ -137,6 +140,11 @@ response service::handle_stats(std::uint64_t id) {
 }
 
 response service::handle_evict(std::uint64_t id, const evict_request& p) {
+    // Shared session lock: pools are internally synchronized, and the
+    // cache has its own mutex — eviction may interleave with running
+    // jobs, exactly like a capacity-cap trim would.
+    std::shared_lock session_lock(session_mutex_);
+    std::scoped_lock cache_lock(cache_mutex_);
     evict_response out;
     if (p.all) {
         out.cache_entries = cache_.size();
@@ -262,6 +270,7 @@ service::cache_key service::key_of(const job_request& j) const {
 }
 
 void service::insert_cached(cache_key key, const batch_session::result& r) {
+    // Caller holds cache_mutex_.
     const std::uint64_t seq = ++cache_sequence_;
     // The order index is only needed (and only maintained) under a cap;
     // without one it would grow unboundedly for nothing.
@@ -338,8 +347,31 @@ response service::to_response(std::uint64_t id,
     return out;
 }
 
+response service::handle_matrix(std::uint64_t id, const matrix_request& p) {
+    // Expansion reads the circuit table (an empty circuit list means
+    // "every registered circuit"), so it must sit under the same shared
+    // lock as the jobs themselves — a concurrent load_circuit would
+    // otherwise race the expansion's circuit_count() read.
+    std::shared_lock session_lock(session_mutex_);
+    response r;
+    r.id = id;
+    matrix_response m;
+    m.results = run_jobs_locked(id, session_->expand_matrix(p));
+    r.payload = std::move(m);
+    return r;
+}
+
 std::vector<response> service::run_jobs(std::uint64_t id,
                                         const std::vector<job_request>& jobs) {
+    // Shared session lock for the whole batch: the circuit table stays
+    // stable under us while concurrent run_jobs callers from other
+    // connections proceed in parallel (only load_circuit excludes).
+    std::shared_lock session_lock(session_mutex_);
+    return run_jobs_locked(id, jobs);
+}
+
+std::vector<response> service::run_jobs_locked(
+    std::uint64_t id, const std::vector<job_request>& jobs) {
     std::vector<response> out(jobs.size());
     std::vector<cache_key> keys(jobs.size());
     // Validate and probe the cache up front; only distinct cache misses
@@ -354,6 +386,7 @@ std::vector<response> service::run_jobs(std::uint64_t id,
             continue;
         }
         keys[i] = key_of(jobs[i]);
+        std::scoped_lock cache_lock(cache_mutex_);
         if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
             ++cache_hits_;
             out[i] = to_response(id, it->second.result, true);
@@ -388,6 +421,7 @@ std::vector<response> service::run_jobs(std::uint64_t id,
                 }
             }
         }
+        std::scoped_lock cache_lock(cache_mutex_);
         for (std::size_t k = 0; k < to_run.size(); ++k) {
             if (!computed[k]) {
                 for (const std::size_t i : owners[k])

@@ -24,12 +24,27 @@
 // dies on a bad request. Matrix requests validate and answer each job
 // individually — invalid entries get per-entry error envelopes while the
 // valid remainder still runs concurrently on the session pool.
+//
+// Concurrency: handle() is safe to call from many threads at once — the
+// contract the socket daemon (svc/server.h) runs one session per
+// connection on. Two locks split the shared state: a shared_mutex over
+// the session structure (load_circuit takes it exclusively while it
+// grows the circuit table; jobs, stats and evict share it) and a plain
+// mutex over the result cache and its counters, held only for probes and
+// inserts, never across a computation. Job results stay deterministic, so
+// the race two connections can win against one cache key is benign: both
+// compute the same bits, each counts as a miss, the second insert
+// replaces an identical entry — and every job is still accounted as
+// exactly one hit or one miss.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -99,11 +114,16 @@ private:
     response handle_load(std::uint64_t id, const load_circuit_request& p);
     response handle_stats(std::uint64_t id);
     response handle_evict(std::uint64_t id, const evict_request& p);
+    response handle_matrix(std::uint64_t id, const matrix_request& p);
 
     /// Answer a batch of jobs: cached entries replay, the rest run
     /// concurrently through the session. responses[i] answers jobs[i].
     std::vector<response> run_jobs(std::uint64_t id,
                                    const std::vector<job_request>& jobs);
+    /// The run_jobs body; the caller holds session_mutex_ shared (matrix
+    /// expansion must read the circuit table under the same lock).
+    std::vector<response> run_jobs_locked(
+        std::uint64_t id, const std::vector<job_request>& jobs);
 
     /// Validate a job against the session (handle range, weight values);
     /// returns a non-empty message on failure.
@@ -115,6 +135,15 @@ private:
 
     options options_;
     std::unique_ptr<batch_session> session_;
+
+    /// Session-structure lock: add_circuit (exclusive) vs everything that
+    /// reads the circuit table (shared). Always taken before cache_mutex_
+    /// when both are needed.
+    mutable std::shared_mutex session_mutex_;
+    /// Result-cache lock: cache_, cache_order_ and the counters. Held for
+    /// probes and inserts only, never while a job computes.
+    mutable std::mutex cache_mutex_;
+
     std::map<cache_key, cache_entry> cache_;
     /// Insertion order (sequence -> key) for O(log n) oldest-first
     /// eviction under max_cache_entries. May hold stale entries for keys
@@ -124,7 +153,7 @@ private:
     std::uint64_t cache_hits_ = 0;
     std::uint64_t cache_misses_ = 0;
     std::uint64_t cache_evictions_ = 0;
-    std::uint64_t requests_ = 0;
+    std::atomic<std::uint64_t> requests_{0};
 };
 
 }  // namespace wrpt::svc

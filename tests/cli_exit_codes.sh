@@ -1,0 +1,49 @@
+#!/bin/sh
+# Exit-code contract of `wrpt_cli serve` failure paths, driven from ctest:
+# open/bind failures must print the errno string to stderr and exit with a
+# distinct code (4 = stdin/pipe input open failure, 5 = socket bind
+# failure) — never silently, never with the generic 1.
+#
+#   usage: cli_exit_codes.sh <path-to-wrpt_cli> <pipe|socket|badspec>
+set -u
+cli=$1
+mode=$2
+
+case $mode in
+  pipe)
+    out=$("$cli" serve /nonexistent-wrpt-dir/in.pipe 2>&1)
+    code=$?
+    want=4
+    ;;
+  socket)
+    out=$("$cli" serve --listen unix:/nonexistent-wrpt-dir/wrpt.sock 2>&1)
+    code=$?
+    want=5
+    ;;
+  badspec)
+    # An argument typo is a usage error (64), not a bind failure (5).
+    out=$("$cli" serve --listen junk 2>&1)
+    code=$?
+    want=64
+    ;;
+  *)
+    echo "unknown mode '$mode'" >&2
+    exit 2
+    ;;
+esac
+
+echo "$out"
+if [ "$code" -ne "$want" ]; then
+  echo "FAIL: expected exit $want for $mode mode, got $code" >&2
+  exit 1
+fi
+if [ "$mode" != badspec ]; then
+  case $out in
+    *"No such file or directory"*) ;;
+    *)
+      echo "FAIL: stderr is missing the errno string" >&2
+      exit 1
+      ;;
+  esac
+fi
+exit 0

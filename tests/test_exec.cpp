@@ -242,21 +242,18 @@ TEST(batch_session, matches_per_circuit_sequential_runs) {
     for (auto& nl : session_suite()) session.add_circuit(std::move(nl));
     ASSERT_EQ(session.circuit_count(), reference.size());
 
-    std::vector<batch_session::job> jobs;
+    std::vector<svc::job_request> jobs;
     for (std::size_t c = 0; c < session.circuit_count(); ++c) {
-        batch_session::job tl;
+        svc::test_length_request tl;
         tl.circuit = c;
-        tl.kind = batch_session::job_kind::test_length;
         jobs.push_back(tl);
 
-        batch_session::job opt;
+        svc::optimize_request opt;
         opt.circuit = c;
-        opt.kind = batch_session::job_kind::optimize;
         jobs.push_back(opt);
 
-        batch_session::job fs;
+        svc::fault_sim_request fs;
         fs.circuit = c;
-        fs.kind = batch_session::job_kind::fault_sim;
         fs.patterns = 1024;
         fs.seed = 0x5eed + c;
         jobs.push_back(fs);
@@ -300,18 +297,15 @@ TEST(batch_session, matrix_runs_every_pair_in_row_major_order) {
     session.add_circuit(make_cascaded_comparator(1, "cmp4m"));
     session.add_circuit(make_test_circuit(23, 6, 50));
 
-    std::vector<weight_vector> weight_sets;
-    weight_sets.push_back(uniform_weights(session.circuit(0)));
-    // Weight vectors must match each circuit; use uniform via empty —
-    // run_matrix passes vectors as-is, so build per-size sets only when
-    // uniform. Here both circuits have different input counts, so use
-    // the empty vector (= uniform) twice.
-    weight_sets.clear();
-    weight_sets.push_back({});
-    weight_sets.push_back({});
+    // Weight vectors must match each circuit; expand_matrix passes them
+    // as-is, so with different input counts per circuit use the empty
+    // vector (= uniform) twice.
+    svc::matrix_request m;
+    m.kind = batch_session::job_kind::test_length;
+    m.weight_sets.push_back({});
+    m.weight_sets.push_back({});
 
-    const auto results = session.run_matrix(
-        batch_session::job_kind::test_length, {}, weight_sets);
+    const auto results = session.run(session.expand_matrix(m));
     ASSERT_EQ(results.size(), 4u);
     EXPECT_EQ(results[0].circuit, 0u);
     EXPECT_EQ(results[1].circuit, 0u);
@@ -333,9 +327,8 @@ TEST(batch_session, keeps_engine_pools_warm_across_run_calls) {
     const std::size_t h = session.add_circuit(make_sharded_comparators(6, 3));
     EXPECT_EQ(session.pool(h).size(), 0u);  // engines build lazily
 
-    batch_session::job j;
+    svc::optimize_request j;
     j.circuit = h;
-    j.kind = batch_session::job_kind::optimize;
 
     const auto first = session.run({j});
     const engine_pool::counters after_first = session.pool(h).stats();
@@ -368,9 +361,8 @@ TEST(batch_session, add_circuit_file_round_trip) {
     EXPECT_EQ(session.faults(h).size(),
               generate_full_faults(read_bench_file(path.string())).size());
 
-    batch_session::job j;
+    svc::fault_sim_request j;
     j.circuit = h;
-    j.kind = batch_session::job_kind::fault_sim;
     j.patterns = 512;
     const auto results = session.run({j});
     ASSERT_EQ(results.size(), 1u);

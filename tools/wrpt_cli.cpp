@@ -10,8 +10,12 @@
 //   wrpt_cli batch    <dir>     [--threads N] [--stage-threads N]
 //                     [--optimize 1] [--patterns 4096]
 //                     [--confidence 0.999] [--max-engines N]
-//   wrpt_cli serve    [-|pipe]  [--threads N] [--confidence 0.999]
-//                     [--max-engines N] [--max-cache N]
+//   wrpt_cli serve    [-|pipe]  [--listen <port|unix:path>] [--threads N]
+//                     [--confidence 0.999] [--max-engines N] [--max-cache N]
+//                     [--max-line BYTES] [--idle-timeout-ms MS]
+//                     [--max-connections N]
+//   wrpt_cli request  <port|unix:path> [--json '<request line>']
+//                     [--connect-timeout-ms 5000]
 //
 // <circuit> is either a .bench file path or a suite name (S1, S2, c432,
 // c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
@@ -23,17 +27,27 @@
 // `serve` is the persistent daemon: it reads one JSON request per line
 // from stdin ("-", the default) or from a named pipe / file path, routes
 // it through svc::service, and streams one JSON response per line to
-// stdout. Bad requests get per-request error envelopes (the process does
-// not exit); EOF or a {"req":"shutdown"} request ends the loop
-// gracefully.
+// stdout. With --listen it instead binds a loopback TCP port or a
+// unix-domain socket and runs one session per connection over the same
+// shared service (shared result cache and engine pools). Bad requests
+// get per-request error envelopes (the process does not exit); EOF or a
+// {"req":"shutdown"} request ends the loop gracefully — over sockets the
+// shutdown drains: in-flight requests finish, new connections are
+// refused. Input/bind failures are distinct exit codes with the errno
+// string: 4 = cannot open the stdin/pipe input, 5 = cannot bind/listen.
+// `request` is the matching one-shot client: it connects, sends the
+// --json line (or every line read from stdin) and prints one response
+// line per request.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,7 +62,9 @@
 #include "opt/optimizer.h"
 #include "prob/detect.h"
 #include "sim/fault_sim.h"
+#include "svc/server.h"
 #include "svc/service.h"
+#include "svc/socket.h"
 #include "svc/wire.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -75,6 +91,8 @@ struct cli_options {
         return it == flags.end() ? fallback : std::stoull(it->second);
     }
 };
+
+int usage();
 
 netlist load_circuit(const std::string& spec) {
     std::ifstream probe(spec);
@@ -368,27 +386,76 @@ int cmd_batch(const cli_options& opt) {
     return 0;
 }
 
+// Distinct, scriptable failure exit codes for the daemon: supervisors
+// (and the CI smoke) tell "the input path is bad" apart from "the socket
+// cannot be bound" without parsing stderr.
+constexpr int exit_serve_open_failure = 4;
+constexpr int exit_serve_bind_failure = 5;
+
 // The persistent daemon: one JSON request per line in, one JSON response
 // per line out (flushed per response, so pipes see answers immediately).
 // Request-level failures — malformed JSON, unknown kinds, bad handles —
 // become error envelopes; only EOF or a shutdown request ends the loop.
+// With --listen the same sessions run one-per-connection on a loopback
+// TCP port or unix-domain socket (svc::server), sharing one service.
 int cmd_serve(const cli_options& opt) {
-    std::ifstream file;
-    std::istream* in = &std::cin;
-    if (opt.circuit != "-") {
-        file.open(opt.circuit);
-        if (!file.good()) {
-            std::fprintf(stderr, "serve: cannot open '%s'\n",
-                         opt.circuit.c_str());
-            return 1;
-        }
-        in = &file;
-    }
     svc::service::options so;
     so.threads = static_cast<unsigned>(opt.flag_u64("threads", 0));
     so.confidence = opt.flag_double("confidence", 0.999);
     so.max_engines = opt.flag_u64("max-engines", 0);
     so.max_cache_entries = opt.flag_u64("max-cache", 0);
+
+    const std::string listen = opt.flag("listen", "");
+    if (!listen.empty()) {
+        // A malformed spec is an argument typo, not a bind failure: keep
+        // exit 5 for "the endpoint itself cannot be bound".
+        svc::endpoint ep;
+        try {
+            ep = svc::endpoint::parse(listen);
+        } catch (const svc::socket_error& e) {
+            std::fprintf(stderr, "serve: %s\n", e.what());
+            return usage();
+        }
+        try {
+            svc::server::options vo;
+            vo.max_line_bytes = opt.flag_u64("max-line", vo.max_line_bytes);
+            vo.idle_timeout_ms = static_cast<int>(
+                opt.flag_u64("idle-timeout-ms", 0));
+            vo.send_timeout_ms = static_cast<int>(opt.flag_u64(
+                "send-timeout-ms",
+                static_cast<std::uint64_t>(vo.send_timeout_ms)));
+            vo.max_connections = opt.flag_u64("max-connections", 0);
+            svc::service service(so);
+            svc::server server(service, ep, vo);
+            // The resolved endpoint (ephemeral TCP ports included) goes to
+            // stderr so stdout stays a pure response stream in pipe mode
+            // and scripts can scrape the port.
+            std::fprintf(stderr, "serve: listening on %s\n",
+                         server.where().describe().c_str());
+            server.wait();  // returns once a shutdown request drained us
+            return 0;
+        } catch (const svc::socket_error& e) {
+            std::fprintf(stderr, "serve: %s\n", e.what());
+            return exit_serve_bind_failure;
+        }
+    }
+
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (opt.circuit != "-") {
+        errno = 0;
+        file.open(opt.circuit);
+        if (!file.good()) {
+            // Surface the errno string — "exits silently" under shells
+            // that swallow a bare failure made unwritable pipe paths
+            // undebuggable.
+            std::fprintf(stderr, "serve: cannot open '%s': %s\n",
+                         opt.circuit.c_str(),
+                         errno != 0 ? std::strerror(errno) : "open failed");
+            return exit_serve_open_failure;
+        }
+        in = &file;
+    }
     svc::service service(so);
 
     std::string line;
@@ -412,16 +479,55 @@ int cmd_serve(const cli_options& opt) {
     return 0;
 }
 
+// One-shot client for a socket daemon: send --json (or each stdin line)
+// over one connection, print one response line per request. The bounded
+// connect retry absorbs the daemon's startup race in scripts.
+int cmd_request(const cli_options& opt) {
+    try {
+        const svc::endpoint ep = svc::endpoint::parse(opt.circuit);
+        svc::client client(
+            ep, static_cast<int>(opt.flag_u64("connect-timeout-ms", 5000)));
+        const std::string one = opt.flag("json", "");
+        std::istringstream single(one);
+        std::istream* in =
+            one.empty() ? static_cast<std::istream*>(&std::cin) : &single;
+        std::string line;
+        while (std::getline(*in, line)) {
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            client.send_line(line);
+            std::string resp;
+            if (client.recv_line(resp) != svc::line_status::ok) {
+                std::fprintf(stderr,
+                             "request: server closed before answering\n");
+                return 1;
+            }
+            std::fwrite(resp.data(), 1, resp.size(), stdout);
+            std::fputc('\n', stdout);
+            std::fflush(stdout);
+        }
+        return 0;
+    } catch (const svc::socket_error& e) {
+        std::fprintf(stderr, "request: %s\n", e.what());
+        return 1;
+    }
+}
+
 int usage() {
     std::fprintf(
         stderr,
         "usage: wrpt_cli <stats|lengths|optimize|simulate|atpg|selftest|"
-        "batch|serve> <circuit|dir|-> [--flag value]...\n"
+        "batch|serve|request> <circuit|dir|-|endpoint> [--flag value]...\n"
         "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
-        "  serve reads JSON-lines requests from stdin (-) or a pipe path\n"
+        "  serve reads JSON-lines requests from stdin (-) or a pipe path,\n"
+        "    or --listen <port|unix:path> accepts concurrent connections\n"
+        "    (exit 4 = input open failure, 5 = socket bind failure)\n"
+        "  request <port|unix:path> sends --json or stdin lines to a "
+        "daemon\n"
         "  flags: --confidence --estimator --weights --out --patterns "
         "--seed --backtracks --threads --stage-threads --optimize "
-        "--max-engines --max-cache\n");
+        "--max-engines --max-cache --listen --max-line --idle-timeout-ms "
+        "--send-timeout-ms --max-connections --json --connect-timeout-ms\n");
     return 64;
 }
 
@@ -457,6 +563,7 @@ int main(int argc, char** argv) {
         if (opt.command == "selftest") return cmd_selftest(opt);
         if (opt.command == "batch") return cmd_batch(opt);
         if (opt.command == "serve") return cmd_serve(opt);
+        if (opt.command == "request") return cmd_request(opt);
         return usage();
     } catch (const wrpt::error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
