@@ -7,11 +7,16 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "core/simd.h"
+#include "exec/thread_pool.h"
 #include "fault/fault.h"
+#include "opt/normalize.h"
+#include "prob/signal_prob.h"
 #include "gen/sharded.h"
 #include "gen/suite.h"
 #include "io/weights_io.h"
@@ -257,6 +262,151 @@ void bm_serve_socket(benchmark::State& state, const std::string& name,
     state.counters["cache_misses"] = static_cast<double>(cc.misses);
 }
 
+// --- vectorized-kernel rows (BENCH_kernels.json) ----------------------------
+//
+// Each row measures one kernel in its production configuration and
+// carries a speedup counter against its in-process reference — scalar
+// dispatch for the SIMD kernels, one-word / one-thread for the blocked
+// and parallel ones. The reference is timed inline (fixed reps, steady
+// clock), so the ratio lands in the JSON even where the hardware caps
+// the win; results are bit-identical between the variants by the
+// test_simd equivalence suite, only the wall clock may move.
+
+template <class F>
+double seconds_for(F&& fn, int reps) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Full COP forward sweep (signal probabilities) over a lane-grouped
+/// view: vector dispatch vs forced-scalar reference.
+void bm_cop_sweep_simd(benchmark::State& state, const std::string& name) {
+    const netlist nl = build_sweep_circuit(name);
+    circuit_view::compile_options co;
+    co.lane_groups = true;
+    const circuit_view cv = circuit_view::compile(nl, co);
+    const weight_vector w = uniform_weights(nl);
+    for (auto _ : state) {
+        auto p = cop_signal_probabilities(cv, w);
+        benchmark::DoNotOptimize(p.data());
+    }
+    const int reps = 20;
+    simd::set_force_scalar(true);
+    const double t_scalar =
+        seconds_for([&] { cop_signal_probabilities(cv, w); }, reps);
+    simd::set_force_scalar(false);
+    const double t_vec =
+        seconds_for([&] { cop_signal_probabilities(cv, w); }, reps);
+    const simd::isa active = simd::active_isa();
+    state.SetLabel(simd::isa_name(active));
+    state.counters["lanes"] = static_cast<double>(simd::lane_width(active));
+    state.counters["gates"] =
+        static_cast<double>(nl.node_count() - nl.input_count());
+    state.counters["speedup_vs_scalar"] = t_vec > 0.0 ? t_scalar / t_vec : 0.0;
+}
+
+/// Batched objective terms exp(-p_i * N): the NORMALIZE inner kernel on
+/// a synthetic sorted probability vector, vs forced-scalar reference.
+void bm_normalize_exp_simd(benchmark::State& state, std::size_t terms) {
+    std::vector<double> probs(terms);
+    for (std::size_t i = 0; i < terms; ++i)
+        probs[i] = 1e-6 + 1e-3 * static_cast<double>(i + 1) /
+                              static_cast<double>(terms);
+    std::vector<double> out(terms);
+    const double m = 52384.0;
+    for (auto _ : state) {
+        simd::exp_neg_scale(probs.data(), m, out.data(), terms);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const int reps = 50;
+    simd::set_force_scalar(true);
+    const double t_scalar = seconds_for(
+        [&] { simd::exp_neg_scale(probs.data(), m, out.data(), terms); },
+        reps);
+    simd::set_force_scalar(false);
+    const double t_vec = seconds_for(
+        [&] { simd::exp_neg_scale(probs.data(), m, out.data(), terms); },
+        reps);
+    const simd::isa active = simd::active_isa();
+    state.SetLabel(simd::isa_name(active));
+    state.counters["lanes"] = static_cast<double>(simd::lane_width(active));
+    state.counters["terms"] = static_cast<double>(terms);
+    state.counters["speedup_vs_scalar"] = t_vec > 0.0 ? t_scalar / t_vec : 0.0;
+}
+
+/// Blocked PPSFP at `block_words` words per pass vs the one-word
+/// reference path — the traversal-amortization win.
+void bm_fault_sim_blocked(benchmark::State& state, const std::string& name,
+                          std::uint64_t patterns, unsigned block_words) {
+    const netlist nl = build_sweep_circuit(name);
+    const auto faults = generate_full_faults(nl);
+    fault_sim_options fo;
+    fo.max_patterns = patterns;
+    fo.threads = 1;
+    fo.block_words = block_words;
+    for (auto _ : state) {
+        auto res = run_weighted_fault_simulation(nl, faults,
+                                                 uniform_weights(nl), 7, fo);
+        benchmark::DoNotOptimize(res.detected_count);
+    }
+    const int reps = 2;
+    fault_sim_options ref = fo;
+    ref.block_words = 1;
+    const double t_one = seconds_for(
+        [&] {
+            run_weighted_fault_simulation(nl, faults, uniform_weights(nl), 7,
+                                          ref);
+        },
+        reps);
+    const double t_blocked = seconds_for(
+        [&] {
+            run_weighted_fault_simulation(nl, faults, uniform_weights(nl), 7,
+                                          fo);
+        },
+        reps);
+    state.counters["block_words"] = static_cast<double>(block_words);
+    state.counters["faults"] = static_cast<double>(faults.size());
+    state.counters["patterns/s"] = benchmark::Counter(
+        static_cast<double>(patterns) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["speedup_vs_1word"] =
+        t_blocked > 0.0 ? t_one / t_blocked : 0.0;
+}
+
+/// Deterministic parallel fault SORT on `threads` pool workers vs the
+/// single-thread run — identical order either way (index tie-break).
+void bm_sort_faults_parallel(benchmark::State& state, std::size_t faults,
+                             unsigned threads) {
+    std::vector<double> probs(faults);
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;  // deterministic fill
+    for (std::size_t i = 0; i < faults; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // ~3% undetectable (p == 0) to exercise the exclusion scan.
+        probs[i] = (x % 32 == 0) ? 0.0
+                                 : static_cast<double>(x % 1000000) * 1e-9;
+    }
+    normalize_exec exec;
+    exec.pool = &shared_thread_pool();
+    exec.threads = threads;
+    for (auto _ : state) {
+        auto order = sort_faults(probs, exec);
+        benchmark::DoNotOptimize(order.data());
+    }
+    const int reps = 5;
+    normalize_exec seq;
+    const double t_one =
+        seconds_for([&] { sort_faults(probs, seq); }, reps);
+    const double t_par =
+        seconds_for([&] { sort_faults(probs, exec); }, reps);
+    state.counters["threads"] = static_cast<double>(threads);
+    state.counters["faults"] = static_cast<double>(faults);
+    state.counters["speedup_vs_1t"] = t_par > 0.0 ? t_one / t_par : 0.0;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(bm_optimize_sweep, sharded_incremental,
@@ -339,6 +489,29 @@ BENCHMARK_CAPTURE(bm_serve_socket, S1_c8_cached, std::string("S1"), 8, true)
 BENCHMARK_CAPTURE(bm_serve_socket, S1_c8_uncached, std::string("S1"), 8,
                   false)
     ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+// The vectorized-kernel rows for BENCH_kernels.json: vector vs scalar
+// on the largest gen/ circuit (sharded) plus a deep ISCAS shape, the
+// NORMALIZE exp kernel at optimizer-scale term counts, blocked PPSFP at
+// 4 and 8 words, and the parallel SORT at 1/2/8 threads.
+BENCHMARK_CAPTURE(bm_cop_sweep_simd, sharded, std::string("sharded"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_cop_sweep_simd, c7552, std::string("c7552"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_normalize_exp_simd, t64k, std::size_t{1} << 16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bm_fault_sim_blocked, sharded_1k_b4, std::string("sharded"),
+                  1024, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fault_sim_blocked, sharded_1k_b8, std::string("sharded"),
+                  1024, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_sort_faults_parallel, f1m_t1, std::size_t{1} << 20, 1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_sort_faults_parallel, f1m_t2, std::size_t{1} << 20, 2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(bm_sort_faults_parallel, f1m_t8, std::size_t{1} << 20, 8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_CAPTURE(bm_analysis, S1, std::string("S1"))
     ->Unit(benchmark::kMillisecond);

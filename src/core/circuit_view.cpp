@@ -1,6 +1,8 @@
 #include "core/circuit_view.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "util/error.h"
 
@@ -126,6 +128,40 @@ circuit_view circuit_view::compile(const netlist& nl,
             }
             cv.cone_offset_[i + 1] =
                 static_cast<std::uint32_t>(cv.cone_pool_.size());
+        }
+    }
+
+    if (options.lane_groups) {
+        // Group each level bucket by (kind, arity). A map keyed on the
+        // pair keeps the grouping deterministic; the bucket scan keeps
+        // node order ascending within a group.
+        cv.lane_groups_built_ = true;
+        cv.lane_node_pool_.reserve(n);
+        std::map<std::pair<gate_kind, std::uint32_t>, std::vector<node_id>>
+            by_shape;
+        for (std::size_t l = 0; l <= cv.depth_; ++l) {
+            by_shape.clear();
+            for (node_id id : cv.nodes_at_level(l))
+                by_shape[{cv.kind_[id],
+                          static_cast<std::uint32_t>(cv.fanin_count(id))}]
+                    .push_back(id);
+            for (const auto& [shape, nodes] : by_shape) {
+                lane_group g;
+                g.kind = shape.first;
+                g.arity = shape.second;
+                g.offset = static_cast<std::uint32_t>(cv.lane_node_pool_.size());
+                g.count = static_cast<std::uint32_t>(nodes.size());
+                g.args_offset =
+                    static_cast<std::uint32_t>(cv.lane_args_pool_.size());
+                cv.lane_node_pool_.insert(cv.lane_node_pool_.end(),
+                                          nodes.begin(), nodes.end());
+                // k-major gather matrix: all lanes of fanin pin 0, then
+                // pin 1, ... — unit-stride index loads in the kernel.
+                for (std::uint32_t k = 0; k < g.arity; ++k)
+                    for (node_id id : nodes)
+                        cv.lane_args_pool_.push_back(cv.fanins(id)[k]);
+                cv.lane_group_.push_back(g);
+            }
         }
     }
 

@@ -1,0 +1,140 @@
+#include "core/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(WRPT_SIMD_SSE2)
+#include <immintrin.h>
+#elif defined(WRPT_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace wrpt::simd {
+
+namespace {
+
+bool env_forces_scalar() {
+    const char* v = std::getenv("WRPT_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+// Relaxed atomics: the flag is a coarse mode switch read at kernel entry;
+// tests flip it between (not during) parallel sections.
+std::atomic<bool> force_scalar_flag{env_forces_scalar()};
+
+bool runtime_avx2() {
+#if defined(WRPT_SIMD_AVX2)
+    return true;  // the build already assumes it
+#elif defined(WRPT_SIMD_AVX2_DISPATCH)
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+const char* isa_name(isa i) {
+    switch (i) {
+        case isa::scalar: return "scalar";
+        case isa::sse2: return "sse2";
+        case isa::neon: return "neon";
+        case isa::avx2: return "avx2";
+    }
+    return "scalar";
+}
+
+unsigned lane_width(isa i) {
+    switch (i) {
+        case isa::scalar: return 1;
+        case isa::sse2: return 2;
+        case isa::neon: return 2;
+        case isa::avx2: return 4;
+    }
+    return 1;
+}
+
+isa compiled_isa() {
+#if defined(WRPT_SIMD_AVX2)
+    return isa::avx2;
+#elif defined(WRPT_SIMD_SSE2)
+    return isa::sse2;
+#elif defined(WRPT_SIMD_NEON)
+    return isa::neon;
+#else
+    return isa::scalar;
+#endif
+}
+
+isa active_isa() {
+    if (force_scalar_flag.load(std::memory_order_relaxed)) return isa::scalar;
+    if (runtime_avx2()) return isa::avx2;
+    return compiled_isa();
+}
+
+bool scalar_forced() {
+    return force_scalar_flag.load(std::memory_order_relaxed);
+}
+
+void set_force_scalar(bool force) {
+    force_scalar_flag.store(force, std::memory_order_relaxed);
+}
+
+// --- exp_neg_scale ----------------------------------------------------------
+
+namespace {
+
+// Scalar reference — the loop opt/normalize.cpp used to spell inline.
+void exp_neg_scale_scalar(const double* x, double m, double* out,
+                          std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(-x[i] * m);
+}
+
+#if defined(WRPT_SIMD_SSE2) || defined(WRPT_SIMD_NEON)
+// Lane-blocked products staged through a small buffer, exponentials by
+// the same std::exp per element. (-x)*m in vector lanes rounds exactly
+// like the scalar expression; exp sees bit-identical arguments.
+void exp_neg_scale_vec(const double* x, double m, double* out,
+                       std::size_t n) {
+    constexpr std::size_t block = 64;
+    double prod[block];
+#if defined(WRPT_SIMD_SSE2)
+    const __m128d vm = _mm_set1_pd(m);
+    const __m128d sign = _mm_set1_pd(-0.0);
+#else
+    const float64x2_t vm = vdupq_n_f64(m);
+#endif
+    std::size_t i = 0;
+    for (; i + block <= n; i += block) {
+        for (std::size_t j = 0; j < block; j += 2) {
+#if defined(WRPT_SIMD_SSE2)
+            const __m128d v = _mm_loadu_pd(x + i + j);
+            _mm_storeu_pd(prod + j,
+                          _mm_mul_pd(_mm_xor_pd(v, sign), vm));
+#else
+            const float64x2_t v = vld1q_f64(x + i + j);
+            vst1q_f64(prod + j, vmulq_f64(vnegq_f64(v), vm));
+#endif
+        }
+        for (std::size_t j = 0; j < block; ++j)
+            out[i + j] = std::exp(prod[j]);
+    }
+    exp_neg_scale_scalar(x + i, m, out + i, n - i);
+}
+#endif
+
+}  // namespace
+
+void exp_neg_scale(const double* x, double m, double* out, std::size_t n) {
+#if defined(WRPT_SIMD_SSE2) || defined(WRPT_SIMD_NEON)
+    if (active_isa() != isa::scalar) {
+        exp_neg_scale_vec(x, m, out, n);
+        return;
+    }
+#endif
+    exp_neg_scale_scalar(x, m, out, n);
+}
+
+}  // namespace wrpt::simd

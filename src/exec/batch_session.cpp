@@ -23,6 +23,7 @@ std::size_t batch_session::add_circuit(netlist nl) {
     circuit_view::compile_options co;
     co.input_cones = true;
     co.driven_pins = true;
+    co.lane_groups = true;
     cc.view = std::make_unique<circuit_view>(
         circuit_view::compile(*cc.nl, co));
     cc.faults = generate_full_faults(*cc.nl);

@@ -1,0 +1,88 @@
+// Deterministic parallel stable sort for index vectors — the SORT stage
+// kernel and the fault-ordering primitive in the simulator.
+//
+// The trick is the same one every deterministic-parallel path in this
+// repo uses: make the answer a pure function of the data, never of the
+// schedule. Ties under the caller's key are broken by the index itself,
+// which turns the comparison into a strict *total* order — every pair of
+// distinct elements compares unequal — so there is exactly one sorted
+// permutation, and fixed-size shard sorts plus pairwise merges reproduce
+// it bit-for-bit regardless of thread count, shard size, or which worker
+// ran which piece. For an input vector in ascending index order (how
+// every caller builds one), that unique permutation is exactly what
+// std::stable_sort under the raw key produces.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace wrpt {
+
+/// Sort `idx` by `less` (a strict weak ordering over index values),
+/// breaking ties by index. Runs fixed-size shard sorts plus pairwise
+/// merge rounds on `pool` when one is supplied and the input is large
+/// enough; inline otherwise. Output is identical in every configuration.
+/// Precondition for the stable-sort equivalence: `idx` is in ascending
+/// index order (tie-break by index == original relative order).
+template <class Less>
+void parallel_stable_sort_indices(std::vector<std::size_t>& idx, Less&& less,
+                                  thread_pool* pool, unsigned threads,
+                                  std::size_t shard = std::size_t{1} << 14) {
+    const auto cmp = [&less](std::size_t a, std::size_t b) {
+        if (less(a, b)) return true;
+        if (less(b, a)) return false;
+        return a < b;
+    };
+    const std::size_t n = idx.size();
+    if (shard == 0) shard = 1;
+    if (pool == nullptr || threads <= 1 || n < 2 * shard) {
+        // cmp is a strict total order, so plain sort yields the same
+        // unique permutation the parallel path produces.
+        std::sort(idx.begin(), idx.end(), cmp);
+        return;
+    }
+
+    // Shard boundaries are a fixed function of (n, shard) — never of the
+    // thread count.
+    std::vector<std::size_t> bounds;
+    for (std::size_t b = 0; b < n; b += shard) bounds.push_back(b);
+    bounds.push_back(n);
+    pool->parallel_for(bounds.size() - 1, [&](std::size_t r) {
+        std::sort(idx.begin() + bounds[r], idx.begin() + bounds[r + 1], cmp);
+    });
+
+    // Pairwise merge rounds, ping-ponging between idx and a scratch
+    // buffer; an odd run out at the end of a round is copied through.
+    std::vector<std::size_t> buf(n);
+    std::size_t* src = idx.data();
+    std::size_t* dst = buf.data();
+    while (bounds.size() > 2) {
+        const std::size_t runs = bounds.size() - 1;
+        const std::size_t tasks = (runs + 1) / 2;
+        pool->parallel_for(tasks, [&](std::size_t i) {
+            const std::size_t lo = bounds[2 * i];
+            if (2 * i + 2 <= runs) {
+                const std::size_t mid = bounds[2 * i + 1];
+                const std::size_t hi = bounds[2 * i + 2];
+                std::merge(src + lo, src + mid, src + mid, src + hi,
+                           dst + lo, cmp);
+            } else {
+                std::copy(src + lo, src + bounds[2 * i + 1], dst + lo);
+            }
+        });
+        std::vector<std::size_t> next;
+        for (std::size_t i = 0; i < bounds.size(); i += 2)
+            next.push_back(bounds[i]);
+        if (next.back() != n) next.push_back(n);
+        bounds = std::move(next);
+        std::swap(src, dst);
+    }
+    if (src != idx.data())
+        std::copy(src, src + n, idx.data());
+}
+
+}  // namespace wrpt

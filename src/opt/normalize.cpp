@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/simd.h"
+#include "exec/parallel_sort.h"
 #include "exec/thread_pool.h"
 #include "util/error.h"
 
@@ -44,12 +46,12 @@ struct term_window {
             exec->pool->parallel_for(blocks, [&](std::size_t b) {
                 const std::size_t s = begin + b * shard;
                 const std::size_t e = std::min(s + shard, target);
-                for (std::size_t i = s; i < e; ++i)
-                    terms[i] = std::exp(-sorted[i] * m);
+                simd::exp_neg_scale(sorted.data() + s, m, terms.data() + s,
+                                    e - s);
             });
         } else {
-            for (std::size_t i = begin; i < target; ++i)
-                terms[i] = std::exp(-sorted[i] * m);
+            simd::exp_neg_scale(sorted.data() + begin, m,
+                                terms.data() + begin, count);
         }
         ready = target;
     }
@@ -84,14 +86,24 @@ int compare_jm_to_q(term_window& w, double m, double q, std::size_t& z_out) {
 }  // namespace
 
 std::vector<std::size_t> sort_faults(std::span<const double> probs) {
+    return sort_faults(probs, normalize_exec{});
+}
+
+std::vector<std::size_t> sort_faults(std::span<const double> probs,
+                                     const normalize_exec& exec) {
     std::vector<std::size_t> order;
     order.reserve(probs.size());
     for (std::size_t i = 0; i < probs.size(); ++i)
         if (probs[i] > 0.0) order.push_back(i);
-    std::stable_sort(order.begin(), order.end(),
-                     [&probs](std::size_t a, std::size_t b) {
-                         return probs[a] < probs[b];
-                     });
+    // The candidates are in ascending index order, so the index
+    // tie-break reproduces std::stable_sort exactly — on one thread or
+    // many.
+    parallel_stable_sort_indices(
+        order,
+        [&probs](std::size_t a, std::size_t b) {
+            return probs[a] < probs[b];
+        },
+        exec.pool, exec.threads);
     return order;
 }
 

@@ -1,0 +1,32 @@
+// Lane-blocked COP kernels — the vectorized twin of the scalar forward
+// sweep in prob/cop_rules.h.
+//
+// The circuit_view's lane groups (same level, same kind, same arity)
+// make the forward signal-probability sweep data-parallel: every node in
+// a group applies the same algebra chain to its gathered fanin values,
+// so a vector register evaluates `lane_width` gates at once. Each lane
+// performs exactly the operation sequence of cop::node_probability —
+// same left fold, same literal expressions, no FMA, no reassociation —
+// so the vector sweep is bit-identical to the scalar reference; the
+// equivalence suite in tests/test_simd.cpp asserts it on the whole gen/
+// suite, including forced-fallback dispatch and odd-sized tail buckets.
+
+#pragma once
+
+#include <span>
+
+#include "core/circuit_view.h"
+#include "io/weights_io.h"
+
+namespace wrpt::cop {
+
+/// Vectorized forward sweep: fill `p` (size node_count) with the COP
+/// signal probability of every node at `weights`. Returns false — with
+/// `p` untouched — when the view carries no lane groups or the scalar
+/// fallback is forced (simd::scalar_forced()); callers then run the
+/// scalar forward_sweep reference.
+bool forward_sweep_vectorized(const circuit_view& cv,
+                              std::span<const double> weights,
+                              std::span<double> p);
+
+}  // namespace wrpt::cop

@@ -35,6 +35,16 @@ struct fault_sim_options {
     /// is purely a cache locality knob — measured by the perf_kernels
     /// fault-sim counters.
     bool order_faults = true;
+    /// Machine words per PPSFP pass (clamped to [1, 8]): each pass
+    /// simulates 64 * block_words patterns, amortizing the forward sweep
+    /// and per-fault wavefront traversals across the words. Per-word
+    /// propagation is independent, so first detections are bit-identical
+    /// to block_words = 1 (the scalar reference path), and the
+    /// word-sequential early-exit accounting is replayed exactly —
+    /// patterns_applied matches the one-word run. Like the parallel
+    /// path, a blocked run may draw up to block_words - 1 blocks more
+    /// from `source` than the one-word run before stopping.
+    unsigned block_words = 4;
 };
 
 struct fault_sim_result {

@@ -216,6 +216,11 @@ struct stats_response {
     std::size_t cache_entries = 0;
     std::uint64_t cache_evictions = 0;
     std::size_t circuits = 0;
+    /// Active compute-kernel dispatch (core/simd.h): ISA name and vector
+    /// lane width, so remote clients can attribute timings to the
+    /// hardware the daemon runs on.
+    std::string simd_isa;
+    std::size_t simd_lanes = 0;
     std::vector<pool_stats_payload> pools;
 };
 

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "core/simd.h"
 #include "exec/engine_pool.h"
 #include "gen/suite.h"
 #include "io/bench_io.h"
@@ -118,6 +119,9 @@ response service::handle_stats(std::uint64_t id) {
         out.cache_evictions = cache_evictions_;
     }
     out.circuits = session_->circuit_count();
+    const simd::isa active = simd::active_isa();
+    out.simd_isa = simd::isa_name(active);
+    out.simd_lanes = simd::lane_width(active);
     for (std::size_t c = 0; c < session_->circuit_count(); ++c) {
         const engine_pool& pool = session_->pool(c);
         const engine_pool::counters pc = pool.stats();

@@ -752,6 +752,8 @@ std::string encode(const response& r) {
                     out.push_back('}');
                 }
                 w.field_u64("circuits", p.circuits);
+                w.field("simd_isa", p.simd_isa);
+                w.field_u64("simd_lanes", p.simd_lanes);
                 w.key("pools");
                 out.push_back('[');
                 for (std::size_t i = 0; i < p.pools.size(); ++i) {
@@ -861,6 +863,8 @@ response decode_response_value(const jvalue& o) {
             p.cache_evictions = get_u64(*v, "evictions", 0);
         }
         p.circuits = get_size(o, "circuits", 0);
+        if (const jvalue* v = o.find("simd_isa")) p.simd_isa = v->str;
+        p.simd_lanes = get_size(o, "simd_lanes", 0);
         if (const jvalue* v = o.find("pools")) {
             if (v->kind != jvalue::arr_v) bad("\"pools\" must be an array");
             for (const jvalue& e : v->arr) {

@@ -54,6 +54,7 @@
 #include "atpg/compact.h"
 #include "atpg/podem.h"
 #include "bist/session.h"
+#include "core/simd.h"
 #include "exec/batch_session.h"
 #include "fault/fault.h"
 #include "gen/suite.h"
@@ -404,6 +405,13 @@ int cmd_serve(const cli_options& opt) {
     so.confidence = opt.flag_double("confidence", 0.999);
     so.max_engines = opt.flag_u64("max-engines", 0);
     so.max_cache_entries = opt.flag_u64("max-cache", 0);
+
+    // Startup banner on stderr (stdout stays a pure response stream):
+    // which vector ISA the compute kernels dispatch to, so daemon logs
+    // pin down the hardware behind every timing.
+    const simd::isa active = simd::active_isa();
+    std::fprintf(stderr, "serve: simd %s x%u\n", simd::isa_name(active),
+                 simd::lane_width(active));
 
     const std::string listen = opt.flag("listen", "");
     if (!listen.empty()) {
