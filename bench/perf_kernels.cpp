@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/simd.h"
 #include "exec/thread_pool.h"
 #include "fault/fault.h"
@@ -185,19 +186,26 @@ void bm_serve_optimize(benchmark::State& state, const std::string& name,
     // the uncached row measures the daemon's steady-state recompute, not
     // a cold engine rebuild.
     evict.payload = svc::evict_request{true, 0, SIZE_MAX};
+    std::vector<double> latencies_us;
     for (auto _ : state) {
         if (!cached) {
             state.PauseTiming();
             service.handle(evict);
             state.ResumeTiming();
         }
+        const auto t0 = std::chrono::steady_clock::now();
         svc::response r = service.handle(q);
+        const auto t1 = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(r.ok);
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
     }
     const svc::service::cache_counters cc = service.cache_stats();
     state.counters["cached"] = cached ? 1.0 : 0.0;
     state.counters["cache_hits"] = static_cast<double>(cc.hits);
     state.counters["cache_misses"] = static_cast<double>(cc.misses);
+    state.counters["p50_us"] = bench::percentile(latencies_us, 0.50);
+    state.counters["p99_us"] = bench::percentile(latencies_us, 0.99);
 }
 
 // Full-transport repeat-optimize latency: N concurrent clients, each one

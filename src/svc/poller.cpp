@@ -1,0 +1,141 @@
+#include "svc/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "svc/socket.h"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace wrpt::svc {
+
+#ifdef __linux__
+
+poller::poller() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0)
+        throw errno_error("poller: cannot create epoll instance", errno);
+}
+
+poller::~poller() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+namespace {
+
+epoll_event make_event(std::uint64_t key, bool read, bool write) {
+    epoll_event ev{};
+    ev.events = 0;
+    if (read) ev.events |= EPOLLIN;
+    if (write) ev.events |= EPOLLOUT;
+    ev.data.u64 = key;
+    return ev;
+}
+
+}  // namespace
+
+void poller::add(int fd, std::uint64_t key, bool read, bool write) {
+    epoll_event ev = make_event(key, read, write);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        throw errno_error("poller: cannot register fd", errno);
+}
+
+void poller::modify(int fd, std::uint64_t key, bool read, bool write) {
+    epoll_event ev = make_event(key, read, write);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+        throw errno_error("poller: cannot modify fd interest", errno);
+}
+
+void poller::remove(int fd) {
+    epoll_event ev{};
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+}
+
+std::size_t poller::wait(std::vector<event>& out, int timeout_ms) {
+    out.clear();
+    epoll_event events[128];
+    int n;
+    do {
+        n = ::epoll_wait(epoll_fd_, events,
+                         static_cast<int>(std::size(events)), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw errno_error("poller: epoll_wait failed", errno);
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        event e;
+        e.key = events[i].data.u64;
+        e.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        e.readable = (events[i].events & EPOLLIN) != 0 || e.hangup;
+        e.writable = (events[i].events & EPOLLOUT) != 0 || e.hangup;
+        out.push_back(e);
+    }
+    return out.size();
+}
+
+#else  // portable poll(2) backend
+
+poller::poller() = default;
+poller::~poller() = default;
+
+void poller::add(int fd, std::uint64_t key, bool read, bool write) {
+    entries_.push_back({fd, key, read, write});
+}
+
+void poller::modify(int fd, std::uint64_t key, bool read, bool write) {
+    for (entry& e : entries_) {
+        if (e.fd == fd) {
+            e.key = key;
+            e.read = read;
+            e.write = write;
+            return;
+        }
+    }
+    throw socket_error("poller: modify of an unregistered fd");
+}
+
+void poller::remove(int fd) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].fd == fd) {
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+std::size_t poller::wait(std::vector<event>& out, int timeout_ms) {
+    out.clear();
+    std::vector<pollfd> fds;
+    fds.reserve(entries_.size());
+    for (const entry& e : entries_) {
+        pollfd p{};
+        p.fd = e.fd;
+        p.events = 0;
+        if (e.read) p.events |= POLLIN;
+        if (e.write) p.events |= POLLOUT;
+        fds.push_back(p);
+    }
+    int n;
+    do {
+        n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw errno_error("poller: poll failed", errno);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        event e;
+        e.key = entries_[i].key;
+        e.hangup = (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+        e.readable = (fds[i].revents & POLLIN) != 0 || e.hangup;
+        e.writable = (fds[i].revents & POLLOUT) != 0 || e.hangup;
+        out.push_back(e);
+    }
+    return out.size();
+}
+
+#endif
+
+}  // namespace wrpt::svc

@@ -1,0 +1,73 @@
+// Readiness poller under the event-driven serve daemon — one object that
+// watches many fds and reports which became readable or writable.
+//
+// On Linux this is an epoll(7) instance: O(ready) wakeups independent of
+// the number of registered connections, which is what lets the reactor
+// hold tens of thousands of mostly-idle sessions on one thread. On other
+// POSIX platforms the same interface is served by poll(2) over a
+// maintained registration table — O(n) per wait, but semantically
+// identical (level-triggered: a fd with unread input or writable buffer
+// space reports ready on every wait until the condition clears).
+//
+// Registration is keyed by an opaque uint64 the caller chooses (the
+// reactor uses it to look up the connection record), and interest is a
+// (read, write) pair changed with modify() — how the reactor pauses
+// reads on a connection whose request queue is full (flow control) and
+// arms write interest only while a response tail is stuck in the kernel
+// buffer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wrpt::svc {
+
+class poller {
+public:
+    struct event {
+        std::uint64_t key = 0;
+        bool readable = false;
+        bool writable = false;
+        /// Peer hung up or the fd errored. Reported alongside readable so
+        /// the caller's next read observes the EOF/error directly.
+        bool hangup = false;
+    };
+
+    poller();   // throws socket_error when the kernel instance cannot open
+    ~poller();
+
+    poller(const poller&) = delete;
+    poller& operator=(const poller&) = delete;
+
+    /// Register `fd` under `key` with the given interest set.
+    void add(int fd, std::uint64_t key, bool read, bool write);
+    /// Change the interest set of a registered fd. An empty interest set
+    /// (false, false) keeps the registration but reports nothing — how a
+    /// paused connection stays owned without spinning a level-triggered
+    /// wait.
+    void modify(int fd, std::uint64_t key, bool read, bool write);
+    void remove(int fd);
+
+    /// Block up to `timeout_ms` (< 0 = forever) and append the ready set
+    /// to `out` (cleared first). Returns the number of events. EINTR is
+    /// retried internally against the same deadline semantics (a signal
+    /// simply re-enters the wait).
+    std::size_t wait(std::vector<event>& out, int timeout_ms);
+
+private:
+#ifdef __linux__
+    int epoll_fd_ = -1;
+#else
+    struct entry {
+        int fd = -1;
+        std::uint64_t key = 0;
+        bool read = false;
+        bool write = false;
+    };
+    std::vector<entry> entries_;
+#endif
+};
+
+}  // namespace wrpt::svc

@@ -209,6 +209,28 @@ struct pool_stats_payload {
     std::size_t evictions = 0;
 };
 
+/// Admission-control counters of the socket server a stats response
+/// passed through. Present only when a svc::server answered (the worker
+/// stamps it after service::handle); absent — and absent from the wire
+/// encoding — for the stdin daemon and direct in-process calls, so their
+/// transcripts are unchanged.
+struct server_stats_payload {
+    bool present = false;
+    std::size_t active = 0;            ///< sessions open right now
+    std::size_t workers = 0;           ///< fixed worker-set size
+    std::size_t max_connections = 0;   ///< admission cap (0 = unbounded)
+    std::size_t queue_depth = 0;       ///< pending-request cap per connection
+    std::size_t queue_bytes = 0;       ///< response outbox cap per connection
+    std::uint64_t accepted = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t queue_drops = 0;     ///< slow readers refused and dropped
+    std::uint64_t accept_backoffs = 0; ///< EMFILE/ENFILE accept pauses
+};
+
 struct stats_response {
     std::uint64_t requests = 0;       ///< requests handled so far
     std::uint64_t cache_hits = 0;
@@ -222,6 +244,7 @@ struct stats_response {
     std::string simd_isa;
     std::size_t simd_lanes = 0;
     std::vector<pool_stats_payload> pools;
+    server_stats_payload server;      ///< socket-server section (optional)
 };
 
 struct evict_response {

@@ -1,5 +1,8 @@
 #include "svc/server.h"
 
+#include <sys/socket.h>
+
+#include <cerrno>
 #include <utility>
 
 #include "svc/service.h"
@@ -7,12 +10,37 @@
 
 namespace wrpt::svc {
 
+namespace {
+
+// Poller keys of the two fds that are not connections.
+constexpr std::uint64_t kListenerKey = 0;
+constexpr std::uint64_t kWakeKey = 1;
+
+std::chrono::milliseconds ms(int v) { return std::chrono::milliseconds(v); }
+
+}  // namespace
+
 server::server(service& svc, const endpoint& ep)
     : server(svc, ep, options{}) {}
 
 server::server(service& svc, const endpoint& ep, options opt)
     : service_(&svc), options_(opt), listener_(ep) {
-    acceptor_ = std::thread([this] { accept_loop(); });
+    // Worker -> reactor wake channel. A socketpair rather than a pipe so
+    // the stream helpers (recv/send) apply unchanged.
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw errno_error("server: cannot create wake channel", errno);
+    wake_read_ = stream(fds[0]);
+    wake_write_ = stream(fds[1]);
+    wake_read_.set_nonblocking(true);
+    wake_write_.set_nonblocking(true);
+
+    listener_.set_nonblocking(true);
+    poller_.add(listener_.fd(), kListenerKey, true, false);
+    poller_.add(wake_read_.fd(), kWakeKey, true, false);
+
+    pool_ = std::make_unique<thread_pool>(options_.workers);
+    reactor_ = std::thread([this] { reactor_loop(); });
 }
 
 server::~server() {
@@ -21,33 +49,21 @@ server::~server() {
 }
 
 void server::stop() {
-    // The exchange also keeps a second caller from re-walking the
-    // connection list while wait() tears it down.
+    // Everything else happens on the reactor thread (apply_drain), so
+    // this is safe from workers — the shutdown request rides it.
     if (draining_.exchange(true, std::memory_order_acq_rel)) return;
-    listener_.shutdown();  // wakes the blocked accept()
-    std::scoped_lock lock(connections_mutex_);
-    for (const auto& conn : connections_)
-        if (!conn->done.load(std::memory_order_acquire))
-            conn->sock.shutdown_read();  // blocked readers wake with EOF
+    wake_reactor();
 }
 
 void server::wait() {
-    if (acceptor_.joinable()) acceptor_.join();
-    // The acceptor only exits once the drain started, so no new
-    // connections appear past this point and the vector is stable.
-    std::vector<std::unique_ptr<connection>> sessions;
     {
-        std::scoped_lock lock(connections_mutex_);
-        sessions.swap(connections_);
+        std::scoped_lock lock(join_mutex_);
+        if (reactor_.joinable()) reactor_.join();
     }
-    for (const auto& conn : sessions) {
-        // Re-apply the drain half-close: if this wait() swapped the list
-        // out before the stop() caller's walk reached it, a blocked
-        // reader would otherwise never wake. shutdown() is idempotent.
-        if (!conn->done.load(std::memory_order_acquire))
-            conn->sock.shutdown_read();
-        if (conn->thread.joinable()) conn->thread.join();
-    }
+    // The reactor only retires once every connection closed; a worker
+    // can still be finishing its (discarded) last item — let it land
+    // before the caller tears anything down.
+    if (pool_) pool_->wait_idle();
 }
 
 server::counters server::stats() const {
@@ -58,117 +74,490 @@ server::counters server::stats() const {
     c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
     c.overflows = overflows_.load(std::memory_order_relaxed);
     c.timeouts = timeouts_.load(std::memory_order_relaxed);
-    std::scoped_lock lock(connections_mutex_);
-    for (const auto& conn : connections_)
-        if (!conn->done.load(std::memory_order_acquire)) ++c.active;
+    c.queue_drops = queue_drops_.load(std::memory_order_relaxed);
+    c.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+    c.active = active_.load(std::memory_order_relaxed);
+    c.workers = pool_ ? pool_->size() : 0;
     return c;
 }
 
-void server::reap_finished() {
-    std::vector<std::unique_ptr<connection>> finished;
-    {
-        std::scoped_lock lock(connections_mutex_);
-        for (auto it = connections_.begin(); it != connections_.end();) {
-            if ((*it)->done.load(std::memory_order_acquire)) {
-                finished.push_back(std::move(*it));
-                it = connections_.erase(it);
-            } else {
-                ++it;
-            }
+// --- reactor ----------------------------------------------------------------
+
+void server::reactor_loop() {
+    std::vector<poller::event> events;
+    for (;;) {
+        if (draining_.load(std::memory_order_acquire) && !drain_applied_)
+            apply_drain();
+        if (drain_applied_ && conns_.empty()) break;
+
+        try {
+            poller_.wait(events, next_timeout(clock::now()));
+        } catch (const socket_error&) {
+            break;  // poller gone bad: fail closed rather than spin
         }
+
+        // Worker wakeups: drain the byte, clear the coalescing flag
+        // *before* swapping the attention list — a worker that enqueues
+        // after the swap sees the flag down and writes a fresh byte.
+        for (const poller::event& e : events) {
+            if (e.key != kWakeKey || !e.readable) continue;
+            char buf[64];
+            std::size_t n = 0;
+            while (wake_read_.recv_nonblocking(buf, sizeof buf, n) ==
+                   stream::io_status::ok) {
+            }
+            break;
+        }
+        wake_pending_.store(false, std::memory_order_release);
+        std::vector<std::shared_ptr<connection>> notified;
+        {
+            std::scoped_lock lock(notify_mutex_);
+            notified.swap(notify_);
+        }
+        for (const auto& conn : notified) service_connection(conn);
+
+        for (const poller::event& e : events) {
+            if (e.key == kWakeKey) continue;
+            if (e.key == kListenerKey) {
+                if (e.readable) do_accept();
+                continue;
+            }
+            auto it = conns_.find(e.key);
+            if (it == conns_.end()) continue;  // closed earlier this batch
+            std::shared_ptr<connection> conn = it->second;
+            if (e.readable && !conn->eof && !conn->paused) do_read(conn);
+            service_connection(conn);  // flush, re-arm, maybe retire
+        }
+
+        expire_deadlines(clock::now());
     }
-    // Join (and close) outside the lock; these threads have already left
-    // their session loop.
-    for (const auto& conn : finished)
-        if (conn->thread.joinable()) conn->thread.join();
 }
 
-void server::accept_loop() {
+void server::apply_drain() {
+    drain_applied_ = true;
+    if (listener_open_) {
+        poller_.remove(listener_.fd());
+        listener_.close();  // refuses new connections, unlinks unix path
+        listener_open_ = false;
+    }
+    std::vector<std::shared_ptr<connection>> all;
+    all.reserve(conns_.size());
+    for (const auto& [key, conn] : conns_) all.push_back(conn);
+    for (const auto& conn : all) {
+        // Stop reading: idle clients see EOF once their responses
+        // flushed; queued and in-flight requests still finish.
+        conn->eof = true;
+        conn->inbuf.clear();
+        service_connection(conn);
+    }
+}
+
+void server::do_accept() {
+    if (!listener_open_ || accept_paused_ || drain_applied_) return;
     for (;;) {
-        stream sock = listener_.accept();
-        if (!sock) break;  // listener shut down (drain) or fatal error
-        if (draining_.load(std::memory_order_acquire)) break;
-        reap_finished();
-        if (options_.max_connections != 0) {
-            std::size_t active = 0;
-            {
-                std::scoped_lock lock(connections_mutex_);
-                active = connections_.size();
-            }
-            if (active >= options_.max_connections) {
-                refused_.fetch_add(1, std::memory_order_relaxed);
-                continue;  // sock closes on scope exit
-            }
+        stream sock;
+        const listener::accept_status st = listener_.accept_nonblocking(sock);
+        if (st == listener::accept_status::would_block) return;
+        if (st == listener::accept_status::exhausted) {
+            // Out of descriptors: stop watching the listener for a
+            // moment (the peer waits in the backlog) and keep serving
+            // the sessions we already hold.
+            accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+            accept_paused_ = true;
+            accept_resume_ =
+                clock::now() + ms(options_.accept_backoff_ms > 0
+                                      ? options_.accept_backoff_ms
+                                      : 1);
+            poller_.modify(listener_.fd(), kListenerKey, false, false);
+            return;
         }
-        auto conn = std::make_unique<connection>();
-        conn->sock = std::move(sock);
-        connection* raw = conn.get();
-        {
-            std::scoped_lock lock(connections_mutex_);
-            connections_.push_back(std::move(conn));
+        if (st == listener::accept_status::closed) {
+            poller_.remove(listener_.fd());
+            listener_open_ = false;
+            return;
+        }
+        if (options_.max_connections != 0 &&
+            conns_.size() >= options_.max_connections) {
+            refused_.fetch_add(1, std::memory_order_relaxed);
+            continue;  // sock closes on scope exit: the refusal is an EOF
         }
         accepted_.fetch_add(1, std::memory_order_relaxed);
-        raw->thread = std::thread([this, raw] { serve_connection(*raw); });
+        sock.set_nonblocking(true);
+        auto conn = std::make_shared<connection>();
+        conn->sock = std::move(sock);
+        conn->key = next_key_++;
+        poller_.add(conn->sock.fd(), conn->key, true, false);
+        conns_.emplace(conn->key, conn);
+        active_.store(conns_.size(), std::memory_order_relaxed);
+        if (options_.idle_timeout_ms > 0) {
+            conn->has_idle_deadline = true;
+            conn->idle_deadline = clock::now() + ms(options_.idle_timeout_ms);
+        }
     }
 }
 
-void server::serve_connection(connection& conn) {
-    line_reader reader(conn.sock, options_.max_line_bytes);
-    const int timeout =
-        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
-    const int send_timeout =
-        options_.send_timeout_ms > 0 ? options_.send_timeout_ms : -1;
-    std::string line;
-    // The same session loop as the stdin daemon, per connection: ids are
-    // whatever this client chose, envelopes answer this client's broken
-    // lines, and a shutdown request drains the whole server.
-    while (!draining_.load(std::memory_order_acquire)) {
-        const line_status st = reader.read_line(line, timeout);
-        if (st == line_status::eof) break;
-        if (st == line_status::timed_out) {
-            timeouts_.fetch_add(1, std::memory_order_relaxed);
-            break;
+void server::do_read(const std::shared_ptr<connection>& conn) {
+    char buf[16384];
+    // Bounded rounds per readiness event so one firehose client cannot
+    // starve the rest; level-triggered polling re-reports leftovers.
+    for (int round = 0; round < 8 && !conn->eof && !conn->paused; ++round) {
+        std::size_t n = 0;
+        stream::io_status st;
+        try {
+            st = conn->sock.recv_nonblocking(buf, sizeof buf, n);
+        } catch (const socket_error&) {
+            st = stream::io_status::closed;
         }
-        if (st == line_status::overflow) {
-            // Framing is lost beyond the cap: answer once, then drop the
-            // connection.
-            overflows_.fetch_add(1, std::memory_order_relaxed);
-            requests_.fetch_add(1, std::memory_order_relaxed);
-            const std::string envelope = encode(make_error(
-                0, "request line exceeds " +
-                       std::to_string(options_.max_line_bytes) + " bytes"));
-            try {
-                conn.sock.send_all(envelope + "\n", send_timeout);
-            } catch (const socket_error&) {
+        if (st == stream::io_status::would_block) return;
+        if (st == stream::io_status::closed) {
+            conn->eof = true;
+            // A final unterminated line before EOF is served once,
+            // matching line_reader and the stdin daemon.
+            if (!conn->inbuf.empty()) {
+                conn->inbuf.push_back('\n');
+                extract_lines(conn);
+                conn->inbuf.clear();
             }
-            break;
+            return;
+        }
+        conn->inbuf.append(buf, n);
+        extract_lines(conn);
+    }
+}
+
+void server::extract_lines(const std::shared_ptr<connection>& conn) {
+    std::string& in = conn->inbuf;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = in.find('\n', start);
+        if (nl == std::string::npos) break;
+        std::string line = in.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        // A complete line arrived: the idle deadline is met. It re-arms
+        // once the connection is quiescent again (service_connection).
+        conn->has_idle_deadline = false;
+        if (options_.max_line_bytes != 0 &&
+            line.size() > options_.max_line_bytes) {
+            overflows_.fetch_add(1, std::memory_order_relaxed);
+            work_item item;
+            item.synthetic = true;
+            item.envelope =
+                encode(make_error(
+                    0, "request line exceeds " +
+                           std::to_string(options_.max_line_bytes) +
+                           " bytes")) +
+                "\n";
+            enqueue(conn, std::move(item));
+            conn->eof = true;  // framing lost: answer once, then drop
+            in.clear();
+            return;
         }
         if (line.find_first_not_of(" \t") == std::string::npos) continue;
-        response r;
-        bool shutdown = false;
-        try {
-            const request q = decode_request(line);
-            shutdown = q.kind() == request_kind::shutdown;
-            r = service_->handle(q);
-        } catch (const std::exception& e) {
-            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-            r = make_error(extract_id(line), e.what());
-        }
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        try {
-            conn.sock.send_all(encode(r) + "\n", send_timeout);
-        } catch (const socket_error&) {
-            break;  // client went away (or stopped reading) mid-answer
-        }
-        if (shutdown) {
-            stop();
-            break;
+        work_item item;
+        item.line = std::move(line);
+        enqueue(conn, std::move(item));
+    }
+    in.erase(0, start);
+    // The same budget applies to a line still waiting for its newline —
+    // an endless line costs at most max_line_bytes + one read chunk.
+    if (options_.max_line_bytes != 0 && in.size() > options_.max_line_bytes) {
+        overflows_.fetch_add(1, std::memory_order_relaxed);
+        work_item item;
+        item.synthetic = true;
+        item.envelope =
+            encode(make_error(0, "request line exceeds " +
+                                     std::to_string(options_.max_line_bytes) +
+                                     " bytes")) +
+            "\n";
+        enqueue(conn, std::move(item));
+        conn->eof = true;
+        in.clear();
+    }
+}
+
+void server::enqueue(const std::shared_ptr<connection>& conn,
+                     work_item item) {
+    bool dispatch = false;
+    std::size_t depth = 0;
+    {
+        std::scoped_lock lock(conn->mutex);
+        if (conn->closed || conn->dropping) return;
+        conn->queue.push_back(std::move(item));
+        depth = conn->queue.size();
+        if (!conn->worker_active) {
+            conn->worker_active = true;
+            dispatch = true;
         }
     }
-    // Flush-then-close semantics for the peer; the fd itself is closed
-    // when the reaper (or wait()) destroys the connection record.
-    conn.sock.shutdown_both();
-    conn.done.store(true, std::memory_order_release);
+    // Request-side flow control: beyond the bound the reactor stops
+    // reading this fd (service_connection disarms the interest), so the
+    // client's sends back up in its kernel buffer — nothing dropped.
+    if (options_.max_pending_requests != 0 &&
+        depth >= options_.max_pending_requests)
+        conn->paused = true;
+    if (dispatch) {
+        std::shared_ptr<connection> owned = conn;
+        pool_->submit([this, owned] { run_worker(owned); });
+    }
+}
+
+void server::service_connection(const std::shared_ptr<connection>& conn) {
+    bool outbox_empty = false;
+    bool dropping = false;
+    bool worker = false;
+    std::size_t depth = 0;
+    {
+        std::scoped_lock lock(conn->mutex);
+        if (conn->closed) return;
+        while (!conn->outbox.empty() && !conn->write_failed) {
+            std::size_t n = 0;
+            stream::io_status st;
+            try {
+                st = conn->sock.send_nonblocking(conn->outbox, n);
+            } catch (const socket_error&) {
+                st = stream::io_status::closed;
+            }
+            if (st == stream::io_status::ok) {
+                conn->outbox.erase(0, n);
+                continue;
+            }
+            if (st == stream::io_status::would_block) break;
+            conn->write_failed = true;
+        }
+        outbox_empty = conn->outbox.empty();
+        dropping = conn->dropping;
+        worker = conn->worker_active;
+        depth = conn->queue.size();
+    }
+    if (conn->write_failed) {
+        close_connection(conn);
+        return;
+    }
+
+    // A connection on its way out (peer EOF'd, overflowed, slow-reader
+    // refusal) closes once its last response bytes left — or once the
+    // send_timeout flush grace expired on a peer that will not drain.
+    const bool finishing = (conn->eof || dropping) && depth == 0 && !worker;
+    if (finishing && outbox_empty) {
+        close_connection(conn);
+        return;
+    }
+    if (finishing && !conn->has_drop_deadline && options_.send_timeout_ms > 0) {
+        conn->has_drop_deadline = true;
+        conn->drop_deadline = clock::now() + ms(options_.send_timeout_ms);
+    }
+
+    if (conn->paused && !conn->eof && !dropping &&
+        (options_.max_pending_requests == 0 ||
+         depth < options_.max_pending_requests))
+        conn->paused = false;
+
+    // The idle deadline covers the wait for the *next complete line*:
+    // armed only while truly quiescent, cleared by a complete line, and
+    // never renewed by partial bytes (extract_lines does not touch it).
+    if (options_.idle_timeout_ms > 0 && !conn->has_idle_deadline &&
+        !conn->eof && !dropping && depth == 0 && !worker)
+    {
+        conn->has_idle_deadline = true;
+        conn->idle_deadline = clock::now() + ms(options_.idle_timeout_ms);
+    }
+
+    const bool want_read = !conn->eof && !conn->paused && !dropping;
+    const bool want_write = !outbox_empty;
+    if (want_read != conn->armed_read || want_write != conn->armed_write) {
+        poller_.modify(conn->sock.fd(), conn->key, want_read, want_write);
+        conn->armed_read = want_read;
+        conn->armed_write = want_write;
+    }
+}
+
+void server::close_connection(const std::shared_ptr<connection>& conn) {
+    {
+        std::scoped_lock lock(conn->mutex);
+        if (conn->closed) return;
+        conn->closed = true;
+        conn->queue.clear();
+        conn->outbox.clear();
+    }
+    poller_.remove(conn->sock.fd());
+    conn->sock.shutdown_both();
+    conn->sock.close();
+    conns_.erase(conn->key);
+    active_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+// --- workers ----------------------------------------------------------------
+
+void server::run_worker(std::shared_ptr<connection> conn) {
+    // One worker drains this connection's queue in arrival order — the
+    // per-connection actor that keeps responses in request order while
+    // other connections compute on other workers.
+    for (;;) {
+        work_item item;
+        {
+            std::scoped_lock lock(conn->mutex);
+            if (conn->queue.empty() || conn->closed || conn->dropping) {
+                conn->worker_active = false;
+                break;
+            }
+            item = std::move(conn->queue.front());
+            conn->queue.pop_front();
+        }
+
+        std::string out;
+        std::uint64_t rid = 0;
+        bool shutdown = false;
+        if (item.synthetic) {
+            out = std::move(item.envelope);
+        } else {
+            response r;
+            try {
+                const request q = decode_request(item.line);
+                shutdown = q.kind() == request_kind::shutdown;
+                r = service_->handle(q);
+                if (r.ok && r.kind() == response_kind::stats) {
+                    // Socket-served stats responses carry the server's
+                    // own admission counters alongside the service's.
+                    auto& sp = std::get<stats_response>(r.payload).server;
+                    sp.present = true;
+                    sp.active = active_.load(std::memory_order_relaxed);
+                    sp.workers = pool_->size();
+                    sp.max_connections = options_.max_connections;
+                    sp.queue_depth = options_.max_pending_requests;
+                    sp.queue_bytes = options_.max_queue_bytes;
+                    sp.accepted = accepted_.load(std::memory_order_relaxed);
+                    sp.refused = refused_.load(std::memory_order_relaxed);
+                    sp.requests =
+                        requests_.load(std::memory_order_relaxed) + 1;
+                    sp.protocol_errors =
+                        protocol_errors_.load(std::memory_order_relaxed);
+                    sp.overflows =
+                        overflows_.load(std::memory_order_relaxed);
+                    sp.timeouts = timeouts_.load(std::memory_order_relaxed);
+                    sp.queue_drops =
+                        queue_drops_.load(std::memory_order_relaxed);
+                    sp.accept_backoffs =
+                        accept_backoffs_.load(std::memory_order_relaxed);
+                }
+            } catch (const std::exception& e) {
+                protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+                r = make_error(extract_id(item.line), e.what());
+            }
+            rid = r.id;
+            out = encode(r) + "\n";
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+
+        {
+            std::scoped_lock lock(conn->mutex);
+            if (!conn->closed && !conn->dropping) {
+                if (options_.max_queue_bytes != 0 &&
+                    conn->outbox.size() + out.size() >
+                        options_.max_queue_bytes) {
+                    // Response-side backpressure: the peer is not
+                    // draining. Refuse (a small bounded envelope on top
+                    // of the capped outbox) and drop — never buffer an
+                    // unread response stream forever.
+                    queue_drops_.fetch_add(1, std::memory_order_relaxed);
+                    conn->dropping = true;
+                    conn->queue.clear();
+                    conn->outbox +=
+                        encode(make_error(
+                            rid,
+                            "response queue overflow: slow reader dropped")) +
+                        "\n";
+                } else {
+                    conn->outbox += out;
+                }
+            }
+        }
+        notify(conn);
+        if (shutdown) stop();
+    }
+    // Final nudge: with the queue empty the reactor may now resume
+    // reads, re-arm the idle deadline, or retire an EOF'd connection.
+    notify(conn);
+}
+
+void server::notify(const std::shared_ptr<connection>& conn) {
+    {
+        std::scoped_lock lock(notify_mutex_);
+        notify_.push_back(conn);
+    }
+    wake_reactor();
+}
+
+void server::wake_reactor() {
+    // Coalesced: one in-flight byte is enough, the reactor drains the
+    // channel and swaps the whole attention list on each pass.
+    if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+    const char byte = 1;
+    std::size_t n = 0;
+    try {
+        wake_write_.send_nonblocking(std::string_view(&byte, 1), n);
+    } catch (const socket_error&) {
+        // Reactor gone (shutdown path): nothing left to wake.
+    }
+}
+
+// --- deadlines --------------------------------------------------------------
+
+int server::next_timeout(clock::time_point now) const {
+    bool any = false;
+    clock::time_point earliest{};
+    const auto consider = [&](clock::time_point t) {
+        if (!any || t < earliest) {
+            earliest = t;
+            any = true;
+        }
+    };
+    if (accept_paused_) consider(accept_resume_);
+    for (const auto& [key, conn] : conns_) {
+        if (conn->has_idle_deadline) consider(conn->idle_deadline);
+        if (conn->has_drop_deadline) consider(conn->drop_deadline);
+    }
+    if (!any) return -1;
+    const auto wait_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now)
+            .count();
+    if (wait_ms <= 0) return 0;
+    if (wait_ms >= 60000) return 60000;
+    return static_cast<int>(wait_ms) + 1;  // round up past the deadline
+}
+
+void server::expire_deadlines(clock::time_point now) {
+    if (accept_paused_ && now >= accept_resume_) {
+        accept_paused_ = false;
+        if (listener_open_ && !drain_applied_) {
+            poller_.modify(listener_.fd(), kListenerKey, true, false);
+            do_accept();  // the backlog kept waiting through the backoff
+        }
+    }
+    std::vector<std::shared_ptr<connection>> due;
+    for (const auto& [key, conn] : conns_) {
+        if ((conn->has_drop_deadline && now >= conn->drop_deadline) ||
+            (conn->has_idle_deadline && now >= conn->idle_deadline))
+            due.push_back(conn);
+    }
+    for (const auto& conn : due) {
+        if (conn->has_drop_deadline && now >= conn->drop_deadline) {
+            // Flush grace exhausted on a departing connection.
+            close_connection(conn);
+            continue;
+        }
+        conn->has_idle_deadline = false;
+        bool quiescent = false;
+        {
+            std::scoped_lock lock(conn->mutex);
+            quiescent = conn->queue.empty() && !conn->worker_active &&
+                        conn->outbox.empty() && !conn->dropping;
+        }
+        if (quiescent && !conn->eof) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            close_connection(conn);
+        }
+    }
 }
 
 }  // namespace wrpt::svc

@@ -1,38 +1,74 @@
-// Concurrent-connection daemon core: one listening socket, one session
-// per connection, all sessions over one **shared** svc::service.
+// Event-driven daemon core: one reactor thread owning every connection
+// fd, a fixed worker set on exec/thread_pool computing requests, all
+// sessions over one **shared** svc::service.
 //
-// Threading model: a dedicated acceptor thread blocks in accept(); each
-// accepted connection gets its own handler thread running the same
-// JSON-lines session loop as the stdin daemon (read line -> decode ->
-// service::handle -> encode -> flush). The service is the shared state —
-// one result cache, one batch_session with its per-circuit engine pools —
-// so two connections issuing the same query truly race on the cache and
-// the engine-pool LRU; service::handle is thread-safe for exactly this
-// caller (see svc/service.h).
+// Threading model (replaces the session-per-connection thread model —
+// the thread count is now fixed, however many connections are open):
 //
-// Hostile and slow clients: every line is framed by svc::line_reader
-// under options::max_line_bytes — an endless line costs bounded memory
-// and earns an error envelope followed by a disconnect, a malformed line
-// earns a per-request error envelope addressed via extract_id, and a
-// connection idle past options::idle_timeout_ms is dropped. Nothing a
-// client sends can take the process down.
+//   reactor (1 thread)  epoll/poll readiness loop over the listening fd,
+//                       a wake pipe, and every connection. It accepts
+//                       non-blocking (EMFILE/ENFILE earns a timed backoff
+//                       that keeps existing sessions alive), assembles
+//                       request lines incrementally under the max-line
+//                       budget, enqueues complete lines on the owning
+//                       connection, and is the only thread that ever
+//                       writes a socket (flush on readiness, EPOLLOUT
+//                       armed only while a response tail is stuck).
+//   workers (N threads) a fixed exec::thread_pool. Each connection with
+//                       queued lines is an actor: one worker drains its
+//                       queue in arrival order (decode -> service::handle
+//                       -> encode -> append to the connection's outbox),
+//                       so responses stay in request order per connection
+//                       while distinct connections compute concurrently.
+//                       The service is the shared state — one result
+//                       cache, one batch_session — exactly as before.
 //
-// Drain protocol: a {"req":"shutdown"} request on any connection (or a
-// stop() call) answers that request, then (1) wakes and retires the
-// acceptor so new connections are refused, and (2) half-closes the read
-// side of every open connection, so blocked readers see EOF while
-// requests already being computed still finish and flush their
-// responses. wait() returns once the acceptor and every handler joined.
+// Backpressure, both directions:
+//   requests   — at most options::max_pending_requests parsed lines may
+//                wait per connection; beyond that the reactor stops
+//                reading the fd (flow control: the client's sends back
+//                up in the kernel, nothing is dropped) until the worker
+//                drains below the bound.
+//   responses  — the per-connection outbox is capped at
+//                options::max_queue_bytes. A slow reader whose queue
+//                fills gets a refusal envelope and is dropped (after a
+//                bounded flush grace of options::send_timeout_ms), never
+//                buffered forever. Drops are counted in
+//                counters::queue_drops.
+//
+// Hostile and slow clients: an endless line costs bounded memory and
+// earns an error envelope followed by a disconnect; a malformed line
+// earns a per-request error envelope addressed via extract_id; a
+// connection idle past options::idle_timeout_ms is dropped (one deadline
+// per complete line — partial bytes cannot renew it). Nothing a client
+// sends can take the process down.
+//
+// Drain protocol (unchanged from the thread-per-connection daemon): a
+// {"req":"shutdown"} request on any connection (or a stop() call)
+// answers that request, then (1) closes the listener so new connections
+// are refused, and (2) stops reading every open connection, so blocked
+// readers see EOF once their in-flight requests finished and flushed.
+// wait() returns once the reactor retired with every session closed.
+//
+// stats responses passing through this server gain a "server" section
+// (svc::server_stats_payload) carrying the admission-control counters,
+// so remote clients observe refusals, drops and backoffs through the
+// same wire stats request they already speak.
 
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "exec/thread_pool.h"
+#include "svc/poller.h"
 #include "svc/socket.h"
 
 namespace wrpt::svc {
@@ -49,16 +85,31 @@ public:
         /// (0 = never). One deadline per line — a slow-drip client
         /// cannot renew it byte by byte.
         int idle_timeout_ms = 0;
-        /// Bound on each response write (0 = unbounded): a client that
-        /// stops reading gets disconnected instead of parking a handler
-        /// thread in send() forever — which would also wedge the drain.
+        /// Flush grace for a connection on its way out (peer EOF'd,
+        /// overflowed, or was refused as a slow reader) with response
+        /// bytes still pending: the reactor keeps trying to deliver
+        /// them this long before closing regardless (0 = wait forever,
+        /// matching the unbounded send of the blocking server).
         int send_timeout_ms = 30000;
         /// Refuse connections beyond this many concurrent sessions
         /// (0 = unbounded). Refused connections are closed immediately.
         std::size_t max_connections = 0;
+        /// Fixed worker set computing requests (0 = one per hardware
+        /// thread). The thread count never scales with connections.
+        unsigned workers = 0;
+        /// Parsed request lines that may queue per connection before the
+        /// reactor pauses reading the fd (flow control; 0 = unbounded).
+        std::size_t max_pending_requests = 64;
+        /// Byte cap on a connection's pending encoded responses. A slow
+        /// reader whose outbox would exceed it gets a refusal envelope
+        /// and is dropped (0 = unbounded).
+        std::size_t max_queue_bytes = 1u << 20;
+        /// Pause on accept() reporting descriptor exhaustion before the
+        /// listening fd is polled again.
+        int accept_backoff_ms = 50;
     };
 
-    /// Bind `ep` and start accepting. The service must outlive the
+    /// Bind `ep` and start the reactor. The service must outlive the
     /// server. Throws socket_error (with the errno string) when the
     /// endpoint cannot be bound.
     server(service& svc, const endpoint& ep);  // default options (defined
@@ -77,11 +128,11 @@ public:
 
     /// Initiate the drain: refuse new connections, EOF idle readers,
     /// let in-flight requests finish. Safe from any thread, including a
-    /// handler thread (the shutdown request rides this). Idempotent.
+    /// worker thread (the shutdown request rides this). Idempotent.
     void stop();
 
-    /// Block until the drain completed and every session thread joined.
-    /// Returns immediately if already drained.
+    /// Block until the drain completed and the reactor retired with
+    /// every session closed. Returns immediately if already drained.
     void wait();
 
     bool draining() const {
@@ -95,30 +146,98 @@ public:
         std::uint64_t protocol_errors = 0;  ///< lines that failed to decode
         std::uint64_t overflows = 0;  ///< connections dropped by the line cap
         std::uint64_t timeouts = 0;   ///< connections dropped idle
+        std::uint64_t queue_drops = 0;  ///< slow readers refused + dropped
+        std::uint64_t accept_backoffs = 0;  ///< EMFILE/ENFILE accept pauses
         std::size_t active = 0;       ///< sessions currently open
+        std::size_t workers = 0;      ///< fixed worker-set size
     };
     counters stats() const;
 
 private:
-    struct connection {
-        stream sock;
-        std::thread thread;
-        std::atomic<bool> done{false};
+    using clock = std::chrono::steady_clock;
+
+    /// One unit a worker processes for a connection, in arrival order.
+    /// Either a raw request line, or a pre-encoded envelope the reactor
+    /// synthesized (line-cap overflow) that must keep its place in the
+    /// response stream.
+    struct work_item {
+        std::string line;
+        std::string envelope;
+        bool synthetic = false;
     };
 
-    void accept_loop();
-    void serve_connection(connection& conn);
-    /// Join and destroy finished sessions (called from the acceptor).
-    void reap_finished();
+    struct connection {
+        stream sock;
+        std::uint64_t key = 0;
+
+        // Reactor-thread-only state.
+        std::string inbuf;          ///< partial line assembly
+        bool eof = false;           ///< no more reads (peer EOF or drain)
+        bool paused = false;        ///< reads withheld: request queue full
+        bool armed_read = true;     ///< current poller read interest
+        bool armed_write = false;   ///< current poller write interest
+        bool write_failed = false;  ///< peer gone mid-flush
+        bool has_idle_deadline = false;
+        clock::time_point idle_deadline{};
+        bool has_drop_deadline = false;
+        clock::time_point drop_deadline{};
+
+        // Shared between the reactor and the worker draining the queue.
+        std::mutex mutex;
+        std::deque<work_item> queue;
+        bool worker_active = false;
+        std::string outbox;         ///< encoded responses pending write
+        bool dropping = false;      ///< flush outbox (bounded), then close
+        bool closed = false;        ///< record retired; workers must not touch
+    };
+
+    void reactor_loop();
+    void apply_drain();
+    void do_accept();
+    void do_read(const std::shared_ptr<connection>& conn);
+    /// Cut complete lines out of conn->inbuf, enqueue them, dispatch a
+    /// worker; applies the max-line budget and request flow control.
+    void extract_lines(const std::shared_ptr<connection>& conn);
+    void enqueue(const std::shared_ptr<connection>& conn, work_item item);
+    /// Reactor-side per-connection maintenance: flush the outbox, arm or
+    /// disarm interest, resume paused reads, start idle/drop deadlines,
+    /// and retire the connection once nothing remains.
+    void service_connection(const std::shared_ptr<connection>& conn);
+    void close_connection(const std::shared_ptr<connection>& conn);
+    /// Worker body: drain conn->queue in order until empty.
+    void run_worker(std::shared_ptr<connection> conn);
+    /// Worker -> reactor: this connection needs attention (flush/close).
+    void notify(const std::shared_ptr<connection>& conn);
+    void wake_reactor();
+    int next_timeout(clock::time_point now) const;
+    void expire_deadlines(clock::time_point now);
 
     service* service_;
     options options_;
     listener listener_;
-    std::thread acceptor_;
-    std::atomic<bool> draining_{false};
+    bool listener_open_ = true;      ///< reactor-thread-only
+    bool accept_paused_ = false;     ///< descriptor-exhaustion backoff
+    clock::time_point accept_resume_{};
 
-    mutable std::mutex connections_mutex_;
-    std::vector<std::unique_ptr<connection>> connections_;
+    poller poller_;
+    stream wake_read_;               ///< self-pipe: reactor wake
+    stream wake_write_;
+    std::unique_ptr<thread_pool> pool_;
+
+    std::atomic<bool> draining_{false};
+    bool drain_applied_ = false;     ///< reactor-thread-only
+
+    /// Reactor-thread-only connection table (poller key -> record).
+    std::unordered_map<std::uint64_t, std::shared_ptr<connection>> conns_;
+    std::uint64_t next_key_ = 2;  ///< 0 = listener, 1 = wake pipe
+
+    /// Worker -> reactor attention queue.
+    std::mutex notify_mutex_;
+    std::vector<std::shared_ptr<connection>> notify_;
+    std::atomic<bool> wake_pending_{false};
+
+    std::thread reactor_;
+    std::mutex join_mutex_;          ///< serializes wait() callers
 
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> refused_{0};
@@ -126,6 +245,9 @@ private:
     std::atomic<std::uint64_t> protocol_errors_{0};
     std::atomic<std::uint64_t> overflows_{0};
     std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> queue_drops_{0};
+    std::atomic<std::uint64_t> accept_backoffs_{0};
+    std::atomic<std::size_t> active_{0};
 };
 
 }  // namespace wrpt::svc

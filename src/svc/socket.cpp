@@ -1,6 +1,7 @@
 #include "svc/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -181,6 +182,58 @@ std::size_t stream::recv_some(char* buf, std::size_t cap) {
     }
 }
 
+namespace {
+
+void set_fd_nonblocking(int fd, bool on) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) fail_errno("socket: cannot read fd flags");
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (want != flags && ::fcntl(fd, F_SETFL, want) != 0)
+        fail_errno("socket: cannot toggle O_NONBLOCK");
+}
+
+}  // namespace
+
+void stream::set_nonblocking(bool on) { set_fd_nonblocking(fd_, on); }
+
+stream::io_status stream::recv_nonblocking(char* buf, std::size_t cap,
+                                           std::size_t& n) {
+    n = 0;
+    for (;;) {
+        const ssize_t r = ::recv(fd_, buf, cap, 0);
+        if (r > 0) {
+            n = static_cast<std::size_t>(r);
+            return io_status::ok;
+        }
+        if (r == 0) return io_status::closed;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return io_status::would_block;
+        // A reset peer ends the conversation like an orderly EOF does.
+        if (errno == ECONNRESET) return io_status::closed;
+        fail_errno("socket: recv failed");
+    }
+}
+
+stream::io_status stream::send_nonblocking(std::string_view data,
+                                           std::size_t& n) {
+    n = 0;
+    while (n < data.size()) {
+        const ssize_t r = ::send(fd_, data.data() + n, data.size() - n,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (r >= 0) {
+            n += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return n > 0 ? io_status::ok : io_status::would_block;
+        if (errno == EPIPE || errno == ECONNRESET) return io_status::closed;
+        fail_errno("socket: send failed");
+    }
+    return io_status::ok;
+}
+
 stream::wait_result stream::wait_readable(int timeout_ms) {
     pollfd pfd{};
     pfd.fd = fd_;
@@ -307,6 +360,32 @@ void listener::init(const endpoint& ep, int backlog) {
 }
 
 listener::~listener() { close(); }
+
+void listener::set_nonblocking(bool on) { set_fd_nonblocking(fd_, on); }
+
+listener::accept_status listener::accept_nonblocking(stream& out) {
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            out = stream(fd);
+            return accept_status::accepted;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return accept_status::would_block;
+        // A connection reset while still in the backlog is the client's
+        // failure — try the next one.
+        if (errno == ECONNABORTED || errno == EPROTO) continue;
+        // Out of descriptors: the one signal where retrying immediately
+        // is a busy loop and exiting kills every live session. The
+        // caller backs off and keeps serving; the peer waits in the
+        // backlog until a descriptor frees up.
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM)
+            return accept_status::exhausted;
+        return accept_status::closed;
+    }
+}
 
 stream listener::accept() {
     for (;;) {

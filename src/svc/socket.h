@@ -99,6 +99,29 @@ public:
     /// Read up to `cap` bytes; 0 means orderly EOF. Throws on errors.
     std::size_t recv_some(char* buf, std::size_t cap);
 
+    /// Outcome of a non-blocking I/O attempt (the reactor's vocabulary).
+    ///   ok          — `n` bytes moved (possibly fewer than asked)
+    ///   would_block — nothing available / no buffer space right now
+    ///   closed      — the peer is gone (orderly EOF, reset, or broken
+    ///                 pipe — the conversation is over either way)
+    enum class io_status : std::uint8_t { ok, would_block, closed };
+
+    /// Toggle O_NONBLOCK. The reactor runs every connection fd (and the
+    /// listening fd) non-blocking; the blocking client/session paths
+    /// never call this.
+    void set_nonblocking(bool on);
+
+    /// Non-blocking read of up to `cap` bytes into `buf`; `n` receives
+    /// the count on ok (never 0 — a 0-byte read reports closed). Throws
+    /// socket_error only on genuinely unexpected errnos.
+    io_status recv_nonblocking(char* buf, std::size_t cap, std::size_t& n);
+
+    /// Non-blocking partial write; `n` receives how much was accepted
+    /// (ok may still be a short write — the caller keeps the tail and
+    /// re-arms write interest). A vanished peer reports closed, never
+    /// SIGPIPE.
+    io_status send_nonblocking(std::string_view data, std::size_t& n);
+
     enum class wait_result : std::uint8_t { ready, timed_out };
 
     /// Poll for readability. `timeout_ms` < 0 waits forever; a hangup
@@ -160,6 +183,34 @@ public:
     listener& operator=(const listener&) = delete;
 
     const endpoint& bound() const { return endpoint_; }
+
+    /// The listening fd, for callers that multiplex it themselves (the
+    /// reactor registers it with a poller instead of blocking here).
+    int fd() const { return fd_; }
+
+    /// Make the listening socket itself non-blocking, so accept() on it
+    /// never parks the caller (reactor mode).
+    void set_nonblocking(bool on);
+
+    /// Outcome of a non-blocking accept attempt.
+    ///   accepted    — `out` holds the new connection
+    ///   would_block — backlog empty right now
+    ///   exhausted   — out of descriptors (EMFILE/ENFILE/ENOBUFS/ENOMEM):
+    ///                 the caller must back off and retry later, KEEPING
+    ///                 existing connections alive — the pending peer
+    ///                 stays in the backlog meanwhile
+    ///   closed      — the listener was shut down or hit a fatal error
+    enum class accept_status : std::uint8_t {
+        accepted,
+        would_block,
+        exhausted,
+        closed,
+    };
+
+    /// One non-blocking accept attempt (the fd must be non-blocking).
+    /// Transient per-peer failures (ECONNABORTED/EPROTO) are retried
+    /// internally; the statuses above are the only outcomes.
+    accept_status accept_nonblocking(stream& out);
 
     /// Block for the next connection. Returns an invalid stream once
     /// shutdown() was called (or on a fatal listener error).

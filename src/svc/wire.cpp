@@ -773,6 +773,30 @@ std::string encode(const response& r) {
                     out.push_back('}');
                 }
                 out.push_back(']');
+                // Socket-server admission section: encoded last, and
+                // only when a svc::server stamped it, so stdin-daemon
+                // and in-process transcripts are byte-identical to the
+                // pre-reactor wire format.
+                if (p.server.present) {
+                    const server_stats_payload& sv = p.server;
+                    w.key("server");
+                    out.push_back('{');
+                    owriter c{out};
+                    c.field_u64("active", sv.active);
+                    c.field_u64("workers", sv.workers);
+                    c.field_u64("max_connections", sv.max_connections);
+                    c.field_u64("queue_depth", sv.queue_depth);
+                    c.field_u64("queue_bytes", sv.queue_bytes);
+                    c.field_u64("accepted", sv.accepted);
+                    c.field_u64("refused", sv.refused);
+                    c.field_u64("requests", sv.requests);
+                    c.field_u64("protocol_errors", sv.protocol_errors);
+                    c.field_u64("overflows", sv.overflows);
+                    c.field_u64("timeouts", sv.timeouts);
+                    c.field_u64("queue_drops", sv.queue_drops);
+                    c.field_u64("accept_backoffs", sv.accept_backoffs);
+                    out.push_back('}');
+                }
             } else if constexpr (std::is_same_v<T, evict_response>) {
                 w.field("resp", "evict");
                 w.field_u64("cache_entries", p.cache_entries);
@@ -882,6 +906,25 @@ response decode_response_value(const jvalue& o) {
                 ps.evictions = get_size(e, "evictions", 0);
                 p.pools.push_back(ps);
             }
+        }
+        if (const jvalue* v = o.find("server")) {
+            if (v->kind != jvalue::obj_v) bad("\"server\" must be an object");
+            server_stats_payload sv;
+            sv.present = true;
+            sv.active = get_size(*v, "active", 0);
+            sv.workers = get_size(*v, "workers", 0);
+            sv.max_connections = get_size(*v, "max_connections", 0);
+            sv.queue_depth = get_size(*v, "queue_depth", 0);
+            sv.queue_bytes = get_size(*v, "queue_bytes", 0);
+            sv.accepted = get_u64(*v, "accepted", 0);
+            sv.refused = get_u64(*v, "refused", 0);
+            sv.requests = get_u64(*v, "requests", 0);
+            sv.protocol_errors = get_u64(*v, "protocol_errors", 0);
+            sv.overflows = get_u64(*v, "overflows", 0);
+            sv.timeouts = get_u64(*v, "timeouts", 0);
+            sv.queue_drops = get_u64(*v, "queue_drops", 0);
+            sv.accept_backoffs = get_u64(*v, "accept_backoffs", 0);
+            p.server = sv;
         }
         r.payload = std::move(p);
     } else if (kind == "evict") {

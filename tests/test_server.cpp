@@ -14,10 +14,12 @@
 
 #include "svc/server.h"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -639,6 +641,368 @@ TEST(server, eight_clients_replay_a_warm_session_identically) {
             EXPECT_EQ(streams[who][i], reference[i])
                 << "client " << who << " line " << i;
     }
+
+    srv.stop();
+    srv.wait();
+}
+
+// --- backpressure -----------------------------------------------------------
+
+TEST(server, pipelined_requests_are_answered_in_order) {
+    // The reactor hands a connection's lines to one worker at a time (a
+    // per-connection actor), so a pipelining client gets its responses
+    // back in request order — the JSON-lines contract the blocking
+    // server gave for free.
+    service svc;
+    server srv(svc, unique_unix_endpoint());
+    client c(srv.where());
+    ASSERT_TRUE(c.roundtrip(load_request(small_circuit(61), 1)).ok);
+
+    constexpr std::uint64_t kPipelined = 64;
+    test_length_request tl;
+    tl.circuit = 0;
+    for (std::uint64_t i = 0; i < kPipelined; ++i)
+        c.send(job_line(100 + i, tl));  // no reads until everything left
+    for (std::uint64_t i = 0; i < kPipelined; ++i) {
+        response r;
+        ASSERT_TRUE(c.recv(r)) << "response " << i;
+        EXPECT_EQ(r.id, 100 + i) << "responses must keep request order";
+        EXPECT_TRUE(r.ok);
+    }
+    srv.stop();
+    srv.wait();
+    EXPECT_EQ(srv.stats().requests, kPipelined + 1);
+}
+
+TEST(server, slow_readers_are_refused_and_dropped) {
+    // A client that keeps sending but never drains its responses must
+    // not buffer unboundedly inside the daemon: once the kernel socket
+    // buffers are full and the per-connection outbox cap is hit, the
+    // server queues a refusal envelope, drops the rest, and hangs up.
+    service svc;
+    server::options opt;
+    opt.max_queue_bytes = 4096;     // tiny response budget
+    opt.max_pending_requests = 0;   // keep reading: isolate the response side
+    server srv(svc, unique_unix_endpoint(), opt);
+
+    client c(srv.where());
+    ASSERT_TRUE(c.roundtrip(load_request(small_circuit(62), 1)).ok);
+
+    // Each matrix answers with 64 embedded test-length responses (~10KB
+    // encoded, cache hits after the first), so a short pipelined burst
+    // overwhelms kernel buffering plus the 4KB outbox quickly.
+    request mx;
+    matrix_request m;
+    m.kind = job_kind::test_length;
+    m.circuits.assign(64, 0);
+    m.weight_sets = {{}};
+    mx.payload = std::move(m);
+    bool peer_closed_early = false;
+    for (std::uint64_t i = 0; i < 256 && !peer_closed_early; ++i) {
+        mx.id = 100 + i;
+        try {
+            c.send(mx);  // never reading
+        } catch (const socket_error&) {
+            peer_closed_early = true;  // already dropped mid-burst
+        }
+    }
+
+    // Now drain: some real responses, then the refusal envelope, then
+    // EOF — and the drop is visible in the counters.
+    bool saw_refusal = false;
+    std::string line;
+    while (c.recv_line(line, /*timeout_ms=*/10000) == line_status::ok) {
+        const response r = decode_response(line);
+        if (!r.ok) {
+            EXPECT_NE(std::get<error_response>(r.payload).message.find(
+                          "slow reader"),
+                      std::string::npos);
+            saw_refusal = true;
+        } else {
+            EXPECT_FALSE(saw_refusal) << "refusal must be the last line";
+        }
+    }
+    EXPECT_TRUE(saw_refusal);
+    srv.stop();
+    srv.wait();
+    EXPECT_GE(srv.stats().queue_drops, 1u);
+}
+
+TEST(server, request_flow_control_pauses_reads_without_dropping) {
+    // The request-side bound is flow control, not rejection: a deep
+    // pipelined burst beyond max_pending_requests backs up into the
+    // client's kernel buffer and still gets every answer, in order.
+    service svc;
+    server::options opt;
+    opt.max_pending_requests = 4;
+    server srv(svc, unique_unix_endpoint(), opt);
+    client c(srv.where());
+    ASSERT_TRUE(c.roundtrip(load_request(small_circuit(63), 1)).ok);
+
+    constexpr std::uint64_t kBurst = 128;
+    test_length_request tl;
+    tl.circuit = 0;
+    std::thread reader([&] {
+        for (std::uint64_t i = 0; i < kBurst; ++i) {
+            response r;
+            ASSERT_TRUE(c.recv(r, /*timeout_ms=*/30000)) << "response " << i;
+            EXPECT_EQ(r.id, 200 + i);
+        }
+    });
+    for (std::uint64_t i = 0; i < kBurst; ++i) c.send(job_line(200 + i, tl));
+    reader.join();
+    srv.stop();
+    srv.wait();
+    EXPECT_EQ(srv.stats().requests, kBurst + 1);
+    EXPECT_EQ(srv.stats().queue_drops, 0u);
+}
+
+TEST(server, mixed_fast_and_slow_clients_match_sequential_replay) {
+    // Backpressure must not bend results: 8 clients — half reading
+    // promptly, half pipelining their whole script first and draining
+    // late through a deliberately tiny flow-control window — all get
+    // response streams bit-identical to the warm single-client
+    // reference.
+    constexpr std::size_t kClients = 8;
+
+    service svc;
+    server::options opt;
+    opt.max_pending_requests = 2;  // the slow half leans on flow control
+    server srv(svc, unique_unix_endpoint(), opt);
+    {
+        client loader(srv.where());
+        ASSERT_TRUE(loader.roundtrip(load_request(small_circuit(64), 1)).ok);
+    }
+
+    const auto session_script = [] {
+        std::vector<request> script;
+        test_length_request tl;
+        tl.circuit = 0;
+        script.push_back(job_line(1, tl));
+        optimize_request op;
+        op.circuit = 0;
+        op.options.max_sweeps = 2;
+        script.push_back(job_line(2, op));
+        fault_sim_request fs;
+        fs.circuit = 0;
+        fs.patterns = 256;
+        fs.seed = 5;
+        script.push_back(job_line(3, fs));
+        request mx;
+        mx.id = 4;
+        matrix_request m;
+        m.kind = job_kind::test_length;
+        m.circuits.assign(4, 0);
+        m.weight_sets = {{}};
+        mx.payload = std::move(m);
+        script.push_back(mx);
+        test_length_request bad;
+        bad.circuit = 66;
+        script.push_back(job_line(5, bad));  // deterministic envelope
+        return script;
+    };
+
+    const auto run_fast = [&](std::vector<std::string>& out) {
+        client c(srv.where());
+        for (const request& q : session_script()) {
+            c.send(q);
+            std::string line;
+            ASSERT_EQ(c.recv_line(line), line_status::ok);
+            out.push_back(normalized(line));
+        }
+    };
+    const auto run_slow = [&](std::vector<std::string>& out) {
+        // Pipeline everything, dawdle, then drain — the server pauses
+        // reading us at 2 pending requests and resumes as the worker
+        // catches up; nothing may be lost or reordered.
+        client c(srv.where());
+        const auto script = session_script();
+        for (const request& q : script) c.send(q);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        for (std::size_t i = 0; i < script.size(); ++i) {
+            std::string line;
+            ASSERT_EQ(c.recv_line(line, /*timeout_ms=*/30000),
+                      line_status::ok);
+            out.push_back(normalized(line));
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    };
+
+    // Warm-up, then the deterministic reference stream.
+    std::vector<std::string> warmup, reference;
+    run_fast(warmup);
+    run_fast(reference);
+
+    std::vector<std::vector<std::string>> streams(kClients);
+    std::vector<std::thread> threads;
+    for (std::size_t who = 0; who < kClients; ++who) {
+        threads.emplace_back([&, who] {
+            if (who % 2 == 0)
+                run_fast(streams[who]);
+            else
+                run_slow(streams[who]);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (std::size_t who = 0; who < kClients; ++who) {
+        ASSERT_EQ(streams[who].size(), reference.size()) << "client " << who;
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            EXPECT_EQ(streams[who][i], reference[i])
+                << "client " << who << " line " << i;
+    }
+    srv.stop();
+    srv.wait();
+    EXPECT_EQ(srv.stats().queue_drops, 0u);
+}
+
+// --- reactor scale ----------------------------------------------------------
+
+#ifdef __linux__
+namespace {
+int process_thread_count() {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f) return -1;
+    char line[256];
+    int threads = -1;
+    while (std::fgets(line, sizeof line, f))
+        if (std::sscanf(line, "Threads: %d", &threads) == 1) break;
+    std::fclose(f);
+    return threads;
+}
+}  // namespace
+
+TEST(server, thread_count_does_not_scale_with_connections) {
+    // The event-driven core's defining property: the daemon is one
+    // reactor plus a fixed worker set, so parking 50 extra connections
+    // must not add a single thread (the session-per-connection model
+    // would add 50).
+    service svc;
+    server srv(svc, unique_unix_endpoint());
+    client active(srv.where());
+    request stats;
+    stats.id = 1;
+    stats.payload = stats_request{};
+    ASSERT_TRUE(active.roundtrip(stats).ok);
+
+    const int before = process_thread_count();
+    ASSERT_GT(before, 0);
+
+    std::vector<client> parked(50);
+    for (auto& p : parked) p.connect(srv.where(), 2000);
+    // Make sure every parked connection is truly registered, not still
+    // in the backlog: the admission counter is the reactor's own view.
+    for (int spin = 0; spin < 500 && srv.stats().accepted < 51; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(srv.stats().accepted, 51u);
+    EXPECT_EQ(srv.stats().active, 51u);
+
+    EXPECT_EQ(process_thread_count(), before)
+        << "holding idle connections must not spawn threads";
+    ASSERT_TRUE(active.roundtrip(stats).ok);  // still serving under load
+    srv.stop();
+    srv.wait();
+}
+#endif  // __linux__
+
+#if defined(__SANITIZE_THREAD__)
+#define WRPT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WRPT_TSAN 1
+#endif
+#endif
+
+TEST(server, accept_backoff_survives_fd_exhaustion) {
+#ifdef WRPT_TSAN
+    GTEST_SKIP() << "fd exhaustion starves the sanitizer runtime itself";
+#else
+    // Descriptor exhaustion at accept() (EMFILE) must not kill the
+    // daemon or its existing sessions: the reactor backs off, keeps
+    // serving, and accepts the waiting peer once descriptors return.
+    service svc;
+    server::options opt;
+    opt.accept_backoff_ms = 20;
+    server srv(svc, unique_unix_endpoint(), opt);
+    client established(srv.where());
+    request stats;
+    stats.id = 1;
+    stats.payload = stats_request{};
+    ASSERT_TRUE(established.roundtrip(stats).ok);
+
+    rlimit saved{};
+    ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &saved), 0);
+    rlimit tight = saved;
+    tight.rlim_cur = 64;
+    ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+    // Burn every free descriptor slot...
+    std::vector<int> burned;
+    for (;;) {
+        const int fd = ::dup(0);
+        if (fd < 0) break;
+        burned.push_back(fd);
+    }
+    ASSERT_FALSE(burned.empty());
+    // ...then hand exactly one back so the client can make its socket
+    // while the server still has none to accept with.
+    ::close(burned.back());
+    burned.pop_back();
+
+    client starved(srv.where(), 2000);  // queued in the backlog
+    bool backed_off = false;
+    for (int spin = 0; spin < 1000 && !backed_off; ++spin) {
+        backed_off = srv.stats().accept_backoffs > 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(backed_off);
+    // The established session kept working through the exhaustion.
+    ASSERT_TRUE(established.roundtrip(stats).ok);
+
+    for (const int fd : burned) ::close(fd);
+    ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+    // Descriptors are back: the backoff expires and the waiting peer is
+    // finally served on its original connection.
+    stats.id = 2;
+    ASSERT_TRUE(starved.roundtrip(stats).ok);
+    srv.stop();
+    srv.wait();
+    EXPECT_GE(srv.stats().accept_backoffs, 1u);
+    EXPECT_EQ(srv.stats().accepted, 2u);
+#endif
+}
+
+// --- wire-visible server stats ----------------------------------------------
+
+TEST(server, stats_responses_carry_the_server_section_over_sockets) {
+    service svc;
+    server::options opt;
+    opt.workers = 2;
+    opt.max_connections = 32;
+    server srv(svc, unique_unix_endpoint(), opt);
+    client c(srv.where());
+    request stats;
+    stats.id = 7;
+    stats.payload = stats_request{};
+    const response r = c.roundtrip(stats);
+    ASSERT_TRUE(r.ok);
+    const auto& sp = std::get<stats_response>(r.payload).server;
+    ASSERT_TRUE(sp.present) << "socket-served stats must carry the section";
+    EXPECT_EQ(sp.workers, 2u);
+    EXPECT_EQ(sp.max_connections, 32u);
+    EXPECT_EQ(sp.active, 1u);
+    EXPECT_EQ(sp.accepted, 1u);
+    EXPECT_EQ(sp.requests, 1u);  // this very request, counted
+    EXPECT_EQ(sp.queue_drops, 0u);
+
+    // The direct in-process path stays clean: no server, no section —
+    // and no "server" key on the wire, so stdin-daemon transcripts are
+    // unchanged.
+    const response direct = svc.handle(stats);
+    EXPECT_FALSE(std::get<stats_response>(direct.payload).server.present);
+    EXPECT_EQ(encode(direct).find("\"server\""), std::string::npos);
+    EXPECT_NE(encode(r).find("\"server\""), std::string::npos);
 
     srv.stop();
     srv.wait();

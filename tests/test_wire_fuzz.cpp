@@ -318,6 +318,17 @@ TEST(wire_fuzz, responses_survive_mutation_too) {
                 ps.circuit = r.next_below(8);
                 ps.hits = static_cast<std::size_t>(r.next_word());
                 p.pools.push_back(ps);
+                // Half the trials carry the socket-server section, so
+                // both the present and the absent encodings round-trip.
+                if (r.next_below(2) == 0) {
+                    p.server.present = true;
+                    p.server.active = r.next_below(10000);
+                    p.server.workers = 1 + r.next_below(64);
+                    p.server.accepted = r.next_word();
+                    p.server.refused = r.next_word();
+                    p.server.queue_drops = r.next_word();
+                    p.server.accept_backoffs = r.next_word();
+                }
                 resp.payload = std::move(p);
                 break;
             }

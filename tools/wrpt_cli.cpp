@@ -13,7 +13,8 @@
 //   wrpt_cli serve    [-|pipe]  [--listen <port|unix:path>] [--threads N]
 //                     [--confidence 0.999] [--max-engines N] [--max-cache N]
 //                     [--max-line BYTES] [--idle-timeout-ms MS]
-//                     [--max-connections N]
+//                     [--max-connections N] [--workers N]
+//                     [--queue-depth N] [--queue-bytes BYTES]
 //   wrpt_cli request  <port|unix:path> [--json '<request line>']
 //                     [--connect-timeout-ms 5000]
 //
@@ -28,8 +29,15 @@
 // from stdin ("-", the default) or from a named pipe / file path, routes
 // it through svc::service, and streams one JSON response per line to
 // stdout. With --listen it instead binds a loopback TCP port or a
-// unix-domain socket and runs one session per connection over the same
-// shared service (shared result cache and engine pools). Bad requests
+// unix-domain socket and serves every connection from one event-driven
+// reactor thread plus a fixed worker set (--workers, default one per
+// hardware thread) over the same shared service (shared result cache and
+// engine pools) — the thread count never scales with connections.
+// --queue-depth bounds the parsed requests that may wait per connection
+// (beyond it the reactor stops reading that client: flow control);
+// --queue-bytes bounds the un-drained response bytes per connection
+// (a slow reader beyond it gets a refusal envelope and is dropped;
+// surfaced as queue_drops in the stats response). Bad requests
 // get per-request error envelopes (the process does not exit); EOF or a
 // {"req":"shutdown"} request ends the loop gracefully — over sockets the
 // shutdown drains: in-flight requests finish, new connections are
@@ -433,6 +441,12 @@ int cmd_serve(const cli_options& opt) {
                 "send-timeout-ms",
                 static_cast<std::uint64_t>(vo.send_timeout_ms)));
             vo.max_connections = opt.flag_u64("max-connections", 0);
+            vo.workers =
+                static_cast<unsigned>(opt.flag_u64("workers", 0));
+            vo.max_pending_requests =
+                opt.flag_u64("queue-depth", vo.max_pending_requests);
+            vo.max_queue_bytes =
+                opt.flag_u64("queue-bytes", vo.max_queue_bytes);
             svc::service service(so);
             svc::server server(service, ep, vo);
             // The resolved endpoint (ephemeral TCP ports included) goes to
@@ -440,6 +454,8 @@ int cmd_serve(const cli_options& opt) {
             // and scripts can scrape the port.
             std::fprintf(stderr, "serve: listening on %s\n",
                          server.where().describe().c_str());
+            std::fprintf(stderr, "serve: reactor + %zu workers\n",
+                         server.stats().workers);
             server.wait();  // returns once a shutdown request drained us
             return 0;
         } catch (const svc::socket_error& e) {
@@ -529,13 +545,15 @@ int usage() {
         "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
         "  serve reads JSON-lines requests from stdin (-) or a pipe path,\n"
         "    or --listen <port|unix:path> accepts concurrent connections\n"
+        "    on one reactor thread + a fixed --workers pool\n"
         "    (exit 4 = input open failure, 5 = socket bind failure)\n"
         "  request <port|unix:path> sends --json or stdin lines to a "
         "daemon\n"
         "  flags: --confidence --estimator --weights --out --patterns "
         "--seed --backtracks --threads --stage-threads --optimize "
         "--max-engines --max-cache --listen --max-line --idle-timeout-ms "
-        "--send-timeout-ms --max-connections --json --connect-timeout-ms\n");
+        "--send-timeout-ms --max-connections --workers --queue-depth "
+        "--queue-bytes --json --connect-timeout-ms\n");
     return 64;
 }
 
