@@ -1,9 +1,9 @@
 #include "core/circuit_view.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
+#include "util/dense_map.h"
 #include "util/error.h"
 
 namespace wrpt {
@@ -132,23 +132,32 @@ circuit_view circuit_view::compile(const netlist& nl,
     }
 
     if (options.lane_groups) {
-        // Group each level bucket by (kind, arity). A map keyed on the
-        // pair keeps the grouping deterministic; the bucket scan keeps
-        // node order ascending within a group.
+        // Group each level bucket by (kind, arity), packed into one small
+        // dense shape code `kind * (max_arity + 1) + arity`. The code
+        // universe is tiny (#kinds * (max_arity + 1)), so reserve_array
+        // pins every probe to the direct-index path, and dense_map's
+        // ascending-key iteration reproduces the (kind, arity)
+        // lexicographic order the std::map-based builder emitted — the
+        // grouping stays bit-identical. The bucket scan keeps node order
+        // ascending within a group.
         cv.lane_groups_built_ = true;
         cv.lane_node_pool_.reserve(n);
-        std::map<std::pair<gate_kind, std::uint32_t>, std::vector<node_id>>
-            by_shape;
+        const std::uint64_t shape_span =
+            static_cast<std::uint64_t>(cv.max_arity_) + 1;
+        util::dense_map<std::vector<node_id>> by_shape;
+        by_shape.reserve_array(
+            (static_cast<std::uint64_t>(gate_kind::xnor_) + 1) * shape_span);
         for (std::size_t l = 0; l <= cv.depth_; ++l) {
             by_shape.clear();
             for (node_id id : cv.nodes_at_level(l))
-                by_shape[{cv.kind_[id],
-                          static_cast<std::uint32_t>(cv.fanin_count(id))}]
+                by_shape[static_cast<std::uint64_t>(cv.kind_[id]) * shape_span +
+                         cv.fanin_count(id)]
                     .push_back(id);
-            for (const auto& [shape, nodes] : by_shape) {
+            by_shape.for_each([&](std::uint64_t code,
+                                  const std::vector<node_id>& nodes) {
                 lane_group g;
-                g.kind = shape.first;
-                g.arity = shape.second;
+                g.kind = static_cast<gate_kind>(code / shape_span);
+                g.arity = static_cast<std::uint32_t>(code % shape_span);
                 g.offset = static_cast<std::uint32_t>(cv.lane_node_pool_.size());
                 g.count = static_cast<std::uint32_t>(nodes.size());
                 g.args_offset =
@@ -161,7 +170,7 @@ circuit_view circuit_view::compile(const netlist& nl,
                     for (node_id id : nodes)
                         cv.lane_args_pool_.push_back(cv.fanins(id)[k]);
                 cv.lane_group_.push_back(g);
-            }
+            });
         }
     }
 

@@ -29,44 +29,50 @@ std::size_t batch_session::add_circuit(netlist nl) {
     cc.faults = generate_full_faults(*cc.nl);
     cc.pool = std::make_unique<engine_pool>(*cc.view);
     cc.pool->set_capacity(options_.max_engines);
-    circuits_.push_back(std::move(cc));
-    return circuits_.size() - 1;
+    const std::size_t handle = next_handle_++;
+    circuits_.try_emplace(handle, std::move(cc));
+    return handle;
 }
 
 std::size_t batch_session::add_circuit_file(const std::string& path) {
     return add_circuit(read_bench_file(path));
 }
 
+const batch_session::compiled_circuit& batch_session::at(
+    std::size_t handle) const {
+    // Const (count-free) lookup: run_one() calls this concurrently from
+    // every pool worker.
+    const compiled_circuit* cc = circuits_.find(handle);
+    require(cc != nullptr, "batch_session: bad circuit handle");
+    return *cc;
+}
+
 const netlist& batch_session::circuit(std::size_t handle) const {
-    require(handle < circuits_.size(), "batch_session: bad circuit handle");
-    return *circuits_[handle].nl;
+    return *at(handle).nl;
 }
 
 const circuit_view& batch_session::view(std::size_t handle) const {
-    require(handle < circuits_.size(), "batch_session: bad circuit handle");
-    return *circuits_[handle].view;
+    return *at(handle).view;
 }
 
 const std::vector<fault>& batch_session::faults(std::size_t handle) const {
-    require(handle < circuits_.size(), "batch_session: bad circuit handle");
-    return circuits_[handle].faults;
+    return at(handle).faults;
 }
 
 const engine_pool& batch_session::pool(std::size_t handle) const {
-    require(handle < circuits_.size(), "batch_session: bad circuit handle");
-    return *circuits_[handle].pool;
+    return *at(handle).pool;
 }
 
 engine_pool& batch_session::pool(std::size_t handle) {
-    require(handle < circuits_.size(), "batch_session: bad circuit handle");
-    return *circuits_[handle].pool;
+    compiled_circuit* cc = circuits_.find(handle);
+    require(cc != nullptr, "batch_session: bad circuit handle");
+    return *cc->pool;
 }
 
 batch_session::result batch_session::run_one(const svc::job_request& j) const {
     const std::size_t handle = std::visit(
         [](const auto& p) { return p.circuit; }, j);
-    require(handle < circuits_.size(), "batch_session: bad circuit handle");
-    const compiled_circuit& cc = circuits_[handle];
+    const compiled_circuit& cc = at(handle);
     const netlist& nl = *cc.nl;
 
     result r;
@@ -142,8 +148,10 @@ std::vector<svc::job_request> batch_session::expand_matrix(
     const svc::matrix_request& m) const {
     std::vector<std::size_t> targets = m.circuits;
     if (targets.empty()) {
-        targets.resize(circuit_count());
-        for (std::size_t c = 0; c < targets.size(); ++c) targets[c] = c;
+        targets.reserve(circuit_count());
+        circuits_.for_each([&](std::size_t handle, const compiled_circuit&) {
+            targets.push_back(handle);  // ascending-handle iteration order
+        });
     }
     std::vector<svc::job_request> requests;
     requests.reserve(targets.size() * m.weight_sets.size());

@@ -32,6 +32,7 @@
 #include "netlist/netlist.h"
 #include "opt/optimizer.h"
 #include "svc/request.h"
+#include "util/dense_map.h"
 
 namespace wrpt {
 
@@ -121,9 +122,16 @@ private:
     };
 
     result run_one(const svc::job_request& j) const;
+    const compiled_circuit& at(std::size_t handle) const;
 
     options options_;
-    std::vector<compiled_circuit> circuits_;
+    // Handle -> compiled circuit. Handles come from a monotonic counter,
+    // so every probe lands in the map's direct-index array region; const
+    // lookups are count-free, which keeps concurrent run_one() jobs
+    // race-free. Keyed (rather than a plain vector) so the upcoming
+    // registry can retire handles without invalidating the rest.
+    util::dense_map<compiled_circuit, std::size_t> circuits_;
+    std::size_t next_handle_ = 0;
     std::unique_ptr<thread_pool> pool_;
 };
 

@@ -61,8 +61,14 @@ engine_pool::lease engine_pool::checkout(const weight_vector& base) {
             ++total_;
         } else {
             ++stats_.hits;
-            engine = std::move(free_.back().engine);
-            free_.pop_back();
+            // Take the highest slot id = most recently returned engine
+            // (the old LIFO pop_back), the one most likely still near the
+            // caller's base weights.
+            std::uint64_t newest = 0;
+            free_.for_each(
+                [&](std::uint64_t slot, warm_engine&) { newest = slot; });
+            engine = std::move(free_.find(newest)->engine);
+            free_.erase(newest);
         }
     }
     if (!engine) {
@@ -83,7 +89,9 @@ engine_pool::lease engine_pool::checkout(const weight_vector& base) {
 
 engine_pool::counters engine_pool::stats() const {
     std::scoped_lock lock(mutex_);
-    return stats_;
+    counters c = stats_;
+    c.relocations = free_.stats().relocations;
+    return c;
 }
 
 std::size_t engine_pool::evict_locked(std::size_t keep,
@@ -92,13 +100,17 @@ std::size_t engine_pool::evict_locked(std::size_t keep,
     // LRU by checkout stamp: the engines idle the longest (smallest
     // stamp) go first, regardless of return order.
     const std::size_t drop = free_.size() - keep;
-    std::partial_sort(free_.begin(), free_.begin() + drop, free_.end(),
-                      [](const warm_engine& a, const warm_engine& b) {
-                          return a.stamp < b.stamp;
-                      });
-    victims.assign(std::make_move_iterator(free_.begin()),
-                   std::make_move_iterator(free_.begin() + drop));
-    free_.erase(free_.begin(), free_.begin() + drop);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // stamp, slot
+    order.reserve(free_.size());
+    free_.for_each([&](std::uint64_t slot, const warm_engine& w) {
+        order.emplace_back(w.stamp, slot);
+    });
+    std::partial_sort(order.begin(), order.begin() + drop, order.end());
+    for (std::size_t i = 0; i < drop; ++i) {
+        const std::uint64_t slot = order[i].second;
+        victims.push_back(std::move(*free_.find(slot)));
+        free_.erase(slot);
+    }
     stats_.evictions += drop;
     total_ -= drop;
     return drop;
@@ -140,7 +152,7 @@ void engine_pool::give_back(std::unique_ptr<cop_engine> engine,
     // the mutex is released (engine teardown needs nothing from the pool).
     std::vector<warm_engine> victims;
     std::scoped_lock lock(mutex_);
-    free_.push_back(warm_engine{std::move(engine), stamp});
+    free_.try_emplace(next_slot_++, warm_engine{std::move(engine), stamp});
     if (capacity_ != 0) evict_locked(capacity_, victims);
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "io/weights_io.h"
+#include "util/dense_map.h"
 
 namespace wrpt {
 
@@ -88,6 +89,11 @@ public:
         std::size_t misses = 0;    ///< checkouts that built a new engine
         std::size_t resyncs = 0;   ///< warm checkouts that needed a base move
         std::size_t evictions = 0; ///< engines destroyed by the capacity cap
+        /// Warm-table entries moved by the slot map's internal maintenance
+        /// (array-growth migration, rehash, backward-shift erase) — the
+        /// bookkeeping cost of checkout/eviction churn, exported over the
+        /// wire per pool.
+        std::size_t relocations = 0;
     };
     counters stats() const;
 
@@ -123,7 +129,13 @@ private:
 
     const circuit_view* cv_;
     mutable std::mutex mutex_;
-    std::vector<warm_engine> free_;
+    // Warm engines keyed by a monotonic return-slot id: the highest key is
+    // always the most recently returned engine, so checkout's take-the-max
+    // reproduces the old LIFO vector exactly; eviction erases arbitrary
+    // (coldest-stamp) slots, which the map's backward-shift delete absorbs
+    // without tombstones.
+    util::dense_map<warm_engine, std::uint64_t> free_;
+    std::uint64_t next_slot_ = 0;
     std::size_t total_ = 0;
     std::size_t capacity_ = 0;  ///< 0 = unbounded
     std::uint64_t stamp_ = 0;   ///< monotonic checkout stamp

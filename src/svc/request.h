@@ -207,6 +207,10 @@ struct pool_stats_payload {
     std::size_t misses = 0;
     std::size_t resyncs = 0;
     std::size_t evictions = 0;
+    /// Warm-slot-table entries moved by internal maintenance (growth
+    /// migration, rehash, backward-shift erase) — checkout/eviction churn
+    /// bookkeeping cost.
+    std::size_t relocations = 0;
 };
 
 /// Admission-control counters of the socket server a stats response
@@ -233,10 +237,12 @@ struct server_stats_payload {
 
 struct stats_response {
     std::uint64_t requests = 0;       ///< requests handled so far
+    std::uint64_t cache_probes = 0;   ///< result-cache lookups performed
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::size_t cache_entries = 0;
     std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_bytes = 0;    ///< approximate retained bytes
     std::size_t circuits = 0;
     /// Active compute-kernel dispatch (core/simd.h): ISA name and vector
     /// lane width, so remote clients can attribute timings to the

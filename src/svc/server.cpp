@@ -122,9 +122,9 @@ void server::reactor_loop() {
                 if (e.readable) do_accept();
                 continue;
             }
-            auto it = conns_.find(e.key);
-            if (it == conns_.end()) continue;  // closed earlier this batch
-            std::shared_ptr<connection> conn = it->second;
+            const std::shared_ptr<connection>* slot = conns_.find(e.key);
+            if (slot == nullptr) continue;  // closed earlier this batch
+            std::shared_ptr<connection> conn = *slot;
             if (e.readable && !conn->eof && !conn->paused) do_read(conn);
             service_connection(conn);  // flush, re-arm, maybe retire
         }
@@ -142,7 +142,9 @@ void server::apply_drain() {
     }
     std::vector<std::shared_ptr<connection>> all;
     all.reserve(conns_.size());
-    for (const auto& [key, conn] : conns_) all.push_back(conn);
+    conns_.for_each([&](std::uint64_t, const std::shared_ptr<connection>& c) {
+        all.push_back(c);
+    });
     for (const auto& conn : all) {
         // Stop reading: idle clients see EOF once their responses
         // flushed; queued and in-flight requests still finish.
@@ -187,7 +189,7 @@ void server::do_accept() {
         conn->sock = std::move(sock);
         conn->key = next_key_++;
         poller_.add(conn->sock.fd(), conn->key, true, false);
-        conns_.emplace(conn->key, conn);
+        conns_.try_emplace(conn->key, conn);
         active_.store(conns_.size(), std::memory_order_relaxed);
         if (options_.idle_timeout_ms > 0) {
             conn->has_idle_deadline = true;
@@ -231,7 +233,20 @@ void server::extract_lines(const std::shared_ptr<connection>& conn) {
     for (;;) {
         const std::size_t nl = in.find('\n', start);
         if (nl == std::string::npos) break;
-        std::string line = in.substr(start, nl - start);
+        // Recycle a retired line buffer when one is available (the worker
+        // returns them under the mutex; we take the whole batch in one
+        // lock when the reactor-side pool runs dry) — steady-state line
+        // assembly allocates nothing.
+        std::string line;
+        if (conn->line_pool.empty()) {
+            std::scoped_lock lock(conn->mutex);
+            conn->line_pool.swap(conn->retired_lines);
+        }
+        if (!conn->line_pool.empty()) {
+            line = std::move(conn->line_pool.back());
+            conn->line_pool.pop_back();
+        }
+        line.assign(in, start, nl - start);
         start = nl + 1;
         if (!line.empty() && line.back() == '\r') line.pop_back();
         // A complete line arrived: the idle deadline is met. It re-arms
@@ -310,22 +325,30 @@ void server::service_connection(const std::shared_ptr<connection>& conn) {
     {
         std::scoped_lock lock(conn->mutex);
         if (conn->closed) return;
-        while (!conn->outbox.empty() && !conn->write_failed) {
+        while (conn->outbox_pending() != 0 && !conn->write_failed) {
             std::size_t n = 0;
             stream::io_status st;
             try {
-                st = conn->sock.send_nonblocking(conn->outbox, n);
+                // Send from the unsent suffix: the sent prefix is marked
+                // by offset, not erased — no memmove per partial write.
+                st = conn->sock.send_nonblocking(
+                    std::string_view(conn->outbox).substr(conn->outbox_sent),
+                    n);
             } catch (const socket_error&) {
                 st = stream::io_status::closed;
             }
             if (st == stream::io_status::ok) {
-                conn->outbox.erase(0, n);
+                conn->outbox_sent += n;
+                if (conn->outbox_sent == conn->outbox.size()) {
+                    conn->outbox.clear();  // capacity retained for reuse
+                    conn->outbox_sent = 0;
+                }
                 continue;
             }
             if (st == stream::io_status::would_block) break;
             conn->write_failed = true;
         }
-        outbox_empty = conn->outbox.empty();
+        outbox_empty = conn->outbox_pending() == 0;
         dropping = conn->dropping;
         worker = conn->worker_active;
         depth = conn->queue.size();
@@ -379,6 +402,7 @@ void server::close_connection(const std::shared_ptr<connection>& conn) {
         conn->closed = true;
         conn->queue.clear();
         conn->outbox.clear();
+        conn->outbox_sent = 0;
     }
     poller_.remove(conn->sock.fd());
     conn->sock.shutdown_both();
@@ -393,10 +417,16 @@ void server::run_worker(std::shared_ptr<connection> conn) {
     // One worker drains this connection's queue in arrival order — the
     // per-connection actor that keeps responses in request order while
     // other connections compute on other workers.
+    work_item item;
     for (;;) {
-        work_item item;
         {
             std::scoped_lock lock(conn->mutex);
+            // Retire the previous line's buffer for the reactor to
+            // refill (bounded: beyond the pool cap it just frees).
+            if (!item.line.empty() && conn->retired_lines.size() < 16) {
+                item.line.clear();
+                conn->retired_lines.push_back(std::move(item.line));
+            }
             if (conn->queue.empty() || conn->closed || conn->dropping) {
                 conn->worker_active = false;
                 break;
@@ -405,7 +435,10 @@ void server::run_worker(std::shared_ptr<connection> conn) {
             conn->queue.pop_front();
         }
 
-        std::string out;
+        // At most one worker drains a connection, so its scratch buffer
+        // is ours for the whole drain: every response encodes into the
+        // same allocation once it reaches working size.
+        std::string& out = conn->scratch;
         std::uint64_t rid = 0;
         bool shutdown = false;
         if (item.synthetic) {
@@ -445,7 +478,8 @@ void server::run_worker(std::shared_ptr<connection> conn) {
                 r = make_error(extract_id(item.line), e.what());
             }
             rid = r.id;
-            out = encode(r) + "\n";
+            encode_into(r, out);
+            out.push_back('\n');
         }
         requests_.fetch_add(1, std::memory_order_relaxed);
 
@@ -453,7 +487,7 @@ void server::run_worker(std::shared_ptr<connection> conn) {
             std::scoped_lock lock(conn->mutex);
             if (!conn->closed && !conn->dropping) {
                 if (options_.max_queue_bytes != 0 &&
-                    conn->outbox.size() + out.size() >
+                    conn->outbox_pending() + out.size() >
                         options_.max_queue_bytes) {
                     // Response-side backpressure: the peer is not
                     // draining. Refuse (a small bounded envelope on top
@@ -513,10 +547,10 @@ int server::next_timeout(clock::time_point now) const {
         }
     };
     if (accept_paused_) consider(accept_resume_);
-    for (const auto& [key, conn] : conns_) {
+    conns_.for_each([&](std::uint64_t, const std::shared_ptr<connection>& conn) {
         if (conn->has_idle_deadline) consider(conn->idle_deadline);
         if (conn->has_drop_deadline) consider(conn->drop_deadline);
-    }
+    });
     if (!any) return -1;
     const auto wait_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now)
@@ -535,11 +569,11 @@ void server::expire_deadlines(clock::time_point now) {
         }
     }
     std::vector<std::shared_ptr<connection>> due;
-    for (const auto& [key, conn] : conns_) {
+    conns_.for_each([&](std::uint64_t, const std::shared_ptr<connection>& conn) {
         if ((conn->has_drop_deadline && now >= conn->drop_deadline) ||
             (conn->has_idle_deadline && now >= conn->idle_deadline))
             due.push_back(conn);
-    }
+    });
     for (const auto& conn : due) {
         if (conn->has_drop_deadline && now >= conn->drop_deadline) {
             // Flush grace exhausted on a departing connection.
@@ -551,7 +585,7 @@ void server::expire_deadlines(clock::time_point now) {
         {
             std::scoped_lock lock(conn->mutex);
             quiescent = conn->queue.empty() && !conn->worker_active &&
-                        conn->outbox.empty() && !conn->dropping;
+                        conn->outbox_pending() == 0 && !conn->dropping;
         }
         if (quiescent && !conn->eof) {
             timeouts_.fetch_add(1, std::memory_order_relaxed);

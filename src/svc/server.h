@@ -63,13 +63,14 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "exec/thread_pool.h"
 #include "svc/poller.h"
 #include "svc/socket.h"
+#include "util/dense_map.h"
 
 namespace wrpt::svc {
 
@@ -182,13 +183,32 @@ private:
         bool has_drop_deadline = false;
         clock::time_point drop_deadline{};
 
+        // Reactor-thread-only: recycled line buffers ready to fill
+        // (refilled by swapping in `retired_lines` when empty).
+        std::vector<std::string> line_pool;
+
+        // Worker-only while worker_active (at most one worker drains a
+        // connection at a time): scratch encode buffer, reused across
+        // every response of the connection — zero allocations per encode
+        // at steady state.
+        std::string scratch;
+
         // Shared between the reactor and the worker draining the queue.
         std::mutex mutex;
         std::deque<work_item> queue;
         bool worker_active = false;
         std::string outbox;         ///< encoded responses pending write
+        std::size_t outbox_sent = 0;  ///< prefix already written to the
+                                      ///< socket (cleared when it catches
+                                      ///< up — no per-send erase/memmove)
+        std::vector<std::string> retired_lines;  ///< buffers the worker
+                                                 ///< returned for reuse
         bool dropping = false;      ///< flush outbox (bounded), then close
         bool closed = false;        ///< record retired; workers must not touch
+
+        std::size_t outbox_pending() const {  // caller holds mutex
+            return outbox.size() - outbox_sent;
+        }
     };
 
     void reactor_loop();
@@ -228,7 +248,10 @@ private:
     bool drain_applied_ = false;     ///< reactor-thread-only
 
     /// Reactor-thread-only connection table (poller key -> record).
-    std::unordered_map<std::uint64_t, std::shared_ptr<connection>> conns_;
+    /// Keys come off a monotonic counter, so lookups are direct-index
+    /// array loads while key churn stays low; a very long-lived daemon's
+    /// late keys fall to the map's hash region, which is still O(1).
+    util::dense_map<std::shared_ptr<connection>, std::uint64_t> conns_;
     std::uint64_t next_key_ = 2;  ///< 0 = listener, 1 = wake pipe
 
     /// Worker -> reactor attention queue.

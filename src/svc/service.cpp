@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <tuple>
+#include <map>
 #include <utility>
 
 #include "core/simd.h"
@@ -26,19 +26,15 @@ service::service(options opt) : options_(opt) {
 
 service::~service() = default;
 
-bool service::cache_key::operator<(const cache_key& other) const {
-    return std::tie(circuit, revision, kind, weights, options) <
-           std::tie(other.circuit, other.revision, other.kind, other.weights,
-                    other.options);
-}
-
 service::cache_counters service::cache_stats() const {
     std::scoped_lock lock(cache_mutex_);
     cache_counters c;
+    c.probes = cache_probes_;
     c.hits = cache_hits_;
     c.misses = cache_misses_;
     c.evictions = cache_evictions_;
-    c.entries = cache_.size();
+    c.entries = cache_entries_;
+    c.bytes = cache_bytes_;
     return c;
 }
 
@@ -113,10 +109,12 @@ response service::handle_stats(std::uint64_t id) {
     out.requests = requests_.load(std::memory_order_relaxed);
     {
         std::scoped_lock cache_lock(cache_mutex_);
+        out.cache_probes = cache_probes_;
         out.cache_hits = cache_hits_;
         out.cache_misses = cache_misses_;
-        out.cache_entries = cache_.size();
+        out.cache_entries = cache_entries_;
         out.cache_evictions = cache_evictions_;
+        out.cache_bytes = cache_bytes_;
     }
     out.circuits = session_->circuit_count();
     const simd::isa active = simd::active_isa();
@@ -135,6 +133,7 @@ response service::handle_stats(std::uint64_t id) {
         ps.misses = pc.misses;
         ps.resyncs = pc.resyncs;
         ps.evictions = pc.evictions;
+        ps.relocations = pc.relocations;
         out.pools.push_back(ps);
     }
     response r;
@@ -151,21 +150,24 @@ response service::handle_evict(std::uint64_t id, const evict_request& p) {
     std::scoped_lock cache_lock(cache_mutex_);
     evict_response out;
     if (p.all) {
-        out.cache_entries = cache_.size();
+        out.cache_entries = cache_entries_;
         cache_.clear();
         cache_order_.clear();
+        cache_entries_ = 0;
+        cache_bytes_ = 0;
         for (std::size_t c = 0; c < session_->circuit_count(); ++c)
             out.engines += session_->pool(c).evict(p.keep_engines);
     } else {
         require(p.circuit < session_->circuit_count(),
                 "evict: bad circuit handle");
-        for (auto it = cache_.begin(); it != cache_.end();) {
-            if (it->first.circuit == p.circuit) {
-                it = cache_.erase(it);
-                ++out.cache_entries;
-            } else {
-                ++it;
-            }
+        // Two-level payoff: evicting one circuit drops its bucket whole
+        // instead of scanning every cached key in the service.
+        if (circuit_bucket* b = cache_.find(p.circuit)) {
+            out.cache_entries = b->entries.size();
+            cache_entries_ -= b->entries.size();
+            cache_bytes_ -= b->bytes;
+            b->entries.clear();
+            b->bytes = 0;
         }
         out.engines = session_->pool(p.circuit).evict(p.keep_engines);
     }
@@ -235,31 +237,26 @@ std::string service::validate(const job_request& j) const {
     return std::visit([](const auto& p) { return validate_options(p); }, j);
 }
 
-service::cache_key service::key_of(const job_request& j) const {
-    cache_key key;
+service::cache_locator service::key_of(const job_request& j) const {
+    cache_locator key;
     key.circuit = std::visit([](const auto& p) { return p.circuit; }, j);
     key.revision = session_->circuit(key.circuit).revision();
-    key.kind = kind_of(j);
-    const weight_vector& requested = std::visit(
-        [](const auto& p) -> const weight_vector& { return p.weights; }, j);
-    // Resolve the empty (= uniform) shorthand so both spellings of the
-    // same query share one entry.
-    key.weights = requested.empty()
-                      ? uniform_weights(session_->circuit(key.circuit))
-                      : requested;
-    // Canonical option fingerprint: the wire encoding of the job with the
-    // keyed-elsewhere fields (circuit, weights) and the result-neutral
-    // thread counts normalized away — results are thread-invariant by
-    // the pipeline's bit-identity contract, so clients that differ only
-    // in threads share entries. Exact by construction — the encoder
-    // prints every option field, always in the same order, with
-    // round-trip double formatting.
+    // Canonical fingerprint: the wire encoding of the job with the
+    // level-1 handle zeroed, the empty (= uniform) weight shorthand
+    // resolved so both spellings of the same query share one entry, and
+    // the result-neutral thread counts normalized away — results are
+    // thread-invariant by the pipeline's bit-identity contract, so
+    // clients that differ only in threads share entries. Exact by
+    // construction — the encoder prints the kind, every option field and
+    // the full weight vector, always in the same order, with round-trip
+    // double formatting.
     job_request normalized = j;
     std::visit(
-        [](auto& p) {
+        [&](auto& p) {
             using T = std::decay_t<decltype(p)>;
             p.circuit = 0;
-            p.weights.clear();
+            if (p.weights.empty())
+                p.weights = uniform_weights(session_->circuit(key.circuit));
             if constexpr (std::is_same_v<T, test_length_request>)
                 p.threads = 1;
             else if constexpr (std::is_same_v<T, optimize_request>)
@@ -269,29 +266,82 @@ service::cache_key service::key_of(const job_request& j) const {
     request q;
     std::visit([&](auto&& p) { q.payload = std::move(p); },
                std::move(normalized));
-    key.options = encode(q);
+    key.fingerprint = encode(q);
     return key;
 }
 
-void service::insert_cached(cache_key key, const batch_session::result& r) {
+namespace {
+
+/// Deterministic, platform-stable approximation of an entry's retained
+/// bytes: the fingerprint key, a fixed per-entry overhead, and the
+/// variable-length result payloads (weights and sweep history at 8 bytes
+/// per element, history records carry a double + a size).
+std::uint64_t entry_cost(const std::string& fingerprint,
+                         const batch_session::result& r) {
+    return static_cast<std::uint64_t>(fingerprint.size()) + 64 +
+           8 * static_cast<std::uint64_t>(r.optimized.weights.size()) +
+           16 * static_cast<std::uint64_t>(r.optimized.history.size());
+}
+
+}  // namespace
+
+const service::cache_entry* service::probe_cached(const cache_locator& key) {
+    // Caller holds cache_mutex_.
+    ++cache_probes_;
+    const circuit_bucket* b = cache_.find(key.circuit);
+    if (b == nullptr || b->revision != key.revision) return nullptr;
+    const auto it = b->entries.find(key.fingerprint);
+    return it == b->entries.end() ? nullptr : &it->second;
+}
+
+void service::insert_cached(cache_locator key, const batch_session::result& r) {
     // Caller holds cache_mutex_.
     const std::uint64_t seq = ++cache_sequence_;
+    circuit_bucket& b = cache_[key.circuit];
+    if (b.revision != key.revision) {
+        // Re-stamped handle: the old revision's entries can never hit
+        // again — orphan the bucket wholesale.
+        cache_entries_ -= b.entries.size();
+        cache_bytes_ -= b.bytes;
+        b.entries.clear();
+        b.bytes = 0;
+        b.revision = key.revision;
+    }
+    const std::uint64_t cost = entry_cost(key.fingerprint, r);
+    const auto [it, fresh] = b.entries.try_emplace(key.fingerprint);
+    if (!fresh) {
+        // Benign same-key race (two connections computed the same bits):
+        // replace, keeping the accounting exact.
+        b.bytes -= it->second.bytes;
+        cache_bytes_ -= it->second.bytes;
+        --cache_entries_;
+    }
+    it->second = cache_entry{r, seq, cost};
+    b.bytes += cost;
+    cache_bytes_ += cost;
+    ++cache_entries_;
     // The order index is only needed (and only maintained) under a cap;
     // without one it would grow unboundedly for nothing.
-    if (options_.max_cache_entries != 0) cache_order_.emplace(seq, key);
-    cache_[std::move(key)] = cache_entry{r, seq};
     if (options_.max_cache_entries == 0) return;
-    while (cache_.size() > options_.max_cache_entries &&
+    cache_order_.push_back(
+        order_record{key.circuit, seq, std::move(key.fingerprint)});
+    while (cache_entries_ > options_.max_cache_entries &&
            !cache_order_.empty()) {
-        const auto oldest = cache_order_.begin();
-        const auto it = cache_.find(oldest->second);
+        const order_record oldest = std::move(cache_order_.front());
+        cache_order_.pop_front();
+        circuit_bucket* ob = cache_.find(oldest.circuit);
+        if (ob == nullptr) continue;
+        const auto oit = ob->entries.find(oldest.fingerprint);
         // Skip stale order records: the key was dropped by an evict
         // request, or re-inserted later under a newer sequence.
-        if (it != cache_.end() && it->second.sequence == oldest->first) {
-            cache_.erase(it);
+        if (oit != ob->entries.end() &&
+            oit->second.sequence == oldest.sequence) {
+            ob->bytes -= oit->second.bytes;
+            cache_bytes_ -= oit->second.bytes;
+            ob->entries.erase(oit);
+            --cache_entries_;
             ++cache_evictions_;
         }
-        cache_order_.erase(oldest);
     }
 }
 
@@ -377,11 +427,14 @@ std::vector<response> service::run_jobs(std::uint64_t id,
 std::vector<response> service::run_jobs_locked(
     std::uint64_t id, const std::vector<job_request>& jobs) {
     std::vector<response> out(jobs.size());
-    std::vector<cache_key> keys(jobs.size());
+    std::vector<cache_locator> keys(jobs.size());
     // Validate and probe the cache up front; only distinct cache misses
     // go to the session (duplicate keys within one batch compute once and
     // fan the result out), and they still run concurrently as one batch.
-    std::map<cache_key, std::size_t> leaders;  // key -> slot in to_run
+    // Duplicates are detected on (circuit, fingerprint) — the revision is
+    // fixed per handle within the batch (the shared session lock is held).
+    std::map<std::pair<std::size_t, std::string>, std::size_t>
+        leaders;  // key -> slot in to_run
     std::vector<std::vector<std::size_t>> owners;  // per slot: job indices
     std::vector<job_request> to_run;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -391,12 +444,14 @@ std::vector<response> service::run_jobs_locked(
         }
         keys[i] = key_of(jobs[i]);
         std::scoped_lock cache_lock(cache_mutex_);
-        if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
+        if (const cache_entry* hit = probe_cached(keys[i])) {
             ++cache_hits_;
-            out[i] = to_response(id, it->second.result, true);
+            out[i] = to_response(id, hit->result, true);
             continue;
         }
-        const auto [slot, fresh] = leaders.try_emplace(keys[i], to_run.size());
+        const auto [slot, fresh] = leaders.try_emplace(
+            std::make_pair(keys[i].circuit, keys[i].fingerprint),
+            to_run.size());
         if (fresh) {
             to_run.push_back(jobs[i]);
             owners.push_back({i});

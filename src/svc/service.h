@@ -2,21 +2,26 @@
 // routes typed requests (svc/request.h) to it, and answers repeated work
 // from a per-circuit result cache.
 //
-// Result cache: job results are memoized under the exact key
-//
-//   (circuit revision, resolved weight vector, job kind, options hash)
-//
-// where "resolved" means an empty (= uniform) request vector and the
-// explicit uniform vector share an entry, and the options hash is the
-// canonical wire encoding of the job's option payload (confidence and
+// Result cache — two-level. Level 1 is a dense_map keyed by the circuit
+// handle (handles are consecutive integers, so the probe is one
+// direct-index load); each bucket carries the revision it caches for and
+// a string-keyed map of entries. Level 2's key is the canonical wire
+// encoding of the *resolved* job — kind, the resolved weight vector
+// ("resolved" means an empty (= uniform) request vector and the explicit
+// uniform vector share an entry) and every option field (confidence and
 // stage threads for test_length; every optimize_options field for
-// optimize; patterns and seed for fault_sim) — byte-equal options, not
-// approximately-equal ones, hit. All three job kinds are deterministic
-// given their key (the bit-identity invariants of the pipeline and the
-// seeded simulator), so a hit replays the stored result unchanged;
-// hit/miss/eviction counters are served by the stats request. Keys are
-// exact (full weight vectors compared), so a cache hit can never alias
-// two different queries.
+// optimize; patterns and seed for fault_sim), with the result-neutral
+// thread counts normalized away — byte-equal jobs, not
+// approximately-equal ones, hit. A repeat query therefore pays one array
+// probe + one revision compare before the string probe, and the string
+// probe only searches entries of its own circuit. A re-stamped handle
+// (new revision) orphans its whole bucket at once. All three job kinds
+// are deterministic given their key (the bit-identity invariants of the
+// pipeline and the seeded simulator), so a hit replays the stored result
+// unchanged; probe/hit/miss/eviction/bytes counters are served by the
+// stats request. Keys are exact (full weight vectors encoded with
+// round-trip double formatting), so a cache hit can never alias two
+// different queries.
 //
 // Every request is answered with a response envelope: failures
 // (unknown circuit handles, malformed weights, non-finite values) become
@@ -41,15 +46,17 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/batch_session.h"
 #include "svc/request.h"
+#include "util/dense_map.h"
 
 namespace wrpt::svc {
 
@@ -85,30 +92,49 @@ public:
 
     /// Cache counters (also served by the stats request).
     struct cache_counters {
+        std::uint64_t probes = 0;  ///< cache lookups actually performed
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
+        std::uint64_t bytes = 0;   ///< approximate retained payload bytes
     };
     cache_counters cache_stats() const;
 
 private:
-    struct cache_key {
-        /// Handle AND revision: the handle keeps structurally-copied
-        /// circuits (which share a revision stamp) from aliasing, the
-        /// revision orphans entries when a circuit is re-stamped.
+    /// Where an entry lives: level-1 handle, the revision the bucket must
+    /// carry for the entry to be valid, and the level-2 fingerprint (the
+    /// canonical wire encoding of the resolved job — kind, resolved
+    /// weights and every option field, threads normalized away). The
+    /// handle keeps structurally-copied circuits (which share a revision
+    /// stamp) from aliasing; the revision orphans a re-stamped handle's
+    /// bucket wholesale.
+    struct cache_locator {
         std::size_t circuit = 0;
         std::uint64_t revision = 0;
-        job_kind kind = job_kind::test_length;
-        weight_vector weights;
-        std::string options;  ///< canonical option fingerprint
-
-        bool operator<(const cache_key& other) const;
+        std::string fingerprint;
     };
 
     struct cache_entry {
         batch_session::result result;
         std::uint64_t sequence = 0;  ///< insertion order, for eviction
+        std::uint64_t bytes = 0;     ///< entry_cost at insertion
+    };
+
+    /// Level-1 bucket: all cached results for one circuit handle at one
+    /// revision.
+    struct circuit_bucket {
+        std::uint64_t revision = 0;
+        std::unordered_map<std::string, cache_entry> entries;
+        std::uint64_t bytes = 0;
+    };
+
+    /// FIFO eviction record; stale (already erased or re-inserted under a
+    /// newer sequence) records are skipped lazily.
+    struct order_record {
+        std::size_t circuit = 0;
+        std::uint64_t sequence = 0;
+        std::string fingerprint;
     };
 
     response handle_load(std::uint64_t id, const load_circuit_request& p);
@@ -128,8 +154,12 @@ private:
     /// Validate a job against the session (handle range, weight values);
     /// returns a non-empty message on failure.
     std::string validate(const job_request& j) const;
-    cache_key key_of(const job_request& j) const;
-    void insert_cached(cache_key key, const batch_session::result& r);
+    cache_locator key_of(const job_request& j) const;
+    /// Probe the two-level cache (caller holds cache_mutex_): counts a
+    /// probe, returns the entry or nullptr. Does not count hit/miss —
+    /// the caller owns job-level accounting.
+    const cache_entry* probe_cached(const cache_locator& key);
+    void insert_cached(cache_locator key, const batch_session::result& r);
     static response to_response(std::uint64_t id,
                                 const batch_session::result& r, bool cached);
 
@@ -144,15 +174,20 @@ private:
     /// probes and inserts only, never while a job computes.
     mutable std::mutex cache_mutex_;
 
-    std::map<cache_key, cache_entry> cache_;
-    /// Insertion order (sequence -> key) for O(log n) oldest-first
-    /// eviction under max_cache_entries. May hold stale entries for keys
-    /// already dropped by an evict request; they are skipped lazily.
-    std::map<std::uint64_t, cache_key> cache_order_;
+    /// Level 1: handle -> bucket. Handles are consecutive, so every
+    /// probe is a direct-index array load (count-free const reads are not
+    /// needed here — the cache mutex serializes access).
+    util::dense_map<circuit_bucket, std::size_t> cache_;
+    /// Insertion order for O(1)-amortized oldest-first eviction under
+    /// max_cache_entries; maintained only when a cap is set.
+    std::deque<order_record> cache_order_;
     std::uint64_t cache_sequence_ = 0;
+    std::uint64_t cache_probes_ = 0;
     std::uint64_t cache_hits_ = 0;
     std::uint64_t cache_misses_ = 0;
     std::uint64_t cache_evictions_ = 0;
+    std::size_t cache_entries_ = 0;
+    std::uint64_t cache_bytes_ = 0;
     std::atomic<std::uint64_t> requests_{0};
 };
 

@@ -33,7 +33,9 @@ struct jvalue {
 
 class parser {
 public:
-    explicit parser(const std::string& text)
+    // A view, not a string: decode paths parse straight out of the
+    // caller's buffer (connection inbuf, bench transcript) with no copy.
+    explicit parser(std::string_view text)
         : p_(text.data()), end_(text.data() + text.size()) {}
 
     jvalue parse() {
@@ -324,7 +326,7 @@ weight_vector get_weights(const jvalue& o, const std::string& key) {
 
 // --- canonical encoder helpers ----------------------------------------------
 
-void put_escaped(std::string& out, const std::string& s) {
+void put_escaped(std::string& out, std::string_view s) {
     out.push_back('"');
     for (const char c : s) {
         switch (c) {
@@ -386,29 +388,29 @@ struct owriter {
     std::string& out;
     bool first = true;
 
-    void key(const std::string& k) {
+    void key(std::string_view k) {
         if (!first) out.push_back(',');
         first = false;
         put_escaped(out, k);
         out.push_back(':');
     }
-    void field(const std::string& k, const std::string& v) {
+    void field(std::string_view k, std::string_view v) {
         key(k);
         put_escaped(out, v);
     }
-    void field_u64(const std::string& k, std::uint64_t v) {
+    void field_u64(std::string_view k, std::uint64_t v) {
         key(k);
         put_u64(out, v);
     }
-    void field_double(const std::string& k, double v) {
+    void field_double(std::string_view k, double v) {
         key(k);
         put_double(out, v);
     }
-    void field_bool(const std::string& k, bool v) {
+    void field_bool(std::string_view k, bool v) {
         key(k);
         put_bool(out, v);
     }
-    void field_weights(const std::string& k, const weight_vector& w) {
+    void field_weights(std::string_view k, const weight_vector& w) {
         key(k);
         put_weights(out, w);
     }
@@ -511,8 +513,12 @@ response decode_response_value(const jvalue& o);
 
 // --- request encoding -------------------------------------------------------
 
-std::string encode(const request& q) {
-    std::string out;
+namespace {
+
+/// Append-only core of the request encoder: writes q's canonical JSON at
+/// the end of `out` without clearing it, so callers can reuse one buffer
+/// across encodes (and the matrix encoder can nest without temporaries).
+void append_request(const request& q, std::string& out) {
     out.push_back('{');
     owriter w{out};
     std::visit(
@@ -585,12 +591,24 @@ std::string encode(const request& q) {
         },
         q.payload);
     out.push_back('}');
+}
+
+}  // namespace
+
+std::string encode(const request& q) {
+    std::string out;
+    append_request(q, out);
     return out;
+}
+
+void encode_into(const request& q, std::string& out) {
+    out.clear();  // keeps capacity: steady-state encodes never allocate
+    append_request(q, out);
 }
 
 // --- request decoding -------------------------------------------------------
 
-request decode_request(const std::string& line) {
+request decode_request(std::string_view line) {
     const jvalue o = parser(line).parse();
     if (o.kind != jvalue::obj_v) bad("request must be a JSON object");
     const std::string kind = member(o, "req").str;
@@ -675,8 +693,10 @@ request decode_request(const std::string& line) {
 
 // --- response encoding ------------------------------------------------------
 
-std::string encode(const response& r) {
-    std::string out;
+namespace {
+
+/// Append-only core of the response encoder (see append_request).
+void append_response(const response& r, std::string& out) {
     out.push_back('{');
     owriter w{out};
     w.field_u64("id", r.id);
@@ -735,7 +755,8 @@ std::string encode(const response& r) {
                 out.push_back('[');
                 for (std::size_t i = 0; i < p.results.size(); ++i) {
                     if (i) out.push_back(',');
-                    out += encode(p.results[i]);
+                    // Append in place: no per-result temporary string.
+                    append_response(p.results[i], out);
                 }
                 out.push_back(']');
             } else if constexpr (std::is_same_v<T, stats_response>) {
@@ -745,10 +766,12 @@ std::string encode(const response& r) {
                 {
                     out.push_back('{');
                     owriter c{out};
+                    c.field_u64("probes", p.cache_probes);
                     c.field_u64("hits", p.cache_hits);
                     c.field_u64("misses", p.cache_misses);
                     c.field_u64("entries", p.cache_entries);
                     c.field_u64("evictions", p.cache_evictions);
+                    c.field_u64("bytes", p.cache_bytes);
                     out.push_back('}');
                 }
                 w.field_u64("circuits", p.circuits);
@@ -770,6 +793,7 @@ std::string encode(const response& r) {
                     c.field_u64("misses", ps.misses);
                     c.field_u64("resyncs", ps.resyncs);
                     c.field_u64("evictions", ps.evictions);
+                    c.field_u64("relocations", ps.relocations);
                     out.push_back('}');
                 }
                 out.push_back(']');
@@ -807,7 +831,19 @@ std::string encode(const response& r) {
         },
         r.payload);
     out.push_back('}');
+}
+
+}  // namespace
+
+std::string encode(const response& r) {
+    std::string out;
+    append_response(r, out);
     return out;
+}
+
+void encode_into(const response& r, std::string& out) {
+    out.clear();  // keeps capacity: steady-state encodes never allocate
+    append_response(r, out);
 }
 
 // --- response decoding ------------------------------------------------------
@@ -881,10 +917,12 @@ response decode_response_value(const jvalue& o) {
         p.requests = get_u64(o, "requests", 0);
         if (const jvalue* v = o.find("cache")) {
             if (v->kind != jvalue::obj_v) bad("\"cache\" must be an object");
+            p.cache_probes = get_u64(*v, "probes", 0);
             p.cache_hits = get_u64(*v, "hits", 0);
             p.cache_misses = get_u64(*v, "misses", 0);
             p.cache_entries = get_size(*v, "entries", 0);
             p.cache_evictions = get_u64(*v, "evictions", 0);
+            p.cache_bytes = get_u64(*v, "bytes", 0);
         }
         p.circuits = get_size(o, "circuits", 0);
         if (const jvalue* v = o.find("simd_isa")) p.simd_isa = v->str;
@@ -904,6 +942,7 @@ response decode_response_value(const jvalue& o) {
                 ps.misses = get_size(e, "misses", 0);
                 ps.resyncs = get_size(e, "resyncs", 0);
                 ps.evictions = get_size(e, "evictions", 0);
+                ps.relocations = get_size(e, "relocations", 0);
                 p.pools.push_back(ps);
             }
         }
@@ -942,11 +981,11 @@ response decode_response_value(const jvalue& o) {
 
 }  // namespace
 
-response decode_response(const std::string& line) {
+response decode_response(std::string_view line) {
     return decode_response_value(parser(line).parse());
 }
 
-std::uint64_t extract_id(const std::string& line) {
+std::uint64_t extract_id(std::string_view line) {
     try {
         const jvalue o = parser(line).parse();
         if (o.kind == jvalue::obj_v) return get_u64(o, "id", 0);
@@ -955,9 +994,9 @@ std::uint64_t extract_id(const std::string& line) {
     }
     // Cheap scan for an "id":<digits> pair so even truncated lines get an
     // addressed error envelope.
-    const std::string needle = "\"id\":";
+    const std::string_view needle = "\"id\":";
     const std::size_t pos = line.find(needle);
-    if (pos == std::string::npos) return 0;
+    if (pos == std::string_view::npos) return 0;
     std::uint64_t id = 0;
     const auto [p, err] = std::from_chars(
         line.data() + pos + needle.size(), line.data() + line.size(), id);

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "svc/request.h"
 #include "util/error.h"
@@ -35,13 +36,22 @@ public:
 std::string encode(const request& q);
 std::string encode(const response& r);
 
-/// Parse one line. Throws wire_error on malformed input.
-request decode_request(const std::string& line);
-response decode_response(const std::string& line);
+/// Reuse-contract encoders for hot paths: clear `out` (keeping its
+/// capacity) and write the canonical encoding into it. A caller that
+/// keeps one scratch string per connection/worker pays zero allocations
+/// per encode once the buffer has grown to its working size.
+void encode_into(const request& q, std::string& out);
+void encode_into(const response& r, std::string& out);
+
+/// Parse one line. Views, not strings: the decoder reads straight out of
+/// the caller's buffer (scalars are parsed in place; only retained string
+/// fields are copied). Throws wire_error on malformed input.
+request decode_request(std::string_view line);
+response decode_response(std::string_view line);
 
 /// Best-effort extraction of the "id" field from a line that may not
 /// parse as a full request — used to address error envelopes. Returns 0
 /// when no id can be recovered.
-std::uint64_t extract_id(const std::string& line);
+std::uint64_t extract_id(std::string_view line);
 
 }  // namespace wrpt::svc

@@ -674,6 +674,59 @@ TEST(server, pipelined_requests_are_answered_in_order) {
     EXPECT_EQ(srv.stats().requests, kPipelined + 1);
 }
 
+TEST(server, ten_thousand_pipelined_requests_reuse_buffers_bit_identically) {
+    // Stress for the buffer-reuse hot path: the outbox marks its sent
+    // prefix by offset instead of erasing, request lines recycle through
+    // the retired-buffer pool, and every response encodes into the one
+    // worker scratch string. None of that may reorder a response or
+    // change a byte under a deep pipeline on a single connection.
+    service svc;
+    server::options opt;
+    opt.max_queue_bytes = 0;  // the reader lags the writer by design:
+                              // this test is about bytes, not backpressure
+    server srv(svc, unique_unix_endpoint(), opt);
+    client c(srv.where());
+    ASSERT_TRUE(c.roundtrip(load_request(small_circuit(63), 1)).ok);
+
+    test_length_request tl;
+    tl.circuit = 0;
+    ASSERT_TRUE(c.roundtrip(job_line(2, tl)).ok);  // warm the cache: every
+                                                   // pipelined copy below
+                                                   // is a pure hit
+
+    constexpr std::uint64_t kPipelined = 10000;
+    std::thread writer([&] {
+        for (std::uint64_t i = 0; i < kPipelined; ++i)
+            c.send(job_line(1000 + i, tl));
+    });
+
+    // Cache hits carry elapsed_ms 0 and one stable revision, so the
+    // responses must be bit-identical down to the id (the canonical
+    // encoders make re-encoding the decoded line an exact byte check).
+    std::string reference;
+    for (std::uint64_t i = 0; i < kPipelined; ++i) {
+        std::string line;
+        ASSERT_EQ(c.recv_line(line, /*timeout_ms=*/30000), line_status::ok)
+            << "response " << i;
+        response r = decode_response(line);
+        ASSERT_TRUE(r.ok) << "response " << i;
+        ASSERT_EQ(r.id, 1000 + i) << "responses must keep request order";
+        ASSERT_TRUE(std::get<test_length_response>(r.payload).cached)
+            << "response " << i;
+        r.id = 0;
+        const std::string canon = encode(r);
+        if (i == 0) {
+            reference = canon;
+        } else {
+            ASSERT_EQ(canon, reference) << "bytes diverged at response " << i;
+        }
+    }
+    writer.join();
+    srv.stop();
+    srv.wait();
+    EXPECT_EQ(srv.stats().requests, kPipelined + 2);
+}
+
 TEST(server, slow_readers_are_refused_and_dropped) {
     // A client that keeps sending but never drains its responses must
     // not buffer unboundedly inside the daemon: once the kernel socket
