@@ -54,7 +54,7 @@ engine_pool::lease engine_pool::checkout(const weight_vector& base) {
     std::unique_ptr<cop_engine> engine;
     std::uint64_t stamp = 0;
     {
-        std::scoped_lock lock(mutex_);
+        lock_guard lock(mutex_);
         stamp = ++stamp_;
         if (free_.empty()) {
             ++stats_.misses;
@@ -81,14 +81,14 @@ engine_pool::lease engine_pool::checkout(const weight_vector& base) {
     if (!moves.empty()) {
         engine->set_inputs(moves);
         engine->commit();
-        std::scoped_lock lock(mutex_);
+        lock_guard lock(mutex_);
         ++stats_.resyncs;
     }
     return lease(this, std::move(engine), false, stamp);
 }
 
 engine_pool::counters engine_pool::stats() const {
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     counters c = stats_;
     c.relocations = free_.stats().relocations;
     return c;
@@ -120,29 +120,29 @@ void engine_pool::set_capacity(std::size_t max_engines) {
     // Destroy evicted engines outside the lock (engine teardown is not
     // cheap and needs nothing from the pool).
     std::vector<warm_engine> victims;
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     capacity_ = max_engines;
     if (capacity_ != 0) evict_locked(capacity_, victims);
 }
 
 std::size_t engine_pool::capacity() const {
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     return capacity_;
 }
 
 std::size_t engine_pool::evict(std::size_t keep) {
     std::vector<warm_engine> victims;
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     return evict_locked(keep, victims);
 }
 
 std::size_t engine_pool::size() const {
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     return total_;
 }
 
 std::size_t engine_pool::warm_count() const {
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     return free_.size();
 }
 
@@ -151,7 +151,7 @@ void engine_pool::give_back(std::unique_ptr<cop_engine> engine,
     // victims outlives the lock, so evicted engines are destroyed after
     // the mutex is released (engine teardown needs nothing from the pool).
     std::vector<warm_engine> victims;
-    std::scoped_lock lock(mutex_);
+    lock_guard lock(mutex_);
     free_.try_emplace(next_slot_++, warm_engine{std::move(engine), stamp});
     if (capacity_ != 0) evict_locked(capacity_, victims);
 }

@@ -26,11 +26,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "io/weights_io.h"
 #include "util/dense_map.h"
+#include "util/sync.h"
 
 namespace wrpt {
 
@@ -125,21 +125,22 @@ private:
     /// remain; returns how many were dropped. Caller holds mutex_; the
     /// victims are destroyed after the lock is released.
     std::size_t evict_locked(std::size_t keep,
-                             std::vector<warm_engine>& victims);
+                             std::vector<warm_engine>& victims)
+        WRPT_REQUIRES(mutex_);
 
     const circuit_view* cv_;
-    mutable std::mutex mutex_;
+    mutable wrpt::mutex mutex_;
     // Warm engines keyed by a monotonic return-slot id: the highest key is
     // always the most recently returned engine, so checkout's take-the-max
     // reproduces the old LIFO vector exactly; eviction erases arbitrary
     // (coldest-stamp) slots, which the map's backward-shift delete absorbs
     // without tombstones.
-    util::dense_map<warm_engine, std::uint64_t> free_;
-    std::uint64_t next_slot_ = 0;
-    std::size_t total_ = 0;
-    std::size_t capacity_ = 0;  ///< 0 = unbounded
-    std::uint64_t stamp_ = 0;   ///< monotonic checkout stamp
-    counters stats_;
+    util::dense_map<warm_engine, std::uint64_t> free_ WRPT_GUARDED_BY(mutex_);
+    std::uint64_t next_slot_ WRPT_GUARDED_BY(mutex_) = 0;
+    std::size_t total_ WRPT_GUARDED_BY(mutex_) = 0;
+    std::size_t capacity_ WRPT_GUARDED_BY(mutex_) = 0;  ///< 0 = unbounded
+    std::uint64_t stamp_ WRPT_GUARDED_BY(mutex_) = 0;   ///< checkout stamp
+    counters stats_ WRPT_GUARDED_BY(mutex_);
 };
 
 }  // namespace wrpt

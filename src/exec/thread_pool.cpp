@@ -18,7 +18,7 @@ thread_pool::thread_pool(unsigned threads) {
 
 thread_pool::~thread_pool() {
     {
-        std::scoped_lock lock(idle_mutex_);
+        lock_guard lock(idle_mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -28,12 +28,12 @@ thread_pool::~thread_pool() {
 void thread_pool::submit(std::function<void()> fn) {
     std::size_t target;
     {
-        std::scoped_lock lock(idle_mutex_);
+        lock_guard lock(idle_mutex_);
         ++pending_;
         target = next_queue_++ % queues_.size();
     }
     {
-        std::scoped_lock lock(queues_[target]->mutex);
+        lock_guard lock(queues_[target]->mutex);
         queues_[target]->tasks.push_back(std::move(fn));
     }
     work_cv_.notify_one();
@@ -43,7 +43,7 @@ bool thread_pool::try_pop(std::size_t self, std::function<void()>& out) {
     // Own queue from the back (most recently pushed, cache-warm) ...
     {
         queue& q = *queues_[self];
-        std::scoped_lock lock(q.mutex);
+        lock_guard lock(q.mutex);
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.back());
             q.tasks.pop_back();
@@ -53,7 +53,7 @@ bool thread_pool::try_pop(std::size_t self, std::function<void()>& out) {
     // ... then steal the oldest task from the other queues.
     for (std::size_t k = 1; k < queues_.size(); ++k) {
         queue& q = *queues_[(self + k) % queues_.size()];
-        std::scoped_lock lock(q.mutex);
+        lock_guard lock(q.mutex);
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.front());
             q.tasks.pop_front();
@@ -67,11 +67,12 @@ void thread_pool::worker_loop(std::size_t self) {
     for (;;) {
         std::function<void()> task;
         if (!try_pop(self, task)) {
-            std::unique_lock lock(idle_mutex_);
-            work_cv_.wait(lock, [this, self] {
+            unique_lock lock(idle_mutex_);
+            work_cv_.wait(lock, [this] {
+                idle_mutex_.assert_held();  // wait evaluates us locked
                 if (stop_) return true;
                 for (const auto& q : queues_) {
-                    std::scoped_lock ql(q->mutex);
+                    lock_guard ql(q->mutex);
                     if (!q->tasks.empty()) return true;
                 }
                 return false;
@@ -87,15 +88,18 @@ void thread_pool::worker_loop(std::size_t self) {
             // channel.
         }
         {
-            std::scoped_lock lock(idle_mutex_);
+            lock_guard lock(idle_mutex_);
             if (--pending_ == 0) idle_cv_.notify_all();
         }
     }
 }
 
 void thread_pool::wait_idle() {
-    std::unique_lock lock(idle_mutex_);
-    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    unique_lock lock(idle_mutex_);
+    idle_cv_.wait(lock, [this] {
+        idle_mutex_.assert_held();  // wait evaluates us locked
+        return pending_ == 0;
+    });
 }
 
 namespace {
@@ -110,9 +114,9 @@ struct for_state {
     std::atomic<std::size_t> next{0};       // item claim counter
     std::atomic<std::size_t> completed{0};  // items finished or skipped
     std::atomic<bool> error{false};
-    std::exception_ptr eptr;
-    std::mutex mutex;
-    std::condition_variable done_cv;
+    wrpt::mutex mutex;
+    std::exception_ptr eptr WRPT_GUARDED_BY(mutex);
+    wrpt::condition_variable done_cv;
 
     /// Claim and run items until the counter is exhausted. After an
     /// error, remaining items are claimed and skipped (still counted), so
@@ -125,14 +129,14 @@ struct for_state {
                 try {
                     fn(i);
                 } catch (...) {
-                    std::scoped_lock lock(mutex);
+                    lock_guard lock(mutex);
                     if (!eptr) eptr = std::current_exception();
                     error.store(true, std::memory_order_release);
                 }
             }
             if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 count) {
-                std::scoped_lock lock(mutex);
+                lock_guard lock(mutex);
                 done_cv.notify_all();
             }
         }
@@ -160,13 +164,15 @@ void thread_pool::parallel_for(std::size_t count,
     for (std::size_t t = 0; t < helpers; ++t)
         submit([state] { state->drain(); });
     state->drain();
+    std::exception_ptr eptr;
     {
-        std::unique_lock lock(state->mutex);
+        unique_lock lock(state->mutex);
         state->done_cv.wait(lock, [&] {
             return state->completed.load(std::memory_order_acquire) == count;
         });
+        eptr = state->eptr;
     }
-    if (state->eptr) std::rethrow_exception(state->eptr);
+    if (eptr) std::rethrow_exception(eptr);
 }
 
 thread_pool& shared_thread_pool() {

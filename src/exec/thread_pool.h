@@ -18,13 +18,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace wrpt {
 
@@ -57,8 +58,8 @@ public:
 
 private:
     struct queue {
-        std::mutex mutex;
-        std::deque<std::function<void()>> tasks;
+        wrpt::mutex mutex;
+        std::deque<std::function<void()>> tasks WRPT_GUARDED_BY(mutex);
     };
 
     bool try_pop(std::size_t self, std::function<void()>& out);
@@ -66,12 +67,12 @@ private:
 
     std::vector<std::unique_ptr<queue>> queues_;
     std::vector<std::thread> workers_;
-    std::mutex idle_mutex_;
-    std::condition_variable work_cv_;   // new work or shutdown
-    std::condition_variable idle_cv_;   // pending_ reached zero
-    std::size_t pending_ = 0;           // submitted, not yet finished
-    std::size_t next_queue_ = 0;        // round-robin submit target
-    bool stop_ = false;
+    wrpt::mutex idle_mutex_;
+    wrpt::condition_variable work_cv_;  // new work or shutdown
+    wrpt::condition_variable idle_cv_;  // pending_ reached zero
+    std::size_t pending_ WRPT_GUARDED_BY(idle_mutex_) = 0;     // not yet done
+    std::size_t next_queue_ WRPT_GUARDED_BY(idle_mutex_) = 0;  // round-robin
+    bool stop_ WRPT_GUARDED_BY(idle_mutex_) = false;
 };
 
 /// Process-wide pool sized to the hardware — shared by callers that have

@@ -4,16 +4,21 @@
 #include <unordered_map>
 
 #include "util/error.h"
+#include "util/label.h"
 
 namespace wrpt {
 
 std::string to_string(const netlist& nl, const fault& f) {
     auto node_label = [&nl](node_id n) {
         const std::string& nm = nl.node_name(n);
-        return nm.empty() ? "n" + std::to_string(n) : nm;
+        if (!nm.empty()) return nm;
+        return label("n", n);
     };
     std::string s = node_label(f.where);
-    if (!f.is_stem()) s += ".in" + std::to_string(f.pin);
+    if (!f.is_stem()) {
+        s += ".in";
+        s += std::to_string(f.pin);
+    }
     s += stuck_value(f.value) ? " sa1" : " sa0";
     return s;
 }

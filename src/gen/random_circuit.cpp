@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/label.h"
 
 namespace wrpt {
 
@@ -11,11 +12,11 @@ netlist make_random_circuit(const random_circuit_spec& spec) {
     require(spec.inputs >= 2, "random circuit: need at least two inputs");
     require(spec.max_arity >= 2, "random circuit: max_arity >= 2");
     rng r(spec.seed);
-    netlist nl("random_" + std::to_string(spec.seed));
+    netlist nl(label("random_", spec.seed));
 
     std::vector<node_id> pool;
     for (std::size_t i = 0; i < spec.inputs; ++i)
-        pool.push_back(nl.add_input("X" + std::to_string(i)));
+        pool.push_back(nl.add_input(label("X", i)));
 
     static constexpr gate_kind choices[] = {
         gate_kind::and_, gate_kind::or_,  gate_kind::nand_, gate_kind::nor_,
@@ -44,7 +45,7 @@ netlist make_random_circuit(const random_circuit_spec& spec) {
     std::size_t out_index = 0;
     for (node_id n = 0; n < nl.node_count(); ++n) {
         if (nl.fanout_count(n) == 0 && nl.kind(n) != gate_kind::input)
-            nl.mark_output(n, "Y" + std::to_string(out_index++));
+            nl.mark_output(n, label("Y", out_index++));
     }
     if (out_index == 0)  // degenerate: everything consumed (gates == 0)
         nl.mark_output(pool.back(), "Y0");

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/label.h"
 
 namespace wrpt {
 
@@ -11,16 +12,14 @@ netlist make_sharded_comparators(std::size_t slices, std::size_t width) {
     require(slices >= 2 && slices % 2 == 0,
             "make_sharded_comparators: slices must be even and >= 2");
     require(width >= 1, "make_sharded_comparators: width must be >= 1");
-    netlist nl("sharded_cmp_" + std::to_string(slices) + "x" +
-               std::to_string(width));
+    netlist nl(label("sharded_cmp_", slices, 'x', width));
 
     // One shared b-bus per slice pair.
     std::vector<std::vector<node_id>> b(slices / 2);
     for (std::size_t p = 0; p < slices / 2; ++p) {
         b[p].reserve(width);
         for (std::size_t j = 0; j < width; ++j)
-            b[p].push_back(nl.add_input("b" + std::to_string(p) + "_" +
-                                        std::to_string(j)));
+            b[p].push_back(nl.add_input(label("b", p, '_', j)));
     }
 
     std::vector<node_id> eq;
@@ -29,8 +28,7 @@ netlist make_sharded_comparators(std::size_t slices, std::size_t width) {
         std::vector<node_id> bits;
         bits.reserve(width);
         for (std::size_t j = 0; j < width; ++j) {
-            const node_id a = nl.add_input("a" + std::to_string(s) + "_" +
-                                           std::to_string(j));
+            const node_id a = nl.add_input(label("a", s, '_', j));
             bits.push_back(nl.add_binary(gate_kind::xnor_, a, b[s / 2][j]));
         }
         eq.push_back(nl.add_tree(gate_kind::and_, bits));

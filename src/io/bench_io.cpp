@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "util/error.h"
+#include "util/label.h"
 
 namespace wrpt {
 namespace {
@@ -184,7 +185,8 @@ netlist read_bench_file(const std::string& path) {
 void write_bench(std::ostream& out, const netlist& nl) {
     auto name_of = [&nl](node_id n) {
         const std::string& nm = nl.node_name(n);
-        return nm.empty() ? "n" + std::to_string(n) : nm;
+        if (!nm.empty()) return nm;
+        return label("n", n);
     };
     out << "# " << nl.name() << "\n";
     out << "# " << nl.input_count() << " inputs, " << nl.output_count()

@@ -214,7 +214,7 @@ std::size_t netlist::depth() const {
 
 void netlist::ensure_fanouts() const {
     if (fanouts_cache_.built.load(std::memory_order_acquire)) return;
-    std::scoped_lock lock(fanouts_cache_.build_mutex);
+    lock_guard lock(fanouts_cache_.build_mutex);
     if (fanouts_cache_.built.load(std::memory_order_relaxed)) return;
     auto& offset = fanouts_cache_.offset;
     auto& pool = fanouts_cache_.pool;

@@ -9,13 +9,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/gate.h"
+#include "util/sync.h"
 
 namespace wrpt {
 
@@ -106,7 +106,12 @@ public:
     std::size_t depth() const;
 
     /// Fanout list of a node (gates that consume it). Built lazily.
-    std::span<const node_id> fanouts(node_id n) const;
+    /// Outside the lock analysis: the fast path reads offset/pool without
+    /// the build mutex, made safe by the release-store of `built` in
+    /// ensure_fanouts() paired with its acquire-load here (publication,
+    /// not mutual exclusion — once built, the arrays are immutable).
+    std::span<const node_id> fanouts(node_id n) const
+        WRPT_NO_THREAD_SAFETY_ANALYSIS;
     std::size_t fanout_count(node_id n) const { return fanouts(n).size(); }
 
     /// Transitive fanin set (including `n` itself), as sorted node ids.
@@ -149,37 +154,48 @@ private:
     // single-threaded by contract and just invalidates the flag.
     // The wrapper restores copy/move for netlist (atomics have neither).
     struct lazy_fanouts {
-        std::vector<std::uint32_t> offset;
-        std::vector<node_id> pool;
+        mutable wrpt::mutex build_mutex;
+        // offset/pool are written only by the build (under build_mutex)
+        // and published by the `built` release-store; readers on the
+        // acquire fast path (netlist::fanouts) see them complete without
+        // the lock — that one reader opts out of the analysis, every
+        // writer is checked.
+        std::vector<std::uint32_t> offset WRPT_GUARDED_BY(build_mutex);
+        std::vector<node_id> pool WRPT_GUARDED_BY(build_mutex);
         std::atomic<bool> built{false};
-        mutable std::mutex build_mutex;
 
         lazy_fanouts() = default;
         // Copying locks the source: copying a netlist is a const operation
-        // and may race with a concurrent lazy build on the source.
-        lazy_fanouts(const lazy_fanouts& other) {
-            std::scoped_lock lock(other.build_mutex);
+        // and may race with a concurrent lazy build on the source. The
+        // destination is under construction / exclusively owned, so its
+        // own members are written without its lock — outside the analysis.
+        lazy_fanouts(const lazy_fanouts& other)
+            WRPT_NO_THREAD_SAFETY_ANALYSIS {
+            lock_guard lock(other.build_mutex);
             offset = other.offset;
             pool = other.pool;
             built.store(other.built.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
         }
         // Moving mutates the source, which the caller must already have
-        // exclusive access to; no locking needed.
+        // exclusive access to; no locking needed (and none analyzable).
         lazy_fanouts(lazy_fanouts&& other) noexcept
+            WRPT_NO_THREAD_SAFETY_ANALYSIS
             : offset(std::move(other.offset)),
               pool(std::move(other.pool)),
               built(other.built.load(std::memory_order_relaxed)) {}
-        lazy_fanouts& operator=(const lazy_fanouts& other) {
+        lazy_fanouts& operator=(const lazy_fanouts& other)
+            WRPT_NO_THREAD_SAFETY_ANALYSIS {
             if (this == &other) return *this;
-            std::scoped_lock lock(other.build_mutex);
+            lock_guard lock(other.build_mutex);
             offset = other.offset;
             pool = other.pool;
             built.store(other.built.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
             return *this;
         }
-        lazy_fanouts& operator=(lazy_fanouts&& other) noexcept {
+        lazy_fanouts& operator=(lazy_fanouts&& other) noexcept
+            WRPT_NO_THREAD_SAFETY_ANALYSIS {
             offset = std::move(other.offset);
             pool = std::move(other.pool);
             built.store(other.built.load(std::memory_order_relaxed),

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <bit>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "core/circuit_view.h"
@@ -12,6 +11,7 @@
 #include "exec/thread_pool.h"
 #include "sim/logic_sim.h"
 #include "util/error.h"
+#include "util/sync.h"
 
 namespace wrpt {
 
@@ -25,6 +25,24 @@ std::size_t fault_sim_result::detected_within(std::uint64_t n) const {
 namespace {
 
 constexpr std::uint64_t never = ~0ULL;
+
+/// The shared pattern window of one parallel run: blocks are drawn from
+/// the (stateful, single-threaded) source lazily and in order under the
+/// mutex, so workers see exactly the patterns the sequential path would.
+/// `base` is the block index of blocks.front().
+struct block_queue {
+    wrpt::mutex mutex;
+    std::deque<std::vector<std::uint64_t>> blocks WRPT_GUARDED_BY(mutex);
+    std::uint64_t base WRPT_GUARDED_BY(mutex) = 0;
+};
+
+/// First exception a worker raised, rethrown on the caller's thread
+/// after join (an exception escaping a std::thread body would
+/// std::terminate).
+struct error_slot {
+    wrpt::mutex mutex;
+    std::exception_ptr first WRPT_GUARDED_BY(mutex);
+};
 
 /// Sequential PPSFP with fault dropping: one simulator, blocks in order,
 /// the live list shrinks as faults are detected.
@@ -91,27 +109,19 @@ fault_sim_result run_parallel(const circuit_view& cv,
         (options.max_patterns + 63) / 64;
     const std::size_t input_count = cv.input_count();
 
-    // Pattern blocks are drawn from the (stateful, single-threaded) source
-    // lazily and in order, under a mutex, so workers see exactly the
-    // patterns the sequential path would — without materializing blocks
-    // the run may never reach. Consumed blocks (moved out, hence empty)
-    // are popped from the front, bounding live memory to the not-yet-
-    // pulled window. blocks_base is the block index of blocks.front().
-    std::deque<std::vector<std::uint64_t>> blocks;
-    std::uint64_t blocks_base = 0;
-    std::mutex source_mutex;
+    // Consumed blocks (moved out, hence empty) are popped from the
+    // window's front, bounding live memory to the not-yet-pulled window —
+    // without materializing blocks the run may never reach.
+    block_queue window;
 
     std::vector<std::atomic<std::uint64_t>> first(faults.size());
     for (auto& f : first) f.store(never, std::memory_order_relaxed);
     std::atomic<std::uint64_t> next_block{0};
     std::atomic<std::size_t> undetected{faults.size()};
 
-    // An exception escaping a std::thread body would std::terminate; keep
-    // the first one and rethrow it on the caller's thread after join, so
-    // the parallel path surfaces the same catchable errors (bad pattern
+    // The parallel path surfaces the same catchable errors (bad pattern
     // source, word-count mismatch) the sequential path does.
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    error_slot error;
 
     auto worker_body = [&]() {
         simulator sim(cv);
@@ -126,19 +136,21 @@ fault_sim_result run_parallel(const circuit_view& cv,
             // out and drop the emptied leading slots.
             std::vector<std::uint64_t> words;
             {
-                std::scoped_lock lock(source_mutex);
-                while (blocks_base + blocks.size() <= b) {
-                    std::vector<std::uint64_t>& fresh = blocks.emplace_back();
+                lock_guard lock(window.mutex);
+                while (window.base + window.blocks.size() <= b) {
+                    std::vector<std::uint64_t>& fresh =
+                        window.blocks.emplace_back();
                     source.next_block(fresh);
                     require(fresh.size() == input_count,
                             "fault sim: pattern source word count != "
                             "input count");
                 }
                 words = std::move(
-                    blocks[static_cast<std::size_t>(b - blocks_base)]);
-                while (!blocks.empty() && blocks.front().empty()) {
-                    blocks.pop_front();
-                    ++blocks_base;
+                    window.blocks[static_cast<std::size_t>(b - window.base)]);
+                while (!window.blocks.empty() &&
+                       window.blocks.front().empty()) {
+                    window.blocks.pop_front();
+                    ++window.base;
                 }
             }
             const std::uint64_t block_start = b * 64;
@@ -178,8 +190,8 @@ fault_sim_result run_parallel(const circuit_view& cv,
         try {
             worker_body();
         } catch (...) {
-            std::scoped_lock lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            lock_guard lock(error.mutex);
+            if (!error.first) error.first = std::current_exception();
             // Drain the queue so the other workers wind down promptly.
             next_block.store(block_count, std::memory_order_relaxed);
         }
@@ -189,6 +201,11 @@ fault_sim_result run_parallel(const circuit_view& cv,
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
+    std::exception_ptr first_error;
+    {
+        lock_guard lock(error.mutex);
+        first_error = error.first;
+    }
     if (first_error) std::rethrow_exception(first_error);
 
     fault_sim_result res;
@@ -315,17 +332,14 @@ fault_sim_result run_parallel_blocked(const circuit_view& cv,
     const std::uint64_t super_count = (word_count + B - 1) / B;
     const std::size_t input_count = cv.input_count();
 
-    std::deque<std::vector<std::uint64_t>> blocks;
-    std::uint64_t blocks_base = 0;
-    std::mutex source_mutex;
+    block_queue window;
 
     std::vector<std::atomic<std::uint64_t>> first(faults.size());
     for (auto& f : first) f.store(never, std::memory_order_relaxed);
     std::atomic<std::uint64_t> next_super{0};
     std::atomic<std::size_t> undetected{faults.size()};
 
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    error_slot error;
 
     auto worker_body = [&]() {
         block_simulator sim(cv, B);
@@ -342,24 +356,26 @@ fault_sim_result run_parallel_blocked(const circuit_view& cv,
             const unsigned nw = static_cast<unsigned>(
                 std::min<std::uint64_t>(B, word_count - wb0));
             {
-                std::scoped_lock lock(source_mutex);
-                while (blocks_base + blocks.size() < wb0 + nw) {
-                    std::vector<std::uint64_t>& fresh = blocks.emplace_back();
+                lock_guard lock(window.mutex);
+                while (window.base + window.blocks.size() < wb0 + nw) {
+                    std::vector<std::uint64_t>& fresh =
+                        window.blocks.emplace_back();
                     source.next_block(fresh);
                     require(fresh.size() == input_count,
                             "fault sim: pattern source word count != "
                             "input count");
                 }
                 for (unsigned w = 0; w < nw; ++w) {
-                    std::vector<std::uint64_t>& src = blocks[
-                        static_cast<std::size_t>(wb0 + w - blocks_base)];
+                    std::vector<std::uint64_t>& src = window.blocks[
+                        static_cast<std::size_t>(wb0 + w - window.base)];
                     for (std::size_t i = 0; i < input_count; ++i)
                         input[i * B + w] = src[i];
                     src.clear();  // consumed; the pop loop drops it
                 }
-                while (!blocks.empty() && blocks.front().empty()) {
-                    blocks.pop_front();
-                    ++blocks_base;
+                while (!window.blocks.empty() &&
+                       window.blocks.front().empty()) {
+                    window.blocks.pop_front();
+                    ++window.base;
                 }
             }
             for (unsigned w = nw; w < B; ++w)
@@ -406,8 +422,8 @@ fault_sim_result run_parallel_blocked(const circuit_view& cv,
         try {
             worker_body();
         } catch (...) {
-            std::scoped_lock lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            lock_guard lock(error.mutex);
+            if (!error.first) error.first = std::current_exception();
             next_super.store(super_count, std::memory_order_relaxed);
         }
     };
@@ -416,6 +432,11 @@ fault_sim_result run_parallel_blocked(const circuit_view& cv,
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
+    std::exception_ptr first_error;
+    {
+        lock_guard lock(error.mutex);
+        first_error = error.first;
+    }
     if (first_error) std::rethrow_exception(first_error);
 
     fault_sim_result res;

@@ -9,6 +9,14 @@
 // identical (level-triggered: a fd with unread input or writable buffer
 // space reports ready on every wait until the condition clears).
 //
+// Both backends compile on Linux, and a global force-poll switch mirrors
+// the compute kernels' force-scalar switch (core/simd.h): the
+// WRPT_FORCE_POLL environment variable at startup, or set_force_poll()
+// from code, makes subsequently constructed pollers use the portable
+// poll(2) backend — how CI exercises the fallback path on Linux without
+// a second platform. Building with -DWRPT_FORCE_POLL (a CMake option)
+// compiles the epoll backend out entirely.
+//
 // Registration is keyed by an opaque uint64 the caller chooses (the
 // reactor uses it to look up the connection record), and interest is a
 // (read, write) pair changed with modify() — how the reactor pauses
@@ -21,6 +29,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+// The epoll backend exists only on Linux and only when it has not been
+// compiled out. WRPT_FORCE_POLL (a CMake option) wins over the platform.
+#if defined(__linux__) && !defined(WRPT_FORCE_POLL)
+#define WRPT_POLLER_HAS_EPOLL 1
+#endif
 
 namespace wrpt::svc {
 
@@ -56,18 +70,30 @@ public:
     /// simply re-enters the wait).
     std::size_t wait(std::vector<event>& out, int timeout_ms);
 
+    /// Which backend this instance chose at construction: "epoll" or
+    /// "poll".
+    const char* backend_name() const;
+
+    /// True when newly constructed pollers will use the poll(2) backend.
+    /// Seeded from the WRPT_FORCE_POLL environment variable at startup or
+    /// set by set_force_poll(); always effectively true on platforms
+    /// without epoll.
+    static bool poll_forced();
+    /// Force (or stop forcing) the poll(2) backend for pollers constructed
+    /// after this call. Existing instances keep the backend they chose.
+    static void set_force_poll(bool force);
+
 private:
-#ifdef __linux__
-    int epoll_fd_ = -1;
-#else
     struct entry {
         int fd = -1;
         std::uint64_t key = 0;
         bool read = false;
         bool write = false;
     };
-    std::vector<entry> entries_;
-#endif
+
+    bool use_poll_ = true;
+    int epoll_fd_ = -1;            // epoll backend only
+    std::vector<entry> entries_;   // poll backend only
 };
 
 }  // namespace wrpt::svc

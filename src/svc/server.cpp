@@ -57,7 +57,7 @@ void server::stop() {
 
 void server::wait() {
     {
-        std::scoped_lock lock(join_mutex_);
+        lock_guard lock(join_mutex_);
         if (reactor_.joinable()) reactor_.join();
     }
     // The reactor only retires once every connection closed; a worker
@@ -111,7 +111,7 @@ void server::reactor_loop() {
         wake_pending_.store(false, std::memory_order_release);
         std::vector<std::shared_ptr<connection>> notified;
         {
-            std::scoped_lock lock(notify_mutex_);
+            lock_guard lock(notify_mutex_);
             notified.swap(notify_);
         }
         for (const auto& conn : notified) service_connection(conn);
@@ -239,7 +239,7 @@ void server::extract_lines(const std::shared_ptr<connection>& conn) {
         // assembly allocates nothing.
         std::string line;
         if (conn->line_pool.empty()) {
-            std::scoped_lock lock(conn->mutex);
+            lock_guard lock(conn->mutex);
             conn->line_pool.swap(conn->retired_lines);
         }
         if (!conn->line_pool.empty()) {
@@ -296,7 +296,7 @@ void server::enqueue(const std::shared_ptr<connection>& conn,
     bool dispatch = false;
     std::size_t depth = 0;
     {
-        std::scoped_lock lock(conn->mutex);
+        lock_guard lock(conn->mutex);
         if (conn->closed || conn->dropping) return;
         conn->queue.push_back(std::move(item));
         depth = conn->queue.size();
@@ -323,7 +323,7 @@ void server::service_connection(const std::shared_ptr<connection>& conn) {
     bool worker = false;
     std::size_t depth = 0;
     {
-        std::scoped_lock lock(conn->mutex);
+        lock_guard lock(conn->mutex);
         if (conn->closed) return;
         while (conn->outbox_pending() != 0 && !conn->write_failed) {
             std::size_t n = 0;
@@ -397,7 +397,7 @@ void server::service_connection(const std::shared_ptr<connection>& conn) {
 
 void server::close_connection(const std::shared_ptr<connection>& conn) {
     {
-        std::scoped_lock lock(conn->mutex);
+        lock_guard lock(conn->mutex);
         if (conn->closed) return;
         conn->closed = true;
         conn->queue.clear();
@@ -420,7 +420,7 @@ void server::run_worker(std::shared_ptr<connection> conn) {
     work_item item;
     for (;;) {
         {
-            std::scoped_lock lock(conn->mutex);
+            lock_guard lock(conn->mutex);
             // Retire the previous line's buffer for the reactor to
             // refill (bounded: beyond the pool cap it just frees).
             if (!item.line.empty() && conn->retired_lines.size() < 16) {
@@ -484,7 +484,7 @@ void server::run_worker(std::shared_ptr<connection> conn) {
         requests_.fetch_add(1, std::memory_order_relaxed);
 
         {
-            std::scoped_lock lock(conn->mutex);
+            lock_guard lock(conn->mutex);
             if (!conn->closed && !conn->dropping) {
                 if (options_.max_queue_bytes != 0 &&
                     conn->outbox_pending() + out.size() >
@@ -516,7 +516,7 @@ void server::run_worker(std::shared_ptr<connection> conn) {
 
 void server::notify(const std::shared_ptr<connection>& conn) {
     {
-        std::scoped_lock lock(notify_mutex_);
+        lock_guard lock(notify_mutex_);
         notify_.push_back(conn);
     }
     wake_reactor();
@@ -583,7 +583,7 @@ void server::expire_deadlines(clock::time_point now) {
         conn->has_idle_deadline = false;
         bool quiescent = false;
         {
-            std::scoped_lock lock(conn->mutex);
+            lock_guard lock(conn->mutex);
             quiescent = conn->queue.empty() && !conn->worker_active &&
                         conn->outbox_pending() == 0 && !conn->dropping;
         }

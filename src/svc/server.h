@@ -62,7 +62,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,6 +70,7 @@
 #include "svc/poller.h"
 #include "svc/socket.h"
 #include "util/dense_map.h"
+#include "util/sync.h"
 
 namespace wrpt::svc {
 
@@ -194,19 +194,22 @@ private:
         std::string scratch;
 
         // Shared between the reactor and the worker draining the queue.
-        std::mutex mutex;
-        std::deque<work_item> queue;
-        bool worker_active = false;
-        std::string outbox;         ///< encoded responses pending write
-        std::size_t outbox_sent = 0;  ///< prefix already written to the
-                                      ///< socket (cleared when it catches
-                                      ///< up — no per-send erase/memmove)
-        std::vector<std::string> retired_lines;  ///< buffers the worker
-                                                 ///< returned for reuse
-        bool dropping = false;      ///< flush outbox (bounded), then close
-        bool closed = false;        ///< record retired; workers must not touch
+        wrpt::mutex mutex;
+        std::deque<work_item> queue WRPT_GUARDED_BY(mutex);
+        bool worker_active WRPT_GUARDED_BY(mutex) = false;
+        /// Encoded responses pending write.
+        std::string outbox WRPT_GUARDED_BY(mutex);
+        /// Prefix already written to the socket (cleared when it catches
+        /// up — no per-send erase/memmove).
+        std::size_t outbox_sent WRPT_GUARDED_BY(mutex) = 0;
+        /// Buffers the worker returned for reuse.
+        std::vector<std::string> retired_lines WRPT_GUARDED_BY(mutex);
+        /// Flush outbox (bounded), then close.
+        bool dropping WRPT_GUARDED_BY(mutex) = false;
+        /// Record retired; workers must not touch.
+        bool closed WRPT_GUARDED_BY(mutex) = false;
 
-        std::size_t outbox_pending() const {  // caller holds mutex
+        std::size_t outbox_pending() const WRPT_REQUIRES(mutex) {
             return outbox.size() - outbox_sent;
         }
     };
@@ -255,12 +258,16 @@ private:
     std::uint64_t next_key_ = 2;  ///< 0 = listener, 1 = wake pipe
 
     /// Worker -> reactor attention queue.
-    std::mutex notify_mutex_;
-    std::vector<std::shared_ptr<connection>> notify_;
+    wrpt::mutex notify_mutex_;
+    std::vector<std::shared_ptr<connection>> notify_
+        WRPT_GUARDED_BY(notify_mutex_);
     std::atomic<bool> wake_pending_{false};
 
-    std::thread reactor_;
-    std::mutex join_mutex_;          ///< serializes wait() callers
+    /// join_mutex_ serializes wait() callers around the joinable check;
+    /// reactor_ is written only at construction and by the winning
+    /// join — always under this lock once the reactor runs.
+    wrpt::mutex join_mutex_;
+    std::thread reactor_ WRPT_GUARDED_BY(join_mutex_);
 
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> refused_{0};

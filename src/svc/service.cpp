@@ -27,7 +27,7 @@ service::service(options opt) : options_(opt) {
 service::~service() = default;
 
 service::cache_counters service::cache_stats() const {
-    std::scoped_lock lock(cache_mutex_);
+    lock_guard lock(cache_mutex_);
     cache_counters c;
     c.probes = cache_probes_;
     c.hits = cache_hits_;
@@ -83,7 +83,7 @@ response service::handle_load(std::uint64_t id,
     // Growing the circuit table invalidates concurrent readers: wait for
     // in-flight jobs to finish, then mutate exclusively. Parsing and
     // generation above stay outside the lock.
-    std::unique_lock session_lock(session_mutex_);
+    write_lock session_lock(session_mutex_);
     const std::size_t handle = session_->add_circuit(std::move(nl));
 
     const netlist& stored = session_->circuit(handle);
@@ -104,11 +104,11 @@ response service::handle_load(std::uint64_t id,
 }
 
 response service::handle_stats(std::uint64_t id) {
-    std::shared_lock session_lock(session_mutex_);
+    read_lock session_lock(session_mutex_);
     stats_response out;
     out.requests = requests_.load(std::memory_order_relaxed);
     {
-        std::scoped_lock cache_lock(cache_mutex_);
+        lock_guard cache_lock(cache_mutex_);
         out.cache_probes = cache_probes_;
         out.cache_hits = cache_hits_;
         out.cache_misses = cache_misses_;
@@ -146,8 +146,8 @@ response service::handle_evict(std::uint64_t id, const evict_request& p) {
     // Shared session lock: pools are internally synchronized, and the
     // cache has its own mutex — eviction may interleave with running
     // jobs, exactly like a capacity-cap trim would.
-    std::shared_lock session_lock(session_mutex_);
-    std::scoped_lock cache_lock(cache_mutex_);
+    read_lock session_lock(session_mutex_);
+    lock_guard cache_lock(cache_mutex_);
     evict_response out;
     if (p.all) {
         out.cache_entries = cache_entries_;
@@ -406,7 +406,7 @@ response service::handle_matrix(std::uint64_t id, const matrix_request& p) {
     // "every registered circuit"), so it must sit under the same shared
     // lock as the jobs themselves — a concurrent load_circuit would
     // otherwise race the expansion's circuit_count() read.
-    std::shared_lock session_lock(session_mutex_);
+    read_lock session_lock(session_mutex_);
     response r;
     r.id = id;
     matrix_response m;
@@ -420,7 +420,7 @@ std::vector<response> service::run_jobs(std::uint64_t id,
     // Shared session lock for the whole batch: the circuit table stays
     // stable under us while concurrent run_jobs callers from other
     // connections proceed in parallel (only load_circuit excludes).
-    std::shared_lock session_lock(session_mutex_);
+    read_lock session_lock(session_mutex_);
     return run_jobs_locked(id, jobs);
 }
 
@@ -433,7 +433,10 @@ std::vector<response> service::run_jobs_locked(
     // fan the result out), and they still run concurrently as one batch.
     // Duplicates are detected on (circuit, fingerprint) — the revision is
     // fixed per handle within the batch (the shared session lock is held).
-    std::map<std::pair<std::size_t, std::string>, std::size_t>
+    // Keyed by (handle, fingerprint string) and local to one batch —
+    // ordered std::map, not the integer-keyed dense_map.
+    std::map<std::pair<std::size_t, std::string>,  // wrpt-lint: allow(dense-map)
+             std::size_t>
         leaders;  // key -> slot in to_run
     std::vector<std::vector<std::size_t>> owners;  // per slot: job indices
     std::vector<job_request> to_run;
@@ -443,7 +446,7 @@ std::vector<response> service::run_jobs_locked(
             continue;
         }
         keys[i] = key_of(jobs[i]);
-        std::scoped_lock cache_lock(cache_mutex_);
+        lock_guard cache_lock(cache_mutex_);
         if (const cache_entry* hit = probe_cached(keys[i])) {
             ++cache_hits_;
             out[i] = to_response(id, hit->result, true);
@@ -480,7 +483,7 @@ std::vector<response> service::run_jobs_locked(
                 }
             }
         }
-        std::scoped_lock cache_lock(cache_mutex_);
+        lock_guard cache_lock(cache_mutex_);
         for (std::size_t k = 0; k < to_run.size(); ++k) {
             if (!computed[k]) {
                 for (const std::size_t i : owners[k])

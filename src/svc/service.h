@@ -48,8 +48,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +55,7 @@
 #include "exec/batch_session.h"
 #include "svc/request.h"
 #include "util/dense_map.h"
+#include "util/sync.h"
 
 namespace wrpt::svc {
 
@@ -86,9 +85,16 @@ public:
     response handle(const request& q);
 
     /// The underlying session, for callers that need direct access to
-    /// compiled circuits (views, fault lists, pools).
-    batch_session& session() { return *session_; }
-    const batch_session& session() const { return *session_; }
+    /// compiled circuits (views, fault lists, pools). Opted out of the
+    /// analysis: direct session access is the single-threaded setup path
+    /// (tests, tools) — concurrent callers go through handle(), which
+    /// takes session_mutex_.
+    batch_session& session() WRPT_NO_THREAD_SAFETY_ANALYSIS {
+        return *session_;
+    }
+    const batch_session& session() const WRPT_NO_THREAD_SAFETY_ANALYSIS {
+        return *session_;
+    }
 
     /// Cache counters (also served by the stats request).
     struct cache_counters {
@@ -122,10 +128,13 @@ private:
     };
 
     /// Level-1 bucket: all cached results for one circuit handle at one
-    /// revision.
+    /// revision. The level-2 key is an arbitrary-length fingerprint
+    /// string, never iterated in result-affecting order, so unordered_map
+    /// is the right container here, not the integer-keyed dense_map.
     struct circuit_bucket {
         std::uint64_t revision = 0;
-        std::unordered_map<std::string, cache_entry> entries;
+        std::unordered_map<std::string, cache_entry>  // wrpt-lint: allow(dense-map)
+            entries;
         std::uint64_t bytes = 0;
     };
 
@@ -149,45 +158,56 @@ private:
     /// The run_jobs body; the caller holds session_mutex_ shared (matrix
     /// expansion must read the circuit table under the same lock).
     std::vector<response> run_jobs_locked(
-        std::uint64_t id, const std::vector<job_request>& jobs);
+        std::uint64_t id, const std::vector<job_request>& jobs)
+        WRPT_REQUIRES_SHARED(session_mutex_);
 
     /// Validate a job against the session (handle range, weight values);
     /// returns a non-empty message on failure.
-    std::string validate(const job_request& j) const;
-    cache_locator key_of(const job_request& j) const;
+    std::string validate(const job_request& j) const
+        WRPT_REQUIRES_SHARED(session_mutex_);
+    cache_locator key_of(const job_request& j) const
+        WRPT_REQUIRES_SHARED(session_mutex_);
     /// Probe the two-level cache (caller holds cache_mutex_): counts a
     /// probe, returns the entry or nullptr. Does not count hit/miss —
     /// the caller owns job-level accounting.
-    const cache_entry* probe_cached(const cache_locator& key);
-    void insert_cached(cache_locator key, const batch_session::result& r);
+    const cache_entry* probe_cached(const cache_locator& key)
+        WRPT_REQUIRES(cache_mutex_);
+    void insert_cached(cache_locator key, const batch_session::result& r)
+        WRPT_REQUIRES(cache_mutex_);
     static response to_response(std::uint64_t id,
                                 const batch_session::result& r, bool cached);
 
     options options_;
-    std::unique_ptr<batch_session> session_;
 
     /// Session-structure lock: add_circuit (exclusive) vs everything that
     /// reads the circuit table (shared). Always taken before cache_mutex_
     /// when both are needed.
-    mutable std::shared_mutex session_mutex_;
+    mutable wrpt::shared_mutex session_mutex_
+        WRPT_ACQUIRED_BEFORE(cache_mutex_);
     /// Result-cache lock: cache_, cache_order_ and the counters. Held for
     /// probes and inserts only, never while a job computes.
-    mutable std::mutex cache_mutex_;
+    mutable wrpt::mutex cache_mutex_;
+
+    /// The pointer is set once in the constructor; the session *structure*
+    /// (circuit table growth vs readers) is what session_mutex_ guards.
+    std::unique_ptr<batch_session> session_
+        WRPT_PT_GUARDED_BY(session_mutex_);
 
     /// Level 1: handle -> bucket. Handles are consecutive, so every
     /// probe is a direct-index array load (count-free const reads are not
     /// needed here — the cache mutex serializes access).
-    util::dense_map<circuit_bucket, std::size_t> cache_;
+    util::dense_map<circuit_bucket, std::size_t> cache_
+        WRPT_GUARDED_BY(cache_mutex_);
     /// Insertion order for O(1)-amortized oldest-first eviction under
     /// max_cache_entries; maintained only when a cap is set.
-    std::deque<order_record> cache_order_;
-    std::uint64_t cache_sequence_ = 0;
-    std::uint64_t cache_probes_ = 0;
-    std::uint64_t cache_hits_ = 0;
-    std::uint64_t cache_misses_ = 0;
-    std::uint64_t cache_evictions_ = 0;
-    std::size_t cache_entries_ = 0;
-    std::uint64_t cache_bytes_ = 0;
+    std::deque<order_record> cache_order_ WRPT_GUARDED_BY(cache_mutex_);
+    std::uint64_t cache_sequence_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    std::uint64_t cache_probes_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    std::uint64_t cache_hits_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    std::uint64_t cache_misses_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    std::uint64_t cache_evictions_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    std::size_t cache_entries_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    std::uint64_t cache_bytes_ WRPT_GUARDED_BY(cache_mutex_) = 0;
     std::atomic<std::uint64_t> requests_{0};
 };
 

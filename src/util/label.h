@@ -1,0 +1,32 @@
+// Synthesized signal/node labels: "x12", "b3_7" — a prefix gluing one or
+// two numbers together.
+//
+// Built with std::string::append rather than operator+ chains: gcc 12's
+// -Wrestrict misfires on `"x" + std::to_string(i)` (and on some rvalue
+// operator+ forms) once the inliner sees through the temporaries, and
+// the repo builds with -Werror. Appending into a named string never
+// takes the insert path the false positive lives in.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wrpt {
+
+inline std::string label(std::string_view prefix, std::size_t n) {
+    std::string s(prefix);
+    s += std::to_string(n);
+    return s;
+}
+
+inline std::string label(std::string_view prefix, std::size_t a, char sep,
+                         std::size_t b) {
+    std::string s(prefix);
+    s += std::to_string(a);
+    s += sep;
+    s += std::to_string(b);
+    return s;
+}
+
+}  // namespace wrpt

@@ -1,0 +1,245 @@
+// Annotated synchronization primitives — the one place this codebase
+// spells a mutex.
+//
+// Every lock-holding class in the concurrent core (svc::service's
+// session/cache locks, svc::server's connection and notify queues,
+// exec::thread_pool, exec::engine_pool, the netlist's lazy fanout build,
+// sim/fault_sim's worker block queue) holds a wrpt::mutex or
+// wrpt::shared_mutex and tags the data it protects with
+// WRPT_GUARDED_BY(that_mutex). Under clang the wrappers carry Thread
+// Safety Analysis capability attributes, so `-Wthread-safety -Werror`
+// (the CI `analysis` job) rejects, at compile time, any access to a
+// guarded member without its lock held, any function that forgets a
+// WRPT_REQUIRES contract, and any scoped lock released on the wrong
+// path. Under gcc (the default local toolchain) every macro expands to
+// nothing and the wrappers compile down to their std counterparts — zero
+// size or behavior change.
+//
+// The dynamic checkers (TSan, the cross-thread-count equivalence suites)
+// only catch violations on interleavings a test happens to exercise;
+// these annotations are the static side of the same contract and are
+// enforced on every build of every path. tools/lint/wrpt_lint's
+// `raw-mutex` rule keeps new code on these wrappers: a bare std::mutex
+// anywhere outside this header fails the lint gate.
+//
+// Conventions (see README "Static analysis" and CONTRIBUTING.md):
+//   - every shared mutable member is WRPT_GUARDED_BY its mutex;
+//   - private helpers that assume a held lock are WRPT_REQUIRES /
+//     WRPT_REQUIRES_SHARED instead of re-locking;
+//   - condition-variable wait predicates start with
+//     `mutex.assert_held();` so the analysis knows the lock is held
+//     inside the lambda (the wait re-acquires before evaluating it);
+//   - code whose safety argument is release/acquire publication rather
+//     than a critical section (double-checked lazy builds) opts out with
+//     WRPT_NO_THREAD_SAFETY_ANALYSIS and a comment saying why.
+
+#pragma once
+
+#include <condition_variable>  // wrpt-lint: allow(raw-mutex)
+#include <mutex>               // wrpt-lint: allow(raw-mutex)
+#include <shared_mutex>        // wrpt-lint: allow(raw-mutex)
+
+// --- Clang Thread Safety Analysis attribute macros --------------------------
+//
+// No-ops on every compiler without the attribute family (gcc, MSVC), so
+// annotated headers stay portable; clang builds get the full analysis.
+
+#if defined(__clang__)
+#define WRPT_TSA(x) __attribute__((x))
+#else
+#define WRPT_TSA(x)
+#endif
+
+/// A type that is a lockable capability (mutexes below).
+#define WRPT_CAPABILITY(x) WRPT_TSA(capability(x))
+/// A RAII type that acquires in its constructor, releases in its dtor.
+#define WRPT_SCOPED_CAPABILITY WRPT_TSA(scoped_lockable)
+/// Data member readable/writable only with the given capability held
+/// (shared suffices for reads, exclusive is required for writes).
+#define WRPT_GUARDED_BY(x) WRPT_TSA(guarded_by(x))
+/// Pointer member whose *pointee* is protected by the capability.
+#define WRPT_PT_GUARDED_BY(x) WRPT_TSA(pt_guarded_by(x))
+/// Documented lock-ordering edges (checked under -Wthread-safety-beta).
+#define WRPT_ACQUIRED_BEFORE(...) WRPT_TSA(acquired_before(__VA_ARGS__))
+#define WRPT_ACQUIRED_AFTER(...) WRPT_TSA(acquired_after(__VA_ARGS__))
+/// The function must be called with the capability held (and does not
+/// release it).
+#define WRPT_REQUIRES(...) WRPT_TSA(requires_capability(__VA_ARGS__))
+#define WRPT_REQUIRES_SHARED(...) \
+    WRPT_TSA(requires_shared_capability(__VA_ARGS__))
+/// The function acquires / releases the capability itself.
+#define WRPT_ACQUIRE(...) WRPT_TSA(acquire_capability(__VA_ARGS__))
+#define WRPT_ACQUIRE_SHARED(...) \
+    WRPT_TSA(acquire_shared_capability(__VA_ARGS__))
+#define WRPT_RELEASE(...) WRPT_TSA(release_capability(__VA_ARGS__))
+#define WRPT_RELEASE_SHARED(...) \
+    WRPT_TSA(release_shared_capability(__VA_ARGS__))
+#define WRPT_RELEASE_GENERIC(...) \
+    WRPT_TSA(release_generic_capability(__VA_ARGS__))
+#define WRPT_TRY_ACQUIRE(...) WRPT_TSA(try_acquire_capability(__VA_ARGS__))
+#define WRPT_TRY_ACQUIRE_SHARED(...) \
+    WRPT_TSA(try_acquire_shared_capability(__VA_ARGS__))
+/// The function must NOT be called with the capability held (deadlock
+/// guard for public entry points that lock internally).
+#define WRPT_EXCLUDES(...) WRPT_TSA(locks_excluded(__VA_ARGS__))
+/// Assert (to the analysis, zero runtime cost) that the capability is
+/// held — for wait predicates and other contexts the analysis cannot see
+/// through.
+#define WRPT_ASSERT_CAPABILITY(x) WRPT_TSA(assert_capability(x))
+#define WRPT_ASSERT_SHARED_CAPABILITY(x) \
+    WRPT_TSA(assert_shared_capability(x))
+#define WRPT_RETURN_CAPABILITY(x) WRPT_TSA(lock_returned(x))
+/// Opt a function out — pair with a comment explaining the safety
+/// argument the analysis cannot express (e.g. acquire/release
+/// publication).
+#define WRPT_NO_THREAD_SAFETY_ANALYSIS WRPT_TSA(no_thread_safety_analysis)
+
+namespace wrpt {
+
+/// Exclusive mutex. Same cost and semantics as std::mutex; the wrapper
+/// exists to carry the capability attributes.
+class WRPT_CAPABILITY("mutex") mutex {
+public:
+    mutex() = default;
+    mutex(const mutex&) = delete;
+    mutex& operator=(const mutex&) = delete;
+
+    void lock() WRPT_ACQUIRE() { m_.lock(); }
+    bool try_lock() WRPT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+    void unlock() WRPT_RELEASE() { m_.unlock(); }
+
+    /// Tell the analysis this mutex is held here (no runtime effect).
+    /// Use at the top of condition-variable wait predicates: the wait
+    /// re-acquires the lock before evaluating them, but the analysis
+    /// cannot see that through the lambda boundary.
+    void assert_held() const WRPT_ASSERT_CAPABILITY(this) {}
+
+    /// The underlying std::mutex — for condition_variable below only.
+    std::mutex& native() { return m_; }
+
+private:
+    std::mutex m_;
+};
+
+/// Reader/writer mutex: lock()/unlock() exclusive, lock_shared()/
+/// unlock_shared() shared. Guarded members may be read under either
+/// mode and written only under exclusive.
+class WRPT_CAPABILITY("shared_mutex") shared_mutex {
+public:
+    shared_mutex() = default;
+    shared_mutex(const shared_mutex&) = delete;
+    shared_mutex& operator=(const shared_mutex&) = delete;
+
+    void lock() WRPT_ACQUIRE() { m_.lock(); }
+    bool try_lock() WRPT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+    void unlock() WRPT_RELEASE() { m_.unlock(); }
+
+    void lock_shared() WRPT_ACQUIRE_SHARED() { m_.lock_shared(); }
+    bool try_lock_shared() WRPT_TRY_ACQUIRE_SHARED(true) {
+        return m_.try_lock_shared();
+    }
+    void unlock_shared() WRPT_RELEASE_SHARED() { m_.unlock_shared(); }
+
+    void assert_held() const WRPT_ASSERT_CAPABILITY(this) {}
+    void assert_held_shared() const WRPT_ASSERT_SHARED_CAPABILITY(this) {}
+
+private:
+    std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock on a wrpt::mutex (the std::scoped_lock shape:
+/// acquire on construction, release on destruction, no manual control).
+class WRPT_SCOPED_CAPABILITY lock_guard {
+public:
+    explicit lock_guard(mutex& m) WRPT_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~lock_guard() WRPT_RELEASE() { m_.unlock(); }
+
+    lock_guard(const lock_guard&) = delete;
+    lock_guard& operator=(const lock_guard&) = delete;
+
+private:
+    mutex& m_;
+};
+
+/// Scoped exclusive lock usable with wrpt::condition_variable (the
+/// std::unique_lock shape). Starts locked.
+class WRPT_SCOPED_CAPABILITY unique_lock {
+public:
+    explicit unique_lock(mutex& m) WRPT_ACQUIRE(m) : lk_(m.native()) {}
+    ~unique_lock() WRPT_RELEASE() {}
+
+    unique_lock(const unique_lock&) = delete;
+    unique_lock& operator=(const unique_lock&) = delete;
+
+    void lock() WRPT_ACQUIRE() { lk_.lock(); }
+    void unlock() WRPT_RELEASE() { lk_.unlock(); }
+
+    /// The underlying lock — for condition_variable below only.
+    std::unique_lock<std::mutex>& native() { return lk_; }
+
+private:
+    std::unique_lock<std::mutex> lk_;
+};
+
+/// Scoped exclusive lock on a wrpt::shared_mutex — the writer side.
+class WRPT_SCOPED_CAPABILITY write_lock {
+public:
+    explicit write_lock(shared_mutex& m) WRPT_ACQUIRE(m) : m_(m) {
+        m_.lock();
+    }
+    ~write_lock() WRPT_RELEASE() { m_.unlock(); }
+
+    write_lock(const write_lock&) = delete;
+    write_lock& operator=(const write_lock&) = delete;
+
+private:
+    shared_mutex& m_;
+};
+
+/// Scoped shared lock on a wrpt::shared_mutex — the reader side.
+class WRPT_SCOPED_CAPABILITY read_lock {
+public:
+    explicit read_lock(shared_mutex& m) WRPT_ACQUIRE_SHARED(m) : m_(m) {
+        m_.lock_shared();
+    }
+    ~read_lock() WRPT_RELEASE_SHARED() { m_.unlock_shared(); }
+
+    read_lock(const read_lock&) = delete;
+    read_lock& operator=(const read_lock&) = delete;
+
+private:
+    shared_mutex& m_;
+};
+
+/// Condition variable over wrpt::mutex/unique_lock. Forwards to the
+/// plain std::condition_variable (not _any), so waits cost exactly what
+/// they did before the wrappers.
+class condition_variable {
+public:
+    condition_variable() = default;
+    condition_variable(const condition_variable&) = delete;
+    condition_variable& operator=(const condition_variable&) = delete;
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    // The waits release and re-acquire lk's mutex internally — a dance
+    // the analysis cannot model, so they are opted out. From the
+    // caller's point of view the lock state is unchanged: held on
+    // entry, held on return. Predicates are evaluated with the lock
+    // held; start them with `mutex.assert_held()` so their own analysis
+    // knows (lambdas are analyzed as separate functions).
+    void wait(unique_lock& lk) WRPT_NO_THREAD_SAFETY_ANALYSIS {
+        cv_.wait(lk.native());
+    }
+    template <class Predicate>
+    void wait(unique_lock& lk, Predicate pred)
+        WRPT_NO_THREAD_SAFETY_ANALYSIS {
+        cv_.wait(lk.native(), std::move(pred));
+    }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace wrpt

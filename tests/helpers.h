@@ -12,8 +12,14 @@
 #include "netlist/netlist.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
+#include "util/label.h"
 
 namespace wrpt::testing {
+
+/// Synthesized input label "x<i>" (see util/label.h for why not "x" +).
+inline std::string label_x(int i) {
+    return label("x", static_cast<std::size_t>(i));
+}
 
 /// Simulate `nl` on one 64-pattern random block; returns output words keyed
 /// by output name.

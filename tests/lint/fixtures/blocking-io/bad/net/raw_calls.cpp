@@ -1,0 +1,13 @@
+// Violation fixture: raw blocking socket calls outside svc/socket.cpp.
+#include <sys/socket.h>
+
+long push(int fd, const void* p, unsigned long n) {
+    return send(fd, p, n, 0);
+}
+
+long pull(int fd, void* p, unsigned long n) { return ::recv(fd, p, n, 0); }
+
+int dial(int fd, const sockaddr* a, unsigned int len) {
+    if (connect(fd, a, len) != 0) return -1;
+    return 0;
+}

@@ -1,0 +1,25 @@
+// Clean fixture: declarations, member calls, and qualified member
+// definitions named send/recv/connect are all fine — only raw libc
+// calls are the rule's business.
+struct request {};
+
+class client {
+public:
+    void send(const request& q);
+    unsigned long recv(char* buf, unsigned long n);
+    void connect(const char* where);
+};
+
+void client::send(const request&) {}
+unsigned long client::recv(char*, unsigned long) { return 0; }
+void client::connect(const char*) {}
+
+void roundtrip(client& c, const request& q) {
+    c.send(q);
+    char buf[16];
+    c.recv(buf, sizeof buf);
+}
+
+void redial(client* c) { c->connect("localhost"); }
+
+const char* doc = "raw send() calls belong in svc/socket.cpp";

@@ -1,0 +1,8 @@
+// Clean fixture: svc/socket.cpp is the one file allowed to speak libc.
+#include <sys/socket.h>
+
+long push(int fd, const void* p, unsigned long n) {
+    return ::send(fd, p, n, 0);
+}
+
+long pull(int fd, void* p, unsigned long n) { return ::recv(fd, p, n, 0); }

@@ -1,0 +1,8 @@
+// Violation fixture: ordered/unordered std maps in a hot dir.
+#include <map>
+#include <unordered_map>
+
+std::unordered_map<int, int> lookup_table;
+std::map<unsigned long, double> ordered_table;
+
+int probe(int k) { return lookup_table[k]; }

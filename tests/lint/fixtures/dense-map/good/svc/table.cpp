@@ -1,0 +1,20 @@
+// Clean fixture: dense_map in code; std::map only in comments, strings,
+// and behind an allow directive.
+//
+// A comment mentioning std::unordered_map must not fire.
+
+#include "util/dense_map.h"
+
+namespace util {  // stand-in so the fixture parses conceptually
+}
+
+util::dense_map<int> lookup_table;
+
+const char* msg = "prefer dense_map over std::unordered_map";
+
+// String keys have no dense integer domain, so the escape hatch applies:
+// wrpt-lint: allow(dense-map) string-keyed, never hot
+std::unordered_map<const char*, int> by_name;
+
+std::map<int, int>  // wrpt-lint: allow(dense-map) needs ordered walk
+    ordered;

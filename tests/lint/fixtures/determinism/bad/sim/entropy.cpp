@@ -1,0 +1,18 @@
+// Violation fixture: entropy, wall clock, and unordered iteration in a
+// deterministic kernel dir.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+std::unordered_map<int, int> counts;
+
+unsigned long roll() {
+    std::random_device rd;
+    srand(rd());
+    auto now = std::chrono::system_clock::now();
+    unsigned long s = (unsigned long)rand();
+    for (auto& kv : counts) s += kv.second;
+    for (auto it = counts.begin(); it != counts.end(); ++it) s += it->first;
+    return s + (unsigned long)now.time_since_epoch().count();
+}

@@ -1,0 +1,24 @@
+// Clean fixture: seeded generator, steady accounting, lookup-only
+// unordered map (contains/at/[] never iterate), and rand() only in
+// comments and strings.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint32_t> ref_by_fault;
+
+const char* note = "never calls rand() or srand()";
+
+// A member-call spelling is some object's own generator, not libc rand:
+struct generator {
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    std::uint64_t rand() { return state *= 6364136223846793005ull; }
+};
+
+std::uint64_t draw(generator& g) {
+    return g.rand();  // seeded, deterministic
+}
+
+std::uint32_t probe(std::uint64_t k) {
+    const auto it = ref_by_fault.find(k);
+    return it == ref_by_fault.end() ? 0 : it->second;
+}

@@ -1,0 +1,14 @@
+// Violation fixture: raw synchronization primitives outside util/sync.h.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+std::mutex m;
+std::shared_mutex sm;
+std::condition_variable cv;
+
+int locked_read(int* p) {
+    std::scoped_lock lock(m);
+    std::shared_lock shared(sm);
+    return *p;
+}

@@ -1,0 +1,16 @@
+// Clean fixture: the annotated wrappers, with raw names confined to
+// comments, strings, and raw strings.
+#include "util/sync.h"
+
+// std::mutex in a comment is prose, not a violation.
+const char* doc = "std::mutex and std::scoped_lock are banned";
+const char* raw = R"(even inside a raw string: std::condition_variable,
+#include <mutex>
+)";
+
+wrpt::mutex m;
+
+int locked_read(int* p) {
+    wrpt::lock_guard lock(m);
+    return *p;
+}

@@ -1,0 +1,15 @@
+// Clean fixture: util/sync.h itself is the one place raw primitives and
+// their headers may appear.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+class mutex {
+    std::mutex m_;
+};
+
+}  // namespace fixture

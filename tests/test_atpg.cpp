@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "helpers.h"
+
 #include "gen/comparator.h"
 #include "gen/divider.h"
 #include "gen/random_circuit.h"
@@ -66,7 +68,7 @@ TEST(podem, hard_conjunction_found_deterministically) {
     netlist nl("and16");
     std::vector<node_id> xs;
     for (int i = 0; i < 16; ++i)
-        xs.push_back(nl.add_input("x" + std::to_string(i)));
+        xs.push_back(nl.add_input(testing::label_x(i)));
     const node_id root = nl.add_tree(gate_kind::and_, xs);
     nl.mark_output(root, "y");
     podem_engine engine(nl);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "helpers.h"
+
 #include "util/error.h"
 
 namespace wrpt {
@@ -143,7 +145,7 @@ TEST(add_tree, wide_tree_depth_is_logarithmic) {
     netlist nl;
     std::vector<node_id> leaves;
     for (int i = 0; i < 64; ++i)
-        leaves.push_back(nl.add_input("x" + std::to_string(i)));
+        leaves.push_back(nl.add_input(testing::label_x(i)));
     const node_id root = nl.add_tree(gate_kind::and_, leaves);
     EXPECT_EQ(nl.level(root), 6u);  // log2(64)
 }

@@ -31,6 +31,7 @@
 #include "gen/comparator.h"
 #include "gen/random_circuit.h"
 #include "io/bench_io.h"
+#include "svc/poller.h"
 #include "svc/service.h"
 #include "svc/socket.h"
 #include "svc/wire.h"
@@ -151,6 +152,54 @@ TEST(socket_endpoint, bind_failures_carry_the_errno_text) {
         EXPECT_NE(std::string(e.what()).find("in use"), std::string::npos)
             << e.what();
     }
+}
+
+// --- poller backend selection -----------------------------------------------
+
+TEST(poller, force_poll_selects_the_portable_backend) {
+    const bool saved = poller::poll_forced();
+
+    poller::set_force_poll(true);
+    EXPECT_TRUE(poller::poll_forced());
+    {
+        poller p;
+        EXPECT_STREQ(p.backend_name(), "poll");
+    }
+
+    // Existing instances keep their backend; only new ones re-choose.
+    poller::set_force_poll(saved);
+    poller fresh;
+#if defined(WRPT_POLLER_HAS_EPOLL)
+    EXPECT_STREQ(fresh.backend_name(), saved ? "poll" : "epoll");
+#else
+    EXPECT_STREQ(fresh.backend_name(), "poll");
+#endif
+}
+
+TEST(poller, round_trip_under_forced_poll_backend) {
+    // The reactor must behave identically on the portable backend — this
+    // is the in-process version of the CI leg that runs the whole suite
+    // under WRPT_FORCE_POLL=1.
+    const bool saved = poller::poll_forced();
+    poller::set_force_poll(true);
+
+    service svc;
+    server srv(svc, unique_unix_endpoint());
+    client c(srv.where());
+    const netlist nl = small_circuit(17);
+    ASSERT_TRUE(c.roundtrip(load_request(nl, 1)).ok);
+    test_length_request tl;
+    tl.circuit = 0;
+    const response first = c.roundtrip(job_line(2, tl));
+    ASSERT_TRUE(first.ok);
+    EXPECT_TRUE(std::get<test_length_response>(first.payload)
+                    .length.feasible);
+    const response again = c.roundtrip(job_line(3, tl));
+    EXPECT_TRUE(std::get<test_length_response>(again.payload).cached);
+    srv.stop();
+    srv.wait();
+
+    poller::set_force_poll(saved);
 }
 
 // --- round trips ------------------------------------------------------------

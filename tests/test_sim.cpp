@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "helpers.h"
+
 #include "fault/fault.h"
 #include "gen/comparator.h"
 #include "gen/random_circuit.h"
@@ -202,7 +204,7 @@ TEST(fault_sim, weighted_patterns_hit_rare_faults) {
     // almost surely do not.
     netlist nl("andtree");
     std::vector<node_id> xs;
-    for (int i = 0; i < 12; ++i) xs.push_back(nl.add_input("x" + std::to_string(i)));
+    for (int i = 0; i < 12; ++i) xs.push_back(nl.add_input(testing::label_x(i)));
     const node_id root = nl.add_tree(gate_kind::and_, xs);
     nl.mark_output(root, "y");
     const std::vector<fault> faults{{root, -1, stuck_at::zero}};
