@@ -17,7 +17,7 @@ batch_session::batch_session(options opt)
 
 batch_session::~batch_session() = default;
 
-std::size_t batch_session::add_circuit(netlist nl) {
+batch_session::compiled_circuit batch_session::compile(netlist nl) const {
     compiled_circuit cc;
     cc.nl = std::make_unique<netlist>(std::move(nl));
     circuit_view::compile_options co;
@@ -29,13 +29,47 @@ std::size_t batch_session::add_circuit(netlist nl) {
     cc.faults = generate_full_faults(*cc.nl);
     cc.pool = std::make_unique<engine_pool>(*cc.view);
     cc.pool->set_capacity(options_.max_engines);
+    return cc;
+}
+
+std::size_t batch_session::add_circuit(netlist nl) {
     const std::size_t handle = next_handle_++;
-    circuits_.try_emplace(handle, std::move(cc));
+    circuits_.try_emplace(handle, compile(std::move(nl)));
     return handle;
 }
 
 std::size_t batch_session::add_circuit_file(const std::string& path) {
     return add_circuit(read_bench_file(path));
+}
+
+std::uint64_t batch_session::replace_circuit(std::size_t handle, netlist nl) {
+    compiled_circuit* cc = circuits_.find(handle);
+    require(cc != nullptr, "batch_session: bad circuit handle");
+    // Compile the replacement before touching the slot so a failed parse
+    // or compile leaves the old circuit fully serviceable.
+    *cc = compile(std::move(nl));
+    return cc->nl->revision();
+}
+
+void batch_session::unload_circuit(std::size_t handle) {
+    require(circuits_.erase(handle),
+            "batch_session: bad circuit handle");
+}
+
+std::uint64_t batch_session::restore_circuit(std::size_t handle, netlist nl) {
+    require(handle < next_handle_ && !circuits_.contains(handle),
+            "batch_session: restore_circuit needs a retired handle");
+    circuits_.try_emplace(handle, compile(std::move(nl)));
+    return circuits_.find(handle)->nl->revision();
+}
+
+std::vector<std::size_t> batch_session::handles() const {
+    std::vector<std::size_t> out;
+    out.reserve(circuits_.size());
+    circuits_.for_each([&](std::size_t handle, const compiled_circuit&) {
+        out.push_back(handle);  // ascending-handle iteration order
+    });
+    return out;
 }
 
 const batch_session::compiled_circuit& batch_session::at(

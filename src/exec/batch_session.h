@@ -67,7 +67,35 @@ public:
     /// Read a .bench file and register it.
     std::size_t add_circuit_file(const std::string& path);
 
+    /// Issue a handle with nothing compiled under it yet (the registry's
+    /// lazy-residency path); restore_circuit compiles it on first use.
+    std::size_t reserve_handle() { return next_handle_++; }
+    /// True while `handle` maps to a compiled circuit; reserved or retired
+    /// handles report false (and are never reissued).
+    bool has_circuit(std::size_t handle) const {
+        return circuits_.contains(handle);
+    }
+    /// Hot reload: recompile `handle` in place from a fresh netlist. The
+    /// replacement keeps its own (new) revision stamp, so results cached
+    /// under the old revision are orphaned wholesale. Callers must hold
+    /// the swap exclusive against run(): jobs still executing on the old
+    /// view would otherwise lose it mid-flight. Returns the new revision.
+    std::uint64_t replace_circuit(std::size_t handle, netlist nl);
+    /// Drop `handle`'s compiled state (view, faults, warm engines) while
+    /// keeping the handle retired-but-stable: other circuits keep their
+    /// handles, and restore_circuit can recompile under the same one.
+    void unload_circuit(std::size_t handle);
+    /// Recompile a previously unloaded handle from `nl`. Passing a copy of
+    /// the original netlist preserves its revision stamp (netlist copies
+    /// share revisions), so cache entries keyed by it revalidate after the
+    /// rebuild. Returns the compiled revision.
+    std::uint64_t restore_circuit(std::size_t handle, netlist nl);
+
     std::size_t circuit_count() const { return circuits_.size(); }
+    /// Ascending handles of every compiled circuit (reserved and retired
+    /// handles excluded) — the iteration surface for stats and eviction
+    /// sweeps, which can no longer assume handles are 0..count-1.
+    std::vector<std::size_t> handles() const;
     const netlist& circuit(std::size_t handle) const;
     const circuit_view& view(std::size_t handle) const;
     const std::vector<fault>& faults(std::size_t handle) const;
@@ -123,6 +151,7 @@ private:
 
     result run_one(const svc::job_request& j) const;
     const compiled_circuit& at(std::size_t handle) const;
+    compiled_circuit compile(netlist nl) const;
 
     options options_;
     // Handle -> compiled circuit. Handles come from a monotonic counter,

@@ -1,0 +1,199 @@
+#include "svc/registry.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "exec/engine_pool.h"
+
+namespace wrpt::svc {
+
+namespace {
+
+std::string address_of(const std::string& tenant, const std::string& name) {
+    return tenant + "/" + name;
+}
+
+/// Addresses split at the *first* '/', so tenants must not contain one
+/// (names may — "team/block/alu" is tenant "team", name "block/alu").
+void check_address(const std::string& tenant, const std::string& name) {
+    if (tenant.empty() || name.empty())
+        throw registry_error(
+            "invalid", "registry: tenant and name must both be non-empty");
+    if (tenant.find('/') != std::string::npos)
+        throw registry_error("invalid",
+                             "registry: tenant must not contain '/'");
+}
+
+}  // namespace
+
+registry::registered registry::register_circuit(batch_session& session,
+                                                const std::string& tenant,
+                                                const std::string& name,
+                                                netlist nl) {
+    check_address(tenant, name);
+    write_lock lock(mutex_);
+    tenant_state& ts = tenants_[tenant];
+    const std::string address = address_of(tenant, name);
+    if (entries_.find(address) != entries_.end())
+        throw registry_error("exists", "registry: '" + address +
+                                           "' is already registered; "
+                                           "reload it instead");
+    if (options_.quota.max_circuits != 0 &&
+        ts.circuits >= options_.quota.max_circuits) {
+        ++ts.rejections;
+        throw registry_error(
+            "quota", "registry: tenant '" + tenant +
+                         "' is at its circuit quota (" +
+                         std::to_string(options_.quota.max_circuits) + ")");
+    }
+    // Lazy residency: reserve the handle and keep the parsed master, but
+    // compile nothing — the first named job pays for the view.
+    entry& e = entries_[address];
+    e.tenant = tenant;
+    e.name = name;
+    e.handle = session.reserve_handle();
+    e.master = std::move(nl);
+    e.revision = e.master.revision();
+    ++ts.circuits;
+    touch(e);
+    return {e.handle, e.revision};
+}
+
+registry::reloaded registry::reload_circuit(batch_session& session,
+                                            const std::string& tenant,
+                                            const std::string& name,
+                                            netlist nl) {
+    check_address(tenant, name);
+    write_lock lock(mutex_);
+    const auto it = entries_.find(address_of(tenant, name));
+    if (it == entries_.end())
+        throw registry_error("not-found", "registry: unknown circuit '" +
+                                              address_of(tenant, name) + "'");
+    entry& e = it->second;
+    const std::uint64_t old_revision = e.revision;
+    e.master = std::move(nl);
+    e.revision = e.master.revision();
+    ++e.reloads;
+    if (e.resident) {
+        // Swap the compiled view under the same handle. The caller holds
+        // the session lock exclusively, so every in-flight job has
+        // drained on the old view; the old warm engine pool dies with it,
+        // and the revision re-stamp orphans the old cache bucket on the
+        // next insert. A master *copy* goes in so the stored master keeps
+        // serving later rebuilds with the same revision.
+        session.replace_circuit(e.handle, netlist(e.master));
+        apply_engine_quota(session.pool(e.handle));
+    }
+    touch(e);
+    return {e.handle, e.revision, old_revision, e.reloads};
+}
+
+registry::resolution registry::resolve(const std::string& address) const {
+    read_lock lock(mutex_);
+    const auto it = entries_.find(address);
+    if (it == entries_.end()) return {};
+    touch(it->second);  // LRU stamp: atomic, safe under the shared lock
+    return {true, it->second.resident, it->second.handle};
+}
+
+bool registry::needs_compile(const std::string& address) const {
+    read_lock lock(mutex_);
+    const auto it = entries_.find(address);
+    return it != entries_.end() && !it->second.resident;
+}
+
+void registry::ensure_resident(batch_session& session,
+                               const std::string& address) {
+    write_lock lock(mutex_);
+    const auto it = entries_.find(address);
+    if (it == entries_.end()) return;  // resolve reports the typed error
+    entry& e = it->second;
+    if (e.resident) return;
+    // A master copy shares the master's revision stamp, so results cached
+    // for this entry before an earlier eviction revalidate after the
+    // rebuild — the bucket's revision still matches.
+    session.restore_circuit(e.handle, netlist(e.master));
+    apply_engine_quota(session.pool(e.handle));
+    e.resident = true;
+    ++resident_;
+    ++view_rebuilds_;
+    touch(e);
+    evict_excess(session, &e);
+}
+
+void registry::apply_engine_quota(engine_pool& pool) const {
+    const std::size_t quota = options_.quota.max_engines;
+    if (quota == 0) return;
+    // The compile set the session-wide default; the tighter bound wins.
+    const std::size_t current = pool.capacity();
+    pool.set_capacity(current == 0 ? quota : std::min(current, quota));
+}
+
+void registry::evict_excess(batch_session& session, const entry* keep) {
+    if (options_.max_views == 0) return;
+    while (resident_ > options_.max_views) {
+        // O(entries) scan per eviction: evictions are as rare as compiles,
+        // which dwarf the scan, so an index would be bookkeeping for
+        // nothing.
+        entry* coldest = nullptr;
+        std::uint64_t coldest_use = 0;
+        for (auto& [address, e] : entries_) {
+            if (!e.resident || &e == keep) continue;
+            const std::uint64_t use =
+                e.last_use.load(std::memory_order_relaxed);
+            if (coldest == nullptr || use < coldest_use) {
+                coldest = &e;
+                coldest_use = use;
+            }
+        }
+        if (coldest == nullptr) break;  // only `keep` itself is resident
+        session.unload_circuit(coldest->handle);
+        coldest->resident = false;
+        --resident_;
+        ++view_evictions_;
+    }
+}
+
+std::vector<catalog_entry_payload> registry::list(
+    const std::string& tenant) const {
+    read_lock lock(mutex_);
+    std::vector<catalog_entry_payload> rows;
+    rows.reserve(entries_.size());
+    for (const auto& [address, e] : entries_) {
+        if (!tenant.empty() && e.tenant != tenant) continue;
+        catalog_entry_payload row;
+        row.tenant = e.tenant;
+        row.name = e.name;
+        row.circuit = e.handle;
+        row.revision = e.revision;
+        row.resident = e.resident;
+        row.reloads = e.reloads;
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const catalog_entry_payload& a,
+                 const catalog_entry_payload& b) {
+                  return std::tie(a.tenant, a.name) <
+                         std::tie(b.tenant, b.name);
+              });
+    return rows;
+}
+
+registry::counters registry::stats() const {
+    read_lock lock(mutex_);
+    counters c;
+    c.circuits = entries_.size();
+    c.resident = resident_;
+    c.view_evictions = view_evictions_;
+    c.view_rebuilds = view_rebuilds_;
+    c.tenants.reserve(tenants_.size());
+    for (const auto& [tenant, ts] : tenants_)
+        c.tenants.push_back({tenant, ts.circuits, ts.rejections});
+    std::sort(c.tenants.begin(), c.tenants.end(),
+              [](const tenant_row& a, const tenant_row& b) {
+                  return a.tenant < b.tenant;
+              });
+    return c;
+}
+
+}  // namespace wrpt::svc

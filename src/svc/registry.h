@@ -1,0 +1,217 @@
+// Named multi-tenant circuit registry — the catalog layer above
+// exec/batch_session.
+//
+// The session deals in integer handles; the registry gives those handles
+// durable names. A circuit registers as "tenant/name", jobs address it by
+// that string, and the server resolves the name to a handle before the
+// job touches the cache or the session. Three properties make the catalog
+// serve-shaped:
+//
+//  * Lazy residency with a bounded view LRU. register_circuit parses and
+//    stores the netlist master but compiles nothing, so thousands of
+//    registrations stay cheap; the first named job compiles the view
+//    (restore_circuit under the entry's reserved handle) and, when the
+//    resident count would exceed options.max_views, the coldest resident
+//    view — least-recently resolved, by an atomic use stamp exactly like
+//    engine_pool's checkout stamps — is unloaded. Because a master copy
+//    shares the master's revision stamp (the netlist copy contract),
+//    results cached before an eviction revalidate after the rebuild: the
+//    cache bucket's revision still matches.
+//
+//  * Atomic hot reload. reload_circuit swaps the master for a freshly
+//    parsed netlist (new revision) and, if the entry is resident,
+//    recompiles in place under the same handle while the caller holds the
+//    session lock exclusively — in-flight jobs have already drained, the
+//    old view's warm engine pool is destroyed with it, and the old cache
+//    bucket is orphaned by the revision re-stamp on first insert. A
+//    request therefore only ever observes one revision end to end.
+//
+//  * Per-tenant quotas. A uniform tenant_quota bounds registered circuits
+//    (typed "quota" refusal past the cap), clamps each compiled view's
+//    engine-pool capacity, and caps result-cache bytes (enforced by the
+//    service's insert path, which attributes entries to tenants). Refusal
+//    envelopes carry a machine-readable `code` so clients can tell quota
+//    pressure from not-found from malformed input.
+//
+// Locking: the registry has its own shared_mutex, always acquired under
+// the service's session lock (lock order: session_mutex_ -> registry
+// mutex_ -> cache_mutex_; the registry is never locked while cache_mutex_
+// is held). Mutators (register/reload/ensure_resident) additionally
+// require the caller to hold the session lock exclusively, because they
+// reshape the session's circuit table; resolve/list/stats run under a
+// shared session lock and a shared registry lock, with LRU stamps as
+// atomics so readers never need the exclusive side.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/batch_session.h"
+#include "netlist/netlist.h"
+#include "svc/request.h"
+#include "util/sync.h"
+
+namespace wrpt {
+class engine_pool;
+}
+
+namespace wrpt::svc {
+
+/// Typed refusal: `code()` travels in the error envelope's `code` field
+/// ("not-found", "exists", "quota", "invalid"), so clients can branch on
+/// the refusal class without parsing prose.
+class registry_error : public std::runtime_error {
+public:
+    registry_error(std::string code, const std::string& message)
+        : std::runtime_error(message), code_(std::move(code)) {}
+    const std::string& code() const { return code_; }
+
+private:
+    std::string code_;
+};
+
+class registry {
+public:
+    /// Uniform per-tenant limits; every field 0 = unbounded.
+    struct tenant_quota {
+        std::size_t max_circuits = 0;     ///< registered entries per tenant
+        std::size_t max_engines = 0;      ///< engine-pool cap per circuit
+        std::uint64_t max_cache_bytes = 0;  ///< result-cache bytes per tenant
+    };
+
+    struct options {
+        /// Resident compiled views across the whole catalog (0 =
+        /// unbounded): the coldest view is unloaded when a compile would
+        /// exceed it.
+        std::size_t max_views = 0;
+        tenant_quota quota;
+    };
+
+    registry() = default;
+    explicit registry(options opt) : options_(opt) {}
+
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+    const options& config() const { return options_; }
+
+    struct registered {
+        std::size_t handle = 0;
+        std::uint64_t revision = 0;
+    };
+    struct reloaded {
+        std::size_t handle = 0;
+        std::uint64_t revision = 0;
+        std::uint64_t old_revision = 0;
+        std::uint64_t reloads = 0;
+    };
+    struct resolution {
+        bool found = false;
+        bool resident = false;
+        std::size_t handle = 0;
+    };
+
+    /// Register `nl` as "tenant/name". Lazy: reserves a session handle and
+    /// stores the master netlist, compiling nothing. Throws registry_error
+    /// ("invalid" for a malformed address, "exists" for a taken name,
+    /// "quota" past the tenant's circuit cap — counted as a rejection).
+    /// Caller holds the session lock exclusively.
+    registered register_circuit(batch_session& session,
+                                const std::string& tenant,
+                                const std::string& name, netlist nl);
+
+    /// Swap the master for "tenant/name" and, if resident, recompile under
+    /// the same handle. Throws registry_error("not-found") for unknown
+    /// names. Caller holds the session lock exclusively.
+    reloaded reload_circuit(batch_session& session, const std::string& tenant,
+                            const std::string& name, netlist nl);
+
+    /// Look up "tenant/name" and stamp its LRU clock. Safe under a shared
+    /// session lock; never compiles.
+    resolution resolve(const std::string& address) const;
+
+    /// True when `address` names a registered entry whose view is not
+    /// resident (the caller must upgrade to the exclusive session lock and
+    /// ensure_resident before running jobs on it).
+    bool needs_compile(const std::string& address) const;
+
+    /// Compile `address`'s view if registered and not resident, then
+    /// unload the coldest resident views beyond options.max_views. A
+    /// no-op for unknown names (resolve reports those as typed errors).
+    /// Caller holds the session lock exclusively.
+    void ensure_resident(batch_session& session, const std::string& address);
+
+    /// Catalog rows, sorted by "tenant/name"; `tenant` filters when
+    /// non-empty. Safe under a shared session lock.
+    std::vector<catalog_entry_payload> list(const std::string& tenant) const;
+
+    struct tenant_row {
+        std::string tenant;
+        std::size_t circuits = 0;
+        std::uint64_t rejections = 0;  ///< typed quota refusals issued
+    };
+    struct counters {
+        std::size_t circuits = 0;  ///< registered entries
+        std::size_t resident = 0;  ///< entries with a compiled view
+        std::uint64_t view_evictions = 0;
+        std::uint64_t view_rebuilds = 0;
+        std::vector<tenant_row> tenants;  ///< sorted by tenant
+    };
+    counters stats() const;
+
+private:
+    struct entry {
+        std::string tenant;
+        std::string name;
+        std::size_t handle = 0;
+        netlist master;  ///< source of truth; copies share its revision
+        std::uint64_t revision = 0;
+        bool resident = false;
+        std::uint64_t reloads = 0;
+        /// LRU stamp, written by resolve() under the shared lock — atomic
+        /// so concurrent resolvers never race (mutable because stamping is
+        /// a read-path side effect); entries live in node-stable
+        /// unordered_map nodes, so the address is durable.
+        mutable std::atomic<std::uint64_t> last_use{0};
+    };
+    struct tenant_state {
+        std::size_t circuits = 0;
+        std::uint64_t rejections = 0;
+    };
+
+    void touch(const entry& e) const {
+        e.last_use.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+    }
+    /// Clamp a freshly compiled view's engine pool to the tenant quota
+    /// (the tighter of the session default and the quota wins).
+    void apply_engine_quota(engine_pool& pool) const;
+    /// Unload coldest resident views until at most options.max_views
+    /// remain; `keep` is never a victim.
+    void evict_excess(batch_session& session, const entry* keep)
+        WRPT_REQUIRES(mutex_);
+
+    options options_;
+    /// Registry-structure lock; see the header comment for the order
+    /// relative to the service's locks.
+    mutable wrpt::shared_mutex mutex_;
+    /// Address "tenant/name" -> entry. String-keyed and node-stable by
+    /// design: names are arbitrary text (no dense integer domain) and the
+    /// atomic LRU stamps need durable addresses, which the dense map's
+    /// relocating maintenance would break.
+    std::unordered_map<std::string, entry>  // wrpt-lint: allow(dense-map)
+        entries_ WRPT_GUARDED_BY(mutex_);
+    std::unordered_map<std::string, tenant_state>  // wrpt-lint: allow(dense-map)
+        tenants_ WRPT_GUARDED_BY(mutex_);
+    std::size_t resident_ WRPT_GUARDED_BY(mutex_) = 0;
+    std::uint64_t view_evictions_ WRPT_GUARDED_BY(mutex_) = 0;
+    std::uint64_t view_rebuilds_ WRPT_GUARDED_BY(mutex_) = 0;
+    mutable std::atomic<std::uint64_t> use_clock_{0};
+};
+
+}  // namespace wrpt::svc

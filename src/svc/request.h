@@ -45,8 +45,11 @@ struct load_circuit_request {
 /// ANALYSIS + NORMALIZE at fixed weights: the required-test-length query.
 /// Empty weights mean the uniform vector; confidence 0 means the session
 /// default; `threads` shards the stages (results are thread-invariant).
+/// A non-empty `name` addresses a registry circuit as "tenant/name" and
+/// overrides `circuit` (the handle is resolved server-side).
 struct test_length_request {
     std::size_t circuit = 0;
+    std::string name;
     weight_vector weights;
     double confidence = 0.0;
     unsigned threads = 1;
@@ -55,6 +58,7 @@ struct test_length_request {
 /// The full OPTIMIZE procedure from `weights` (empty = uniform start).
 struct optimize_request {
     std::size_t circuit = 0;
+    std::string name;  ///< "tenant/name" registry address (overrides circuit)
     weight_vector weights;
     optimize_options options;
 };
@@ -62,6 +66,7 @@ struct optimize_request {
 /// Weighted-random fault simulation at fixed weights.
 struct fault_sim_request {
     std::size_t circuit = 0;
+    std::string name;  ///< "tenant/name" registry address (overrides circuit)
     weight_vector weights;
     std::uint64_t patterns = 4096;
     std::uint64_t seed = 1;
@@ -106,6 +111,34 @@ struct evict_request {
 /// Graceful daemon shutdown: acknowledged, then the serve loop exits.
 struct shutdown_request {};
 
+/// Register a circuit in the multi-tenant catalog under "tenant/name".
+/// The netlist source is exactly one of `bench` / `path` / `suite`, as in
+/// load_circuit. Registering an already-registered name is an error; use
+/// reload_circuit to replace one atomically.
+struct register_circuit_request {
+    std::string tenant;
+    std::string name;
+    std::string bench;
+    std::string path;
+    std::string suite;
+};
+
+/// Atomic hot reload: recompile "tenant/name" from a fresh netlist source
+/// under the same handle. In-flight jobs finish on the old view; the new
+/// revision orphans the old cache bucket and warm engine slots.
+struct reload_circuit_request {
+    std::string tenant;
+    std::string name;
+    std::string bench;
+    std::string path;
+    std::string suite;
+};
+
+/// List the registry catalog, optionally filtered to one tenant.
+struct list_circuits_request {
+    std::string tenant;  ///< empty = every tenant
+};
+
 enum class request_kind : std::uint8_t {
     load_circuit,
     test_length,
@@ -115,13 +148,17 @@ enum class request_kind : std::uint8_t {
     stats,
     evict,
     shutdown,
+    register_circuit,
+    reload_circuit,
+    list_circuits,
 };
 
 struct request {
     std::uint64_t id = 0;
     std::variant<load_circuit_request, test_length_request, optimize_request,
                  fault_sim_request, matrix_request, stats_request,
-                 evict_request, shutdown_request>
+                 evict_request, shutdown_request, register_circuit_request,
+                 reload_circuit_request, list_circuits_request>
         payload;
 
     request_kind kind() const {
@@ -135,9 +172,12 @@ struct response;  // forward: matrix_response nests full responses
 
 /// Per-request failure envelope: the request id is echoed, `ok` is false
 /// and this payload carries the message — the daemon never exits on a bad
-/// request.
+/// request. `code` types the refusal for programmatic callers ("quota",
+/// "not_found", ...); empty for generic errors and absent from the wire
+/// encoding, so pre-registry transcripts are unchanged.
 struct error_response {
     std::string message;
+    std::string code;
 };
 
 struct load_circuit_response {
@@ -235,6 +275,30 @@ struct server_stats_payload {
     std::uint64_t accept_backoffs = 0; ///< EMFILE/ENFILE accept pauses
 };
 
+/// Per-tenant quota state inside the registry stats section.
+struct tenant_stats_payload {
+    std::string tenant;
+    std::size_t circuits = 0;        ///< registered under this tenant
+    std::size_t cache_bytes = 0;     ///< result-cache bytes attributed
+    std::size_t max_circuits = 0;    ///< quota (0 = unbounded)
+    std::size_t max_engines = 0;     ///< per-circuit engine cap (0 = none)
+    std::size_t max_cache_bytes = 0; ///< cache-byte quota (0 = unbounded)
+    std::uint64_t rejections = 0;    ///< typed quota refusals issued
+};
+
+/// Registry catalog counters. Present only once a circuit has been
+/// registered (and absent from the wire encoding otherwise), so
+/// registry-free transcripts are byte-identical to the pre-registry ones.
+struct registry_stats_payload {
+    bool present = false;
+    std::size_t circuits = 0;        ///< registered entries
+    std::size_t resident = 0;        ///< entries with a compiled view
+    std::size_t max_views = 0;       ///< resident cap (0 = unbounded)
+    std::uint64_t view_evictions = 0;
+    std::uint64_t view_rebuilds = 0;
+    std::vector<tenant_stats_payload> tenants;
+};
+
 struct stats_response {
     std::uint64_t requests = 0;       ///< requests handled so far
     std::uint64_t cache_probes = 0;   ///< result-cache lookups performed
@@ -250,6 +314,7 @@ struct stats_response {
     std::string simd_isa;
     std::size_t simd_lanes = 0;
     std::vector<pool_stats_payload> pools;
+    registry_stats_payload registry;  ///< catalog section (optional)
     server_stats_payload server;      ///< socket-server section (optional)
 };
 
@@ -259,6 +324,39 @@ struct evict_response {
 };
 
 struct shutdown_response {};
+
+struct register_circuit_response {
+    std::string tenant;
+    std::string name;
+    std::size_t circuit = 0;    ///< the stable handle behind the name
+    std::uint64_t revision = 0;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+    std::size_t gates = 0;
+};
+
+struct reload_circuit_response {
+    std::string tenant;
+    std::string name;
+    std::size_t circuit = 0;         ///< unchanged across reloads
+    std::uint64_t revision = 0;      ///< the fresh stamp
+    std::uint64_t old_revision = 0;  ///< what in-flight jobs finish on
+    std::uint64_t reloads = 0;       ///< reload count for this entry
+};
+
+/// One catalog row in a list_circuits response.
+struct catalog_entry_payload {
+    std::string tenant;
+    std::string name;
+    std::size_t circuit = 0;
+    std::uint64_t revision = 0;
+    bool resident = false;  ///< compiled view currently in memory
+    std::uint64_t reloads = 0;
+};
+
+struct list_circuits_response {
+    std::vector<catalog_entry_payload> entries;  ///< sorted by tenant/name
+};
 
 enum class response_kind : std::uint8_t {
     error,
@@ -270,6 +368,9 @@ enum class response_kind : std::uint8_t {
     stats,
     evict,
     shutdown,
+    register_circuit,
+    reload_circuit,
+    list_circuits,
 };
 
 struct response {
@@ -277,7 +378,9 @@ struct response {
     bool ok = true;
     std::variant<error_response, load_circuit_response, test_length_response,
                  optimize_response, fault_sim_response, matrix_response,
-                 stats_response, evict_response, shutdown_response>
+                 stats_response, evict_response, shutdown_response,
+                 register_circuit_response, reload_circuit_response,
+                 list_circuits_response>
         payload;
 
     response_kind kind() const {
@@ -290,7 +393,18 @@ inline response make_error(std::uint64_t id, std::string message) {
     response r;
     r.id = id;
     r.ok = false;
-    r.payload = error_response{std::move(message)};
+    r.payload = error_response{std::move(message), std::string()};
+    return r;
+}
+
+/// A typed failure envelope ("quota", "not-found", ...): programmatic
+/// callers dispatch on `code`, humans read `message`.
+inline response make_error(std::uint64_t id, std::string message,
+                           std::string code) {
+    response r;
+    r.id = id;
+    r.ok = false;
+    r.payload = error_response{std::move(message), std::move(code)};
     return r;
 }
 

@@ -321,6 +321,7 @@ void server::service_connection(const std::shared_ptr<connection>& conn) {
     bool outbox_empty = false;
     bool dropping = false;
     bool worker = false;
+    bool progressed = false;
     std::size_t depth = 0;
     {
         lock_guard lock(conn->mutex);
@@ -338,6 +339,7 @@ void server::service_connection(const std::shared_ptr<connection>& conn) {
                 st = stream::io_status::closed;
             }
             if (st == stream::io_status::ok) {
+                if (n > 0) progressed = true;
                 conn->outbox_sent += n;
                 if (conn->outbox_sent == conn->outbox.size()) {
                     conn->outbox.clear();  // capacity retained for reuse
@@ -366,6 +368,13 @@ void server::service_connection(const std::shared_ptr<connection>& conn) {
         close_connection(conn);
         return;
     }
+    // A peer that is draining — slowly, but draining — re-earns its grace
+    // on every byte of progress: send_timeout bounds a *stall*, not the
+    // whole transfer, so a slow-but-steady reader is never killed
+    // mid-stream (the outbox cap already bounds total liability). The
+    // stale deadline is dropped here and re-armed from now below.
+    if (progressed && conn->has_drop_deadline)
+        conn->has_drop_deadline = false;
     if (finishing && !conn->has_drop_deadline && options_.send_timeout_ms > 0) {
         conn->has_drop_deadline = true;
         conn->drop_deadline = clock::now() + ms(options_.send_timeout_ms);
@@ -576,7 +585,16 @@ void server::expire_deadlines(clock::time_point now) {
     });
     for (const auto& conn : due) {
         if (conn->has_drop_deadline && now >= conn->drop_deadline) {
-            // Flush grace exhausted on a departing connection.
+            // Last-chance flush before declaring the peer stalled:
+            // writability wakeups are coarser than actual buffer space
+            // (unix sockets signal POLLOUT only below a half-buffer
+            // watermark), so a steadily-draining reader may not have
+            // woken the reactor since the grace was armed even though a
+            // send would succeed right now. Progress re-arms the grace;
+            // only a peer that accepts nothing is genuinely stalled.
+            service_connection(conn);
+            if (!conn->has_drop_deadline || clock::now() < conn->drop_deadline)
+                continue;
             close_connection(conn);
             continue;
         }

@@ -16,7 +16,9 @@ namespace wrpt::svc {
 
 service::service() : service(options{}) {}
 
-service::service(options opt) : options_(opt) {
+service::service(options opt)
+    : options_(opt),
+      registry_(registry::options{opt.max_views, opt.tenant_quota}) {
     batch_session::options so;
     so.threads = opt.threads;
     so.confidence = opt.confidence;
@@ -46,6 +48,14 @@ response service::handle(const request& q) {
                 using T = std::decay_t<decltype(p)>;
                 if constexpr (std::is_same_v<T, load_circuit_request>) {
                     return handle_load(q.id, p);
+                } else if constexpr (std::is_same_v<T,
+                                                    register_circuit_request>) {
+                    return handle_register(q.id, p);
+                } else if constexpr (std::is_same_v<T,
+                                                    reload_circuit_request>) {
+                    return handle_reload(q.id, p);
+                } else if constexpr (std::is_same_v<T, list_circuits_request>) {
+                    return handle_list(q.id, p);
                 } else if constexpr (std::is_same_v<T, stats_request>) {
                     return handle_stats(q.id);
                 } else if constexpr (std::is_same_v<T, evict_request>) {
@@ -63,23 +73,39 @@ response service::handle(const request& q) {
                 }
             },
             q.payload);
+    } catch (const registry_error& e) {
+        return make_error(q.id, e.what(), e.code());
     } catch (const std::exception& e) {
         return make_error(q.id, e.what());
     }
 }
 
+namespace {
+
+/// Shared parse step for load/register/reload: exactly one netlist source
+/// (inline .bench text, a file path, or a generated suite circuit).
+netlist parse_circuit_source(const char* what, const std::string& bench,
+                             const std::string& path, const std::string& suite,
+                             const std::string& name) {
+    const int sources = (bench.empty() ? 0 : 1) + (path.empty() ? 0 : 1) +
+                        (suite.empty() ? 0 : 1);
+    require(sources == 1,
+            std::string(what) +
+                ": exactly one of bench/path/suite must be given");
+    netlist nl = !bench.empty()
+                     ? read_bench_string(bench, name.empty() ? "bench" : name)
+                 : !path.empty() ? read_bench_file(path)
+                                 : build_suite_circuit(suite);
+    if (!name.empty()) nl.set_name(name);
+    return nl;
+}
+
+}  // namespace
+
 response service::handle_load(std::uint64_t id,
                               const load_circuit_request& p) {
-    const int sources = (p.bench.empty() ? 0 : 1) + (p.path.empty() ? 0 : 1) +
-                        (p.suite.empty() ? 0 : 1);
-    require(sources == 1,
-            "load_circuit: exactly one of bench/path/suite must be given");
-    netlist nl = !p.bench.empty()
-                     ? read_bench_string(p.bench,
-                                         p.name.empty() ? "bench" : p.name)
-                 : !p.path.empty() ? read_bench_file(p.path)
-                                   : build_suite_circuit(p.suite);
-    if (!p.name.empty()) nl.set_name(p.name);
+    netlist nl =
+        parse_circuit_source("load_circuit", p.bench, p.path, p.suite, p.name);
     // Growing the circuit table invalidates concurrent readers: wait for
     // in-flight jobs to finish, then mutate exclusively. Parsing and
     // generation above stay outside the lock.
@@ -103,10 +129,76 @@ response service::handle_load(std::uint64_t id,
     return r;
 }
 
+response service::handle_register(std::uint64_t id,
+                                  const register_circuit_request& p) {
+    netlist nl = parse_circuit_source("register_circuit", p.bench, p.path,
+                                      p.suite, p.name);
+    const netlist_stats st = nl.stats();
+    // Registration reserves a handle (reshaping the session's table) but
+    // compiles nothing — the first named job pays for the view.
+    write_lock session_lock(session_mutex_);
+    const registry::registered reg =
+        registry_.register_circuit(*session_, p.tenant, p.name, std::move(nl));
+    {
+        lock_guard cache_lock(cache_mutex_);
+        handle_tenant_.try_emplace(reg.handle, p.tenant);
+    }
+    register_circuit_response out;
+    out.tenant = p.tenant;
+    out.name = p.name;
+    out.circuit = reg.handle;
+    out.revision = reg.revision;
+    out.inputs = st.input_count;
+    out.outputs = st.output_count;
+    out.gates = st.gate_count;
+    response r;
+    r.id = id;
+    r.payload = std::move(out);
+    return r;
+}
+
+response service::handle_reload(std::uint64_t id,
+                                const reload_circuit_request& p) {
+    netlist nl = parse_circuit_source("reload_circuit", p.bench, p.path,
+                                      p.suite, p.name);
+    // Exclusive: every in-flight job drains before the swap, so a request
+    // only ever observes one revision end to end.
+    write_lock session_lock(session_mutex_);
+    const registry::reloaded rl =
+        registry_.reload_circuit(*session_, p.tenant, p.name, std::move(nl));
+    reload_circuit_response out;
+    out.tenant = p.tenant;
+    out.name = p.name;
+    out.circuit = rl.handle;
+    out.revision = rl.revision;
+    out.old_revision = rl.old_revision;
+    out.reloads = rl.reloads;
+    response r;
+    r.id = id;
+    r.payload = std::move(out);
+    return r;
+}
+
+response service::handle_list(std::uint64_t id,
+                              const list_circuits_request& p) {
+    read_lock session_lock(session_mutex_);
+    list_circuits_response out;
+    out.entries = registry_.list(p.tenant);
+    response r;
+    r.id = id;
+    r.payload = std::move(out);
+    return r;
+}
+
 response service::handle_stats(std::uint64_t id) {
     read_lock session_lock(session_mutex_);
     stats_response out;
     out.requests = requests_.load(std::memory_order_relaxed);
+    // Registry before cache: the lock order is session -> registry ->
+    // cache, and the per-tenant byte attribution lives under cache_mutex_.
+    const registry::counters rc = registry_.stats();
+    std::unordered_map<std::string, std::uint64_t>  // wrpt-lint: allow(dense-map)
+        tenant_bytes;
     {
         lock_guard cache_lock(cache_mutex_);
         out.cache_probes = cache_probes_;
@@ -115,12 +207,36 @@ response service::handle_stats(std::uint64_t id) {
         out.cache_entries = cache_entries_;
         out.cache_evictions = cache_evictions_;
         out.cache_bytes = cache_bytes_;
+        tenant_bytes = tenant_bytes_;
     }
     out.circuits = session_->circuit_count();
     const simd::isa active = simd::active_isa();
     out.simd_isa = simd::isa_name(active);
     out.simd_lanes = simd::lane_width(active);
-    for (std::size_t c = 0; c < session_->circuit_count(); ++c) {
+    if (rc.circuits > 0) {
+        const registry::tenant_quota& q = registry_.config().quota;
+        out.registry.present = true;
+        out.registry.circuits = rc.circuits;
+        out.registry.resident = rc.resident;
+        out.registry.max_views = registry_.config().max_views;
+        out.registry.view_evictions = rc.view_evictions;
+        out.registry.view_rebuilds = rc.view_rebuilds;
+        for (const registry::tenant_row& t : rc.tenants) {
+            tenant_stats_payload tp;
+            tp.tenant = t.tenant;
+            tp.circuits = t.circuits;
+            const auto bit = tenant_bytes.find(t.tenant);
+            tp.cache_bytes = bit == tenant_bytes.end()
+                                 ? 0
+                                 : static_cast<std::size_t>(bit->second);
+            tp.max_circuits = q.max_circuits;
+            tp.max_engines = q.max_engines;
+            tp.max_cache_bytes = static_cast<std::size_t>(q.max_cache_bytes);
+            tp.rejections = t.rejections;
+            out.registry.tenants.push_back(std::move(tp));
+        }
+    }
+    for (const std::size_t c : session_->handles()) {
         const engine_pool& pool = session_->pool(c);
         const engine_pool::counters pc = pool.stats();
         pool_stats_payload ps;
@@ -155,17 +271,18 @@ response service::handle_evict(std::uint64_t id, const evict_request& p) {
         cache_order_.clear();
         cache_entries_ = 0;
         cache_bytes_ = 0;
-        for (std::size_t c = 0; c < session_->circuit_count(); ++c)
+        tenant_bytes_.clear();
+        for (const std::size_t c : session_->handles())
             out.engines += session_->pool(c).evict(p.keep_engines);
     } else {
-        require(p.circuit < session_->circuit_count(),
-                "evict: bad circuit handle");
+        require(session_->has_circuit(p.circuit), "evict: bad circuit handle");
         // Two-level payoff: evicting one circuit drops its bucket whole
         // instead of scanning every cached key in the service.
         if (circuit_bucket* b = cache_.find(p.circuit)) {
             out.cache_entries = b->entries.size();
             cache_entries_ -= b->entries.size();
             cache_bytes_ -= b->bytes;
+            tenant_bytes_add(p.circuit, -static_cast<std::int64_t>(b->bytes));
             b->entries.clear();
             b->bytes = 0;
         }
@@ -217,10 +334,36 @@ std::string validate_options(const fault_sim_request&) { return {}; }
 
 }  // namespace
 
+std::string service::resolve_named(job_request& j, std::string* code) const {
+    const std::string name =
+        std::visit([](const auto& p) { return p.name; }, j);
+    if (name.empty()) return {};
+    const registry::resolution r = registry_.resolve(name);
+    if (!r.found) {
+        *code = "not-found";
+        return "unknown circuit '" + name + "'";
+    }
+    if (!r.resident || !session_->has_circuit(r.handle)) {
+        // Unreachable from run_jobs (residency is ensured under the same
+        // continuously-held session lock); defensive for future callers.
+        *code = "not-ready";
+        return "circuit '" + name + "' has no resident view";
+    }
+    // Rewrite to the handle spelling and drop the name, so the cache
+    // fingerprint below is shared with handle-addressed queries.
+    std::visit(
+        [&](auto& p) {
+            p.circuit = r.handle;
+            p.name.clear();
+        },
+        j);
+    return {};
+}
+
 std::string service::validate(const job_request& j) const {
     const std::size_t handle =
         std::visit([](const auto& p) { return p.circuit; }, j);
-    if (handle >= session_->circuit_count())
+    if (!session_->has_circuit(handle))
         return "bad circuit handle " + std::to_string(handle);
     const weight_vector& weights = std::visit(
         [](const auto& p) -> const weight_vector& { return p.weights; }, j);
@@ -299,10 +442,14 @@ void service::insert_cached(cache_locator key, const batch_session::result& r) {
     const std::uint64_t seq = ++cache_sequence_;
     circuit_bucket& b = cache_[key.circuit];
     if (b.revision != key.revision) {
-        // Re-stamped handle: the old revision's entries can never hit
-        // again — orphan the bucket wholesale.
+        // Re-stamped handle (hot reload): the old revision's entries can
+        // never hit again — orphan the bucket wholesale. Each entry
+        // counts as exactly one eviction here; the stale order records
+        // left in the FIFO are skipped silently below, never recounted.
+        cache_evictions_ += b.entries.size();
         cache_entries_ -= b.entries.size();
         cache_bytes_ -= b.bytes;
+        tenant_bytes_add(key.circuit, -static_cast<std::int64_t>(b.bytes));
         b.entries.clear();
         b.bytes = 0;
         b.revision = key.revision;
@@ -314,18 +461,26 @@ void service::insert_cached(cache_locator key, const batch_session::result& r) {
         // replace, keeping the accounting exact.
         b.bytes -= it->second.bytes;
         cache_bytes_ -= it->second.bytes;
+        tenant_bytes_add(key.circuit,
+                         -static_cast<std::int64_t>(it->second.bytes));
         --cache_entries_;
     }
     it->second = cache_entry{r, seq, cost};
     b.bytes += cost;
     cache_bytes_ += cost;
+    tenant_bytes_add(key.circuit, static_cast<std::int64_t>(cost));
     ++cache_entries_;
-    // The order index is only needed (and only maintained) under a cap;
-    // without one it would grow unboundedly for nothing.
-    if (options_.max_cache_entries == 0) return;
+    // The order index is only needed (and only maintained) under a cap —
+    // the global entry cap or a per-tenant byte quota; without either it
+    // would grow unboundedly for nothing.
+    if (options_.max_cache_entries == 0 &&
+        registry_.config().quota.max_cache_bytes == 0)
+        return;
+    const std::size_t inserted_circuit = key.circuit;
     cache_order_.push_back(
         order_record{key.circuit, seq, std::move(key.fingerprint)});
-    while (cache_entries_ > options_.max_cache_entries &&
+    while (options_.max_cache_entries != 0 &&
+           cache_entries_ > options_.max_cache_entries &&
            !cache_order_.empty()) {
         const order_record oldest = std::move(cache_order_.front());
         cache_order_.pop_front();
@@ -333,15 +488,70 @@ void service::insert_cached(cache_locator key, const batch_session::result& r) {
         if (ob == nullptr) continue;
         const auto oit = ob->entries.find(oldest.fingerprint);
         // Skip stale order records: the key was dropped by an evict
-        // request, or re-inserted later under a newer sequence.
+        // request or a reload orphan (already counted there), or
+        // re-inserted later under a newer sequence.
         if (oit != ob->entries.end() &&
             oit->second.sequence == oldest.sequence) {
             ob->bytes -= oit->second.bytes;
             cache_bytes_ -= oit->second.bytes;
+            tenant_bytes_add(oldest.circuit,
+                             -static_cast<std::int64_t>(oit->second.bytes));
             ob->entries.erase(oit);
             --cache_entries_;
             ++cache_evictions_;
         }
+    }
+    enforce_tenant_cache_quota(inserted_circuit);
+}
+
+void service::tenant_bytes_add(std::size_t circuit, std::int64_t delta) {
+    // Caller holds cache_mutex_.
+    const std::string* tenant = handle_tenant_.find(circuit);
+    if (tenant == nullptr) return;  // handle-loaded circuit: untracked
+    std::uint64_t& bytes = tenant_bytes_[*tenant];
+    bytes = static_cast<std::uint64_t>(static_cast<std::int64_t>(bytes) +
+                                       delta);
+}
+
+void service::enforce_tenant_cache_quota(std::size_t circuit) {
+    // Caller holds cache_mutex_.
+    const std::uint64_t cap = registry_.config().quota.max_cache_bytes;
+    if (cap == 0) return;
+    const std::string* tenant = handle_tenant_.find(circuit);
+    if (tenant == nullptr) return;
+    const auto bit = tenant_bytes_.find(*tenant);
+    if (bit == tenant_bytes_.end() || bit->second <= cap) return;
+    // Walk the global FIFO oldest-first without popping (records owned by
+    // other tenants must keep their place); entries this evicts leave
+    // stale records behind, skipped lazily like any other.
+    for (const order_record& rec : cache_order_) {
+        if (bit->second <= cap) break;
+        const std::string* owner = handle_tenant_.find(rec.circuit);
+        if (owner == nullptr || *owner != *tenant) continue;
+        circuit_bucket* ob = cache_.find(rec.circuit);
+        if (ob == nullptr) continue;
+        const auto oit = ob->entries.find(rec.fingerprint);
+        if (oit == ob->entries.end() || oit->second.sequence != rec.sequence)
+            continue;
+        ob->bytes -= oit->second.bytes;
+        cache_bytes_ -= oit->second.bytes;
+        bit->second -= oit->second.bytes;
+        ob->entries.erase(oit);
+        --cache_entries_;
+        ++cache_evictions_;
+    }
+    // Cheap compaction: drop leading records that no longer name a live
+    // entry, so repeated quota sweeps do not rescan a stale prefix.
+    while (!cache_order_.empty()) {
+        const order_record& front = cache_order_.front();
+        const circuit_bucket* fb = cache_.find(front.circuit);
+        if (fb != nullptr) {
+            const auto fit = fb->entries.find(front.fingerprint);
+            if (fit != fb->entries.end() &&
+                fit->second.sequence == front.sequence)
+                break;
+        }
+        cache_order_.pop_front();
     }
 }
 
@@ -415,12 +625,43 @@ response service::handle_matrix(std::uint64_t id, const matrix_request& p) {
     return r;
 }
 
+namespace {
+
+const std::string& job_name(const job_request& j) {
+    return std::visit(
+        [](const auto& p) -> const std::string& { return p.name; }, j);
+}
+
+}  // namespace
+
 std::vector<response> service::run_jobs(std::uint64_t id,
                                         const std::vector<job_request>& jobs) {
     // Shared session lock for the whole batch: the circuit table stays
     // stable under us while concurrent run_jobs callers from other
-    // connections proceed in parallel (only load_circuit excludes).
-    read_lock session_lock(session_mutex_);
+    // connections proceed in parallel (only load/register/reload exclude).
+    // Named jobs ride the same shared path as long as every named view is
+    // resident; unknown names resolve to typed errors without upgrading.
+    {
+        read_lock session_lock(session_mutex_);
+        bool compile = false;
+        for (const job_request& j : jobs) {
+            const std::string& name = job_name(j);
+            if (!name.empty() && registry_.needs_compile(name)) {
+                compile = true;
+                break;
+            }
+        }
+        if (!compile) return run_jobs_locked(id, jobs);
+    }
+    // Some named view needs compiling (first use, or evicted by the
+    // max_views LRU): take the session lock exclusively for the whole
+    // batch, so the views we materialize cannot be re-evicted by a
+    // concurrent batch before our jobs resolve against them.
+    write_lock session_lock(session_mutex_);
+    for (const job_request& j : jobs) {
+        const std::string& name = job_name(j);
+        if (!name.empty()) registry_.ensure_resident(*session_, name);
+    }
     return run_jobs_locked(id, jobs);
 }
 
@@ -441,11 +682,17 @@ std::vector<response> service::run_jobs_locked(
     std::vector<std::vector<std::size_t>> owners;  // per slot: job indices
     std::vector<job_request> to_run;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (std::string msg = validate(jobs[i]); !msg.empty()) {
+        job_request j = jobs[i];
+        std::string code;
+        if (std::string msg = resolve_named(j, &code); !msg.empty()) {
+            out[i] = make_error(id, msg, code);
+            continue;
+        }
+        if (std::string msg = validate(j); !msg.empty()) {
             out[i] = make_error(id, msg);
             continue;
         }
-        keys[i] = key_of(jobs[i]);
+        keys[i] = key_of(j);
         lock_guard cache_lock(cache_mutex_);
         if (const cache_entry* hit = probe_cached(keys[i])) {
             ++cache_hits_;
@@ -456,7 +703,7 @@ std::vector<response> service::run_jobs_locked(
             std::make_pair(keys[i].circuit, keys[i].fingerprint),
             to_run.size());
         if (fresh) {
-            to_run.push_back(jobs[i]);
+            to_run.push_back(std::move(j));
             owners.push_back({i});
         } else {
             owners[slot->second].push_back(i);
@@ -486,6 +733,10 @@ std::vector<response> service::run_jobs_locked(
         lock_guard cache_lock(cache_mutex_);
         for (std::size_t k = 0; k < to_run.size(); ++k) {
             if (!computed[k]) {
+                // Every owner probed (and was counted a probe) without
+                // hitting; account them as misses so `probes == hits +
+                // misses` holds even when the job itself fails.
+                cache_misses_ += owners[k].size();
                 for (const std::size_t i : owners[k])
                     out[i] = make_error(id, errors[k]);
                 continue;

@@ -30,13 +30,23 @@
 // individually — invalid entries get per-entry error envelopes while the
 // valid remainder still runs concurrently on the session pool.
 //
+// Circuit names: jobs may address a circuit as "tenant/name" instead of
+// a handle; the name is resolved through the registry (svc/registry.h)
+// under the session lock and rewritten away before the cache fingerprint
+// is built, so named and handle spellings of one query share an entry. A
+// batch whose named views are all resident runs under the shared lock;
+// one that needs a compile (lazy residency, or a view evicted by the
+// --max-views LRU) takes the lock exclusively for the batch.
+//
 // Concurrency: handle() is safe to call from many threads at once — the
 // contract the socket daemon (svc/server.h) runs one session per
 // connection on. Two locks split the shared state: a shared_mutex over
-// the session structure (load_circuit takes it exclusively while it
-// grows the circuit table; jobs, stats and evict share it) and a plain
-// mutex over the result cache and its counters, held only for probes and
-// inserts, never across a computation. Job results stay deterministic, so
+// the session structure (load/register/reload take it exclusively while
+// they reshape the circuit table; jobs, stats and evict share it) and a
+// plain mutex over the result cache and its counters, held only for
+// probes and inserts, never across a computation. The registry carries
+// its own shared_mutex between the two (lock order: session -> registry
+// -> cache). Job results stay deterministic, so
 // the race two connections can win against one cache key is benign: both
 // compute the same bits, each counts as a miss, the second insert
 // replaces an identical entry — and every job is still accounted as
@@ -53,6 +63,7 @@
 #include <vector>
 
 #include "exec/batch_session.h"
+#include "svc/registry.h"
 #include "svc/request.h"
 #include "util/dense_map.h"
 #include "util/sync.h"
@@ -71,6 +82,13 @@ public:
         /// Result-cache entry cap across all circuits (0 = unbounded);
         /// the oldest entries are evicted first.
         std::size_t max_cache_entries = 0;
+        /// Resident compiled views across the registry catalog (0 =
+        /// unbounded): registered circuits beyond this stay parsed-only
+        /// until a named job compiles them, evicting the coldest view.
+        std::size_t max_views = 0;
+        /// Uniform per-tenant limits for registered circuits (0 fields =
+        /// unbounded); see registry::tenant_quota.
+        registry::tenant_quota tenant_quota;
     };
 
     service();
@@ -106,6 +124,10 @@ public:
         std::uint64_t bytes = 0;   ///< approximate retained payload bytes
     };
     cache_counters cache_stats() const;
+
+    /// The named-circuit catalog (internally synchronized); tests and
+    /// tools read counters and rows from it directly.
+    const registry& catalog() const { return registry_; }
 
 private:
     /// Where an entry lives: level-1 handle, the revision the bucket must
@@ -147,6 +169,10 @@ private:
     };
 
     response handle_load(std::uint64_t id, const load_circuit_request& p);
+    response handle_register(std::uint64_t id,
+                             const register_circuit_request& p);
+    response handle_reload(std::uint64_t id, const reload_circuit_request& p);
+    response handle_list(std::uint64_t id, const list_circuits_request& p);
     response handle_stats(std::uint64_t id);
     response handle_evict(std::uint64_t id, const evict_request& p);
     response handle_matrix(std::uint64_t id, const matrix_request& p);
@@ -161,6 +187,13 @@ private:
         std::uint64_t id, const std::vector<job_request>& jobs)
         WRPT_REQUIRES_SHARED(session_mutex_);
 
+    /// Resolve a job's registry name (when set) to its handle, rewriting
+    /// the job in place — the name is cleared, so named and handle
+    /// spellings of the same query share one cache fingerprint. Returns a
+    /// non-empty message on failure and fills `code` with the typed
+    /// refusal class ("not-found" / "not-ready").
+    std::string resolve_named(job_request& j, std::string* code) const
+        WRPT_REQUIRES_SHARED(session_mutex_);
     /// Validate a job against the session (handle range, weight values);
     /// returns a non-empty message on failure.
     std::string validate(const job_request& j) const
@@ -173,6 +206,14 @@ private:
     const cache_entry* probe_cached(const cache_locator& key)
         WRPT_REQUIRES(cache_mutex_);
     void insert_cached(cache_locator key, const batch_session::result& r)
+        WRPT_REQUIRES(cache_mutex_);
+    /// Attribute `delta` cache bytes to the tenant owning `circuit` (a
+    /// no-op for handle-loaded circuits outside the registry).
+    void tenant_bytes_add(std::size_t circuit, std::int64_t delta)
+        WRPT_REQUIRES(cache_mutex_);
+    /// Evict the oldest cache entries of `circuit`'s tenant until its
+    /// bytes fit the per-tenant quota (no-op without a quota).
+    void enforce_tenant_cache_quota(std::size_t circuit)
         WRPT_REQUIRES(cache_mutex_);
     static response to_response(std::uint64_t id,
                                 const batch_session::result& r, bool cached);
@@ -193,6 +234,11 @@ private:
     std::unique_ptr<batch_session> session_
         WRPT_PT_GUARDED_BY(session_mutex_);
 
+    /// Named-circuit catalog. Internally synchronized with its own
+    /// shared_mutex, always acquired under session_mutex_ and never under
+    /// cache_mutex_ (lock order: session -> registry -> cache).
+    registry registry_;
+
     /// Level 1: handle -> bucket. Handles are consecutive, so every
     /// probe is a direct-index array load (count-free const reads are not
     /// needed here — the cache mutex serializes access).
@@ -208,6 +254,15 @@ private:
     std::uint64_t cache_evictions_ WRPT_GUARDED_BY(cache_mutex_) = 0;
     std::size_t cache_entries_ WRPT_GUARDED_BY(cache_mutex_) = 0;
     std::uint64_t cache_bytes_ WRPT_GUARDED_BY(cache_mutex_) = 0;
+    /// Handle -> owning tenant, for per-tenant cache accounting. Written
+    /// once per registration; handles are consecutive, so the probe on
+    /// every insert is a direct-index load.
+    util::dense_map<std::string, std::size_t> handle_tenant_
+        WRPT_GUARDED_BY(cache_mutex_);
+    /// Tenant -> retained result-cache bytes (string-keyed aggregate over
+    /// arbitrary tenant names, never iterated in result-affecting order).
+    std::unordered_map<std::string, std::uint64_t>  // wrpt-lint: allow(dense-map)
+        tenant_bytes_ WRPT_GUARDED_BY(cache_mutex_);
     std::atomic<std::uint64_t> requests_{0};
 };
 

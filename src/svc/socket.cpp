@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -254,6 +255,10 @@ void stream::shutdown_read() {
     if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
+void stream::shutdown_write() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
 void stream::shutdown_both() {
     if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -328,6 +333,35 @@ listener::listener(const endpoint& ep, int backlog) : endpoint_(ep) {
     }
 }
 
+namespace {
+
+/// Is anyone actually listening at the unix-domain `addr`? A non-blocking
+/// connect distinguishes a live listener (connects, or is in progress /
+/// backlogged) from an orphaned socket file whose listener died without
+/// cleanup (ECONNREFUSED). Anything unverifiable reports "alive", because
+/// the only caller uses "dead" as a license to unlink. A path that is not
+/// S_ISSOCK (a regular file squatting there) is "alive" up front: Linux
+/// answers ECONNREFUSED for those too, so the errno alone cannot clear a
+/// non-socket for deletion.
+bool unix_listener_alive(const std::string& path, address& addr) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISSOCK(st.st_mode)) return true;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return true;  // cannot probe: assume alive, never unlink
+    bool alive = true;
+    try {
+        set_fd_nonblocking(fd, true);
+        if (::connect(fd, addr.raw(), addr.length) != 0)
+            alive = errno != ECONNREFUSED;
+    } catch (const socket_error&) {
+        // fcntl failed: leave `alive` true — unverified means untouchable.
+    }
+    ::close(fd);
+    return alive;
+}
+
+}  // namespace
+
 void listener::init(const endpoint& ep, int backlog) {
     fd_ = open_socket(ep);
     if (ep.kind == endpoint::transport::tcp) {
@@ -336,10 +370,22 @@ void listener::init(const endpoint& ep, int backlog) {
     }
     address addr = to_address(ep);
     if (::bind(fd_, addr.raw(), addr.length) != 0) {
-        const int err = errno;
-        close();  // unlink_on_close_ is still false: never unlink a path
-                  // someone else owns
-        throw errno_error("socket: cannot bind " + ep.describe(), err);
+        int err = errno;
+        // A unix listener that died without cleanup leaves its socket
+        // file behind, and every restart would fail with EADDRINUSE
+        // forever. Probe before giving up: only a *verified-dead* path
+        // (bound file, nobody accepting) is unlinked and rebound — a live
+        // listener or an unverifiable path keeps the original error.
+        if (err == EADDRINUSE && ep.kind == endpoint::transport::unix_domain &&
+            !unix_listener_alive(ep.path, addr)) {
+            ::unlink(ep.path.c_str());
+            err = ::bind(fd_, addr.raw(), addr.length) == 0 ? 0 : errno;
+        }
+        if (err != 0) {
+            close();  // unlink_on_close_ is still false: never unlink a
+                      // path someone else owns
+            throw errno_error("socket: cannot bind " + ep.describe(), err);
+        }
     }
     unlink_on_close_ = ep.kind == endpoint::transport::unix_domain;
     if (::listen(fd_, backlog) != 0) {

@@ -132,6 +132,9 @@ public:
     /// this fd wakes with EOF. Safe to call from another thread while a
     /// reader is blocked (the fd stays open, so no lifetime race).
     void shutdown_read();
+    /// Half-close the write side: the peer sees EOF after draining what
+    /// was already sent; this end can still receive.
+    void shutdown_write();
     /// Full close of both directions, fd stays owned until destruction.
     void shutdown_both();
 
@@ -258,6 +261,9 @@ public:
     /// Unframed bytes — no newline appended; how the tests impersonate
     /// hostile/slow clients.
     void send_raw(std::string_view bytes);
+    /// Half-close the write side (the daemon sees EOF) while responses
+    /// can still be drained — the orderly "no more requests" signal.
+    void shutdown_write() { stream_.shutdown_write(); }
     line_status recv_line(std::string& out, int timeout_ms = -1);
 
     /// Typed I/O: encode-and-send / receive-and-decode one response.

@@ -535,6 +535,10 @@ void append_request(const request& q, std::string& out) {
                 w.field("req", "test_length");
                 w.field_u64("id", q.id);
                 w.field_u64("circuit", p.circuit);
+                // Registry addressing is opt-in: the "name" key appears
+                // only when used, so handle-addressed encodings are
+                // byte-identical to the pre-registry wire format.
+                if (!p.name.empty()) w.field("name", p.name);
                 w.field_weights("weights", p.weights);
                 w.field_double("confidence", p.confidence);
                 w.field_u64("threads", p.threads);
@@ -542,6 +546,7 @@ void append_request(const request& q, std::string& out) {
                 w.field("req", "optimize");
                 w.field_u64("id", q.id);
                 w.field_u64("circuit", p.circuit);
+                if (!p.name.empty()) w.field("name", p.name);
                 w.field_weights("weights", p.weights);
                 w.key("options");
                 put_options(out, p.options);
@@ -549,6 +554,7 @@ void append_request(const request& q, std::string& out) {
                 w.field("req", "fault_sim");
                 w.field_u64("id", q.id);
                 w.field_u64("circuit", p.circuit);
+                if (!p.name.empty()) w.field("name", p.name);
                 w.field_weights("weights", p.weights);
                 w.field_u64("patterns", p.patterns);
                 w.field_u64("seed", p.seed);
@@ -587,6 +593,26 @@ void append_request(const request& q, std::string& out) {
             } else if constexpr (std::is_same_v<T, shutdown_request>) {
                 w.field("req", "shutdown");
                 w.field_u64("id", q.id);
+            } else if constexpr (std::is_same_v<T, register_circuit_request>) {
+                w.field("req", "register_circuit");
+                w.field_u64("id", q.id);
+                w.field("tenant", p.tenant);
+                w.field("name", p.name);
+                w.field("bench", p.bench);
+                w.field("path", p.path);
+                w.field("suite", p.suite);
+            } else if constexpr (std::is_same_v<T, reload_circuit_request>) {
+                w.field("req", "reload_circuit");
+                w.field_u64("id", q.id);
+                w.field("tenant", p.tenant);
+                w.field("name", p.name);
+                w.field("bench", p.bench);
+                w.field("path", p.path);
+                w.field("suite", p.suite);
+            } else if constexpr (std::is_same_v<T, list_circuits_request>) {
+                w.field("req", "list_circuits");
+                w.field_u64("id", q.id);
+                if (!p.tenant.empty()) w.field("tenant", p.tenant);
             }
         },
         q.payload);
@@ -624,6 +650,7 @@ request decode_request(std::string_view line) {
     } else if (kind == "test_length") {
         test_length_request p;
         p.circuit = get_size(o, "circuit", 0);
+        p.name = get_string(o, "name", "");
         p.weights = get_weights(o, "weights");
         p.confidence = get_double(o, "confidence", 0.0);
         p.threads = static_cast<unsigned>(get_u64(o, "threads", 1));
@@ -631,12 +658,14 @@ request decode_request(std::string_view line) {
     } else if (kind == "optimize") {
         optimize_request p;
         p.circuit = get_size(o, "circuit", 0);
+        p.name = get_string(o, "name", "");
         p.weights = get_weights(o, "weights");
         p.options = get_options(o, "options");
         q.payload = std::move(p);
     } else if (kind == "fault_sim") {
         fault_sim_request p;
         p.circuit = get_size(o, "circuit", 0);
+        p.name = get_string(o, "name", "");
         p.weights = get_weights(o, "weights");
         p.patterns = get_u64(o, "patterns", p.patterns);
         p.seed = get_u64(o, "seed", p.seed);
@@ -685,6 +714,26 @@ request decode_request(std::string_view line) {
         q.payload = std::move(p);
     } else if (kind == "shutdown") {
         q.payload = shutdown_request{};
+    } else if (kind == "register_circuit") {
+        register_circuit_request p;
+        p.tenant = get_string(o, "tenant", "");
+        p.name = get_string(o, "name", "");
+        p.bench = get_string(o, "bench", "");
+        p.path = get_string(o, "path", "");
+        p.suite = get_string(o, "suite", "");
+        q.payload = std::move(p);
+    } else if (kind == "reload_circuit") {
+        reload_circuit_request p;
+        p.tenant = get_string(o, "tenant", "");
+        p.name = get_string(o, "name", "");
+        p.bench = get_string(o, "bench", "");
+        p.path = get_string(o, "path", "");
+        p.suite = get_string(o, "suite", "");
+        q.payload = std::move(p);
+    } else if (kind == "list_circuits") {
+        list_circuits_request p;
+        p.tenant = get_string(o, "tenant", "");
+        q.payload = std::move(p);
     } else {
         bad("unknown request kind \"" + kind + "\"");
     }
@@ -707,6 +756,9 @@ void append_response(const response& r, std::string& out) {
             if constexpr (std::is_same_v<T, error_response>) {
                 w.field("resp", "error");
                 w.field("error", p.message);
+                // Typed refusals ("quota", "not_found", ...) carry a code;
+                // generic envelopes stay byte-identical to the old format.
+                if (!p.code.empty()) w.field("code", p.code);
             } else if constexpr (std::is_same_v<T, load_circuit_response>) {
                 w.field("resp", "load_circuit");
                 w.field_u64("circuit", p.circuit);
@@ -797,6 +849,38 @@ void append_response(const response& r, std::string& out) {
                     out.push_back('}');
                 }
                 out.push_back(']');
+                // Registry catalog section: encoded only once a circuit
+                // has been registered, so registry-free transcripts are
+                // byte-identical to the pre-registry wire format.
+                if (p.registry.present) {
+                    const registry_stats_payload& rg = p.registry;
+                    w.key("registry");
+                    out.push_back('{');
+                    owriter c{out};
+                    c.field_u64("circuits", rg.circuits);
+                    c.field_u64("resident", rg.resident);
+                    c.field_u64("max_views", rg.max_views);
+                    c.field_u64("view_evictions", rg.view_evictions);
+                    c.field_u64("view_rebuilds", rg.view_rebuilds);
+                    c.key("tenants");
+                    out.push_back('[');
+                    for (std::size_t i = 0; i < rg.tenants.size(); ++i) {
+                        if (i) out.push_back(',');
+                        const tenant_stats_payload& ts = rg.tenants[i];
+                        out.push_back('{');
+                        owriter t{out};
+                        t.field("tenant", ts.tenant);
+                        t.field_u64("circuits", ts.circuits);
+                        t.field_u64("cache_bytes", ts.cache_bytes);
+                        t.field_u64("max_circuits", ts.max_circuits);
+                        t.field_u64("max_engines", ts.max_engines);
+                        t.field_u64("max_cache_bytes", ts.max_cache_bytes);
+                        t.field_u64("rejections", ts.rejections);
+                        out.push_back('}');
+                    }
+                    out.push_back(']');
+                    out.push_back('}');
+                }
                 // Socket-server admission section: encoded last, and
                 // only when a svc::server stamped it, so stdin-daemon
                 // and in-process transcripts are byte-identical to the
@@ -827,6 +911,41 @@ void append_response(const response& r, std::string& out) {
                 w.field_u64("engines", p.engines);
             } else if constexpr (std::is_same_v<T, shutdown_response>) {
                 w.field("resp", "shutdown");
+            } else if constexpr (std::is_same_v<T, register_circuit_response>) {
+                w.field("resp", "register_circuit");
+                w.field("tenant", p.tenant);
+                w.field("name", p.name);
+                w.field_u64("circuit", p.circuit);
+                w.field_u64("revision", p.revision);
+                w.field_u64("inputs", p.inputs);
+                w.field_u64("outputs", p.outputs);
+                w.field_u64("gates", p.gates);
+            } else if constexpr (std::is_same_v<T, reload_circuit_response>) {
+                w.field("resp", "reload_circuit");
+                w.field("tenant", p.tenant);
+                w.field("name", p.name);
+                w.field_u64("circuit", p.circuit);
+                w.field_u64("revision", p.revision);
+                w.field_u64("old_revision", p.old_revision);
+                w.field_u64("reloads", p.reloads);
+            } else if constexpr (std::is_same_v<T, list_circuits_response>) {
+                w.field("resp", "list_circuits");
+                w.key("entries");
+                out.push_back('[');
+                for (std::size_t i = 0; i < p.entries.size(); ++i) {
+                    if (i) out.push_back(',');
+                    const catalog_entry_payload& e = p.entries[i];
+                    out.push_back('{');
+                    owriter c{out};
+                    c.field("tenant", e.tenant);
+                    c.field("name", e.name);
+                    c.field_u64("circuit", e.circuit);
+                    c.field_u64("revision", e.revision);
+                    c.field_bool("resident", e.resident);
+                    c.field_u64("reloads", e.reloads);
+                    out.push_back('}');
+                }
+                out.push_back(']');
             }
         },
         r.payload);
@@ -859,6 +978,7 @@ response decode_response_value(const jvalue& o) {
     if (kind == "error") {
         error_response p;
         p.message = get_string(o, "error", "");
+        p.code = get_string(o, "code", "");
         r.payload = std::move(p);
     } else if (kind == "load_circuit") {
         load_circuit_response p;
@@ -946,6 +1066,34 @@ response decode_response_value(const jvalue& o) {
                 p.pools.push_back(ps);
             }
         }
+        if (const jvalue* v = o.find("registry")) {
+            if (v->kind != jvalue::obj_v) bad("\"registry\" must be an object");
+            registry_stats_payload rg;
+            rg.present = true;
+            rg.circuits = get_size(*v, "circuits", 0);
+            rg.resident = get_size(*v, "resident", 0);
+            rg.max_views = get_size(*v, "max_views", 0);
+            rg.view_evictions = get_u64(*v, "view_evictions", 0);
+            rg.view_rebuilds = get_u64(*v, "view_rebuilds", 0);
+            if (const jvalue* ta = v->find("tenants")) {
+                if (ta->kind != jvalue::arr_v)
+                    bad("\"tenants\" must be an array");
+                for (const jvalue& e : ta->arr) {
+                    if (e.kind != jvalue::obj_v)
+                        bad("\"tenants\" must hold objects");
+                    tenant_stats_payload ts;
+                    ts.tenant = get_string(e, "tenant", "");
+                    ts.circuits = get_size(e, "circuits", 0);
+                    ts.cache_bytes = get_size(e, "cache_bytes", 0);
+                    ts.max_circuits = get_size(e, "max_circuits", 0);
+                    ts.max_engines = get_size(e, "max_engines", 0);
+                    ts.max_cache_bytes = get_size(e, "max_cache_bytes", 0);
+                    ts.rejections = get_u64(e, "rejections", 0);
+                    rg.tenants.push_back(std::move(ts));
+                }
+            }
+            p.registry = std::move(rg);
+        }
         if (const jvalue* v = o.find("server")) {
             if (v->kind != jvalue::obj_v) bad("\"server\" must be an object");
             server_stats_payload sv;
@@ -973,6 +1121,43 @@ response decode_response_value(const jvalue& o) {
         r.payload = std::move(p);
     } else if (kind == "shutdown") {
         r.payload = shutdown_response{};
+    } else if (kind == "register_circuit") {
+        register_circuit_response p;
+        p.tenant = get_string(o, "tenant", "");
+        p.name = get_string(o, "name", "");
+        p.circuit = get_size(o, "circuit", 0);
+        p.revision = get_u64(o, "revision", 0);
+        p.inputs = get_size(o, "inputs", 0);
+        p.outputs = get_size(o, "outputs", 0);
+        p.gates = get_size(o, "gates", 0);
+        r.payload = std::move(p);
+    } else if (kind == "reload_circuit") {
+        reload_circuit_response p;
+        p.tenant = get_string(o, "tenant", "");
+        p.name = get_string(o, "name", "");
+        p.circuit = get_size(o, "circuit", 0);
+        p.revision = get_u64(o, "revision", 0);
+        p.old_revision = get_u64(o, "old_revision", 0);
+        p.reloads = get_u64(o, "reloads", 0);
+        r.payload = std::move(p);
+    } else if (kind == "list_circuits") {
+        list_circuits_response p;
+        if (const jvalue* v = o.find("entries")) {
+            if (v->kind != jvalue::arr_v) bad("\"entries\" must be an array");
+            for (const jvalue& e : v->arr) {
+                if (e.kind != jvalue::obj_v)
+                    bad("\"entries\" must hold objects");
+                catalog_entry_payload ce;
+                ce.tenant = get_string(e, "tenant", "");
+                ce.name = get_string(e, "name", "");
+                ce.circuit = get_size(e, "circuit", 0);
+                ce.revision = get_u64(e, "revision", 0);
+                ce.resident = get_bool(e, "resident", false);
+                ce.reloads = get_u64(e, "reloads", 0);
+                p.entries.push_back(std::move(ce));
+            }
+        }
+        r.payload = std::move(p);
     } else {
         bad("unknown response kind \"" + kind + "\"");
     }

@@ -15,13 +15,17 @@
 #include "svc/server.h"
 
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -152,6 +156,61 @@ TEST(socket_endpoint, bind_failures_carry_the_errno_text) {
         EXPECT_NE(std::string(e.what()).find("in use"), std::string::npos)
             << e.what();
     }
+}
+
+TEST(socket_endpoint, stale_unix_socket_files_are_reclaimed) {
+    // A daemon killed without cleanup leaves its socket file behind;
+    // rebinding the same path must succeed once a probe verifies no
+    // listener is alive behind it (connect -> ECONNREFUSED), instead of
+    // failing EADDRINUSE forever.
+    const endpoint ep = unique_unix_endpoint();
+    {
+        // Fabricate the stale file with raw syscalls: bind creates the
+        // filesystem entry, closing the fd without unlink leaves it
+        // orphaned — exactly the SIGKILL aftermath.
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        ASSERT_LT(ep.path.size(), sizeof(sa.sun_path));
+        std::memcpy(sa.sun_path, ep.path.c_str(), ep.path.size() + 1);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&sa),
+                         sizeof(sa)),
+                  0);
+        ASSERT_EQ(::listen(fd, 1), 0);
+        ASSERT_EQ(::close(fd), 0);
+    }
+    ASSERT_TRUE(std::filesystem::exists(ep.path)) << "stale file expected";
+
+    // The new daemon binds the same path and serves normally.
+    service svc;
+    server srv(svc, ep);
+    client c(srv.where());
+    request stats;
+    stats.id = 1;
+    stats.payload = stats_request{};
+    EXPECT_TRUE(c.roundtrip(stats).ok);
+    srv.stop();
+    srv.wait();
+
+    // A REGULAR file on the path is not a dead listener: the probe sees
+    // ENOTSOCK, nothing is unlinked, and the bind failure surfaces.
+    const endpoint file_ep = unique_unix_endpoint();
+    {
+        std::ofstream out(file_ep.path);
+        out << "precious data, not a socket\n";
+    }
+    try {
+        listener l(file_ep);
+        FAIL() << "binding over a regular file must throw";
+    } catch (const socket_error& e) {
+        EXPECT_NE(std::string(e.what()).find("cannot bind"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_TRUE(std::filesystem::exists(file_ep.path))
+        << "the probe must never unlink a non-socket";
+    std::filesystem::remove(file_ep.path);
 }
 
 // --- poller backend selection -----------------------------------------------
@@ -828,6 +887,54 @@ TEST(server, slow_readers_are_refused_and_dropped) {
     srv.stop();
     srv.wait();
     EXPECT_GE(srv.stats().queue_drops, 1u);
+}
+
+TEST(server, slow_but_draining_readers_receive_the_whole_stream) {
+    // send_timeout bounds a *stall*, not the whole transfer: a client
+    // that EOF'd its request side and drains its responses slowly — each
+    // pause well under the timeout, the total far over it — must receive
+    // every line. (A deadline armed once and never cleared on progress
+    // would cut this client off mid-stream.)
+    service svc;
+    server::options opt;
+    opt.send_timeout_ms = 250;  // total drain below takes several times this
+    opt.max_queue_bytes = 0;    // isolate the deadline: no slow-reader drop
+    server srv(svc, unique_unix_endpoint(), opt);
+
+    client c(srv.where());
+    ASSERT_TRUE(c.roundtrip(load_request(small_circuit(64), 1)).ok);
+
+    // Pipeline a response volume far beyond kernel socket buffering, so
+    // the server still holds outbox bytes when it sees our EOF and arms
+    // the drop deadline.
+    constexpr std::uint64_t kBursts = 48;
+    request mx;
+    matrix_request m;
+    m.kind = job_kind::test_length;
+    m.circuits.assign(128, 0);  // ~20KB per encoded response, cache hits
+    m.weight_sets = {{}};
+    mx.payload = std::move(m);
+    for (std::uint64_t i = 0; i < kBursts; ++i) {
+        mx.id = 100 + i;
+        c.send(mx);
+    }
+    c.shutdown_write();  // orderly EOF: no more requests, still reading
+
+    // Drain slowly: ~40ms between lines keeps every stall far under the
+    // 250ms grace while the full transfer takes ~2s.
+    std::uint64_t received = 0;
+    std::string line;
+    while (c.recv_line(line, /*timeout_ms=*/10000) == line_status::ok) {
+        const response r = decode_response(line);
+        EXPECT_TRUE(r.ok) << std::get<error_response>(r.payload).message;
+        ++received;
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+    EXPECT_EQ(received, kBursts);
+    srv.stop();
+    srv.wait();
+    EXPECT_EQ(srv.stats().timeouts, 0u);
+    EXPECT_EQ(srv.stats().queue_drops, 0u);
 }
 
 TEST(server, request_flow_control_pauses_reads_without_dropping) {

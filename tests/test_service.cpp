@@ -229,6 +229,115 @@ TEST(wire, every_response_kind_round_trips_byte_for_byte) {
     expect_response_roundtrip(shutdown);
 }
 
+TEST(wire, registry_request_kinds_round_trip_byte_for_byte) {
+    request reg;
+    reg.id = 20;
+    register_circuit_request rp;
+    rp.tenant = "acme";
+    rp.name = "alu/v2";  // names may contain '/', tenants may not
+    rp.bench = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+    reg.payload = rp;
+    expect_request_roundtrip(reg);
+
+    request rel;
+    rel.id = 21;
+    reload_circuit_request lp;
+    lp.tenant = "acme";
+    lp.name = "alu/v2";
+    lp.suite = "S1";
+    rel.payload = lp;
+    expect_request_roundtrip(rel);
+
+    request list;
+    list.id = 22;
+    list.payload = list_circuits_request{"acme"};
+    expect_request_roundtrip(list);
+    request list_all;
+    list_all.payload = list_circuits_request{};
+    expect_request_roundtrip(list_all);
+
+    // Named jobs: the "name" field rides every job kind and survives.
+    request named;
+    named.id = 23;
+    test_length_request tp;
+    tp.name = "acme/alu/v2";
+    tp.confidence = 0.99;
+    named.payload = tp;
+    expect_request_roundtrip(named);
+    EXPECT_EQ(std::get<test_length_request>(
+                  decode_request(encode(named)).payload)
+                  .name,
+              "acme/alu/v2");
+}
+
+TEST(wire, registry_response_kinds_round_trip_byte_for_byte) {
+    response reg;
+    reg.id = 20;
+    register_circuit_response rr;
+    rr.tenant = "acme";
+    rr.name = "alu/v2";
+    rr.circuit = 3;
+    rr.revision = 99;
+    rr.inputs = 8;
+    rr.outputs = 2;
+    rr.gates = 40;
+    reg.payload = rr;
+    expect_response_roundtrip(reg);
+
+    response rel;
+    rel.id = 21;
+    reload_circuit_response lr;
+    lr.tenant = "acme";
+    lr.name = "alu/v2";
+    lr.circuit = 3;
+    lr.revision = 100;
+    lr.old_revision = 99;
+    lr.reloads = 7;
+    rel.payload = lr;
+    expect_response_roundtrip(rel);
+    const auto lback = std::get<reload_circuit_response>(
+        decode_response(encode(rel)).payload);
+    EXPECT_EQ(lback.old_revision, 99u);
+    EXPECT_EQ(lback.reloads, 7u);
+
+    response list;
+    list.id = 22;
+    list_circuits_response cr;
+    cr.entries.push_back({"acme", "alu/v2", 3, 100, true, 7});
+    cr.entries.push_back({"zeta", "mul", 4, 5, false, 0});
+    list.payload = cr;
+    expect_response_roundtrip(list);
+
+    // Typed error envelopes keep their code; untyped ones encode exactly
+    // as before the code field existed.
+    expect_response_roundtrip(
+        make_error(23, "tenant 'acme' is at its circuit quota (2)", "quota"));
+    const std::string untyped = encode(make_error(24, "boom"));
+    EXPECT_EQ(untyped.find("\"code\""), std::string::npos);
+    expect_response_roundtrip(make_error(24, "boom"));
+
+    // A stats response with the registry section present.
+    response stats;
+    stats_response sr;
+    sr.requests = 3;
+    sr.circuits = 1;
+    sr.registry.present = true;
+    sr.registry.circuits = 1000;
+    sr.registry.resident = 32;
+    sr.registry.max_views = 32;
+    sr.registry.view_evictions = 68;
+    sr.registry.view_rebuilds = 100;
+    sr.registry.tenants.push_back({"acme", 2, 4096, 2, 1, 65536, 5});
+    stats.payload = sr;
+    expect_response_roundtrip(stats);
+    // ...and absent from the wire when no circuit was ever registered, so
+    // pre-registry transcripts stay byte-identical.
+    response bare;
+    bare.payload = stats_response{};
+    EXPECT_EQ(encode(bare).find("\"registry\""), std::string::npos);
+    expect_response_roundtrip(bare);
+}
+
 TEST(wire, fuzzed_weight_vectors_survive_the_trip_losslessly) {
     rng r(0x5eed);
     for (int trial = 0; trial < 50; ++trial) {
@@ -808,6 +917,119 @@ TEST(service, cache_entry_cap_evicts_oldest_entries_first) {
         std::get<test_length_response>(query(0.999).payload).cached);
     EXPECT_TRUE(std::get<test_length_response>(query(0.99).payload).cached);
     EXPECT_FALSE(std::get<test_length_response>(query(0.9).payload).cached);
+}
+
+TEST(service, cache_accounting_balances_even_when_jobs_fail) {
+    service s;
+    const std::size_t c = load_comparator(s, "svc_balance");
+
+    auto stats_of = [&] {
+        request sq;
+        sq.payload = stats_request{};
+        return std::get<stats_response>(s.handle(sq).payload);
+    };
+
+    // A job that fails deep in the pipeline (patterns=0 passes request
+    // validation but throws inside the simulator) was still probed; it
+    // must be accounted as a miss, not dropped on the floor.
+    request bad;
+    matrix_request m;
+    m.kind = job_kind::fault_sim;
+    m.circuits = {c};
+    // Two spellings of the same doomed query: one computes (and fails),
+    // the duplicate rides the same failure — both are misses.
+    m.weight_sets = {weight_vector{},
+                     uniform_weights(s.session().circuit(c))};
+    m.patterns = 0;
+    bad.payload = std::move(m);
+    const response r = s.handle(bad);
+    ASSERT_TRUE(r.ok);
+    const auto& mr = std::get<matrix_response>(r.payload);
+    ASSERT_EQ(mr.results.size(), 2u);
+    EXPECT_FALSE(mr.results[0].ok);
+    EXPECT_FALSE(mr.results[1].ok);
+    {
+        const auto st = stats_of();
+        EXPECT_EQ(st.cache_probes, 2u);
+        EXPECT_EQ(st.cache_misses, 2u);
+        EXPECT_EQ(st.cache_hits, 0u);
+        EXPECT_EQ(st.cache_entries, 0u);  // failures are never cached
+    }
+
+    // Mixed successes keep the invariant: probes == hits + misses.
+    request good;
+    test_length_request p;
+    p.circuit = c;
+    good.payload = p;
+    ASSERT_TRUE(s.handle(good).ok);
+    ASSERT_TRUE(s.handle(good).ok);
+    const auto st = stats_of();
+    EXPECT_EQ(st.cache_probes, st.cache_hits + st.cache_misses);
+    EXPECT_EQ(st.cache_probes, 4u);
+    EXPECT_EQ(st.cache_hits, 1u);
+    EXPECT_EQ(st.cache_misses, 3u);
+}
+
+TEST(service, orphaned_buckets_count_each_evicted_entry_exactly_once) {
+    service s;
+    request reg;
+    register_circuit_request rp;
+    rp.tenant = "t";
+    rp.name = "orphan";
+    rp.bench = write_bench_string(make_cascaded_comparator(2, "orphan"));
+    reg.payload = std::move(rp);
+    ASSERT_TRUE(s.handle(reg).ok);
+
+    auto query = [&](double confidence) {
+        request q;
+        test_length_request p;
+        p.name = "t/orphan";
+        p.confidence = confidence;
+        q.payload = p;
+        return s.handle(q);
+    };
+    auto stats_of = [&] {
+        request sq;
+        sq.payload = stats_request{};
+        return std::get<stats_response>(s.handle(sq).payload);
+    };
+
+    ASSERT_TRUE(query(0.9).ok);
+    ASSERT_TRUE(query(0.99).ok);
+    ASSERT_EQ(stats_of().cache_entries, 2u);
+
+    // A reload re-stamps the revision; the first insert under the new
+    // revision orphans the whole stale bucket, counting each of its two
+    // entries exactly once.
+    request rel;
+    reload_circuit_request lp;
+    lp.tenant = "t";
+    lp.name = "orphan";
+    lp.bench = write_bench_string(make_cascaded_comparator(2, "orphan"));
+    rel.payload = std::move(lp);
+    ASSERT_TRUE(s.handle(rel).ok);
+    ASSERT_TRUE(query(0.9).ok);  // miss; insert orphans the old bucket
+    std::uint64_t evictions = 0;
+    {
+        const auto st = stats_of();
+        EXPECT_EQ(st.cache_evictions, 2u);
+        EXPECT_EQ(st.cache_entries, 1u);
+        EXPECT_EQ(st.cache_probes, st.cache_hits + st.cache_misses);
+        evictions = st.cache_evictions;
+    }
+
+    // Explicit per-circuit evict counts its one live entry, and the
+    // counter only ever moves up (monotonicity: no double counting, no
+    // correction underflow).
+    request eq;
+    evict_request ep;
+    ep.all = true;
+    eq.payload = ep;
+    ASSERT_TRUE(s.handle(eq).ok);
+    const auto st = stats_of();
+    EXPECT_EQ(st.cache_evictions, evictions + 1);
+    EXPECT_EQ(st.cache_entries, 0u);
+    EXPECT_GE(st.cache_evictions, evictions);
 }
 
 }  // namespace

@@ -84,10 +84,22 @@ optimize_options random_options(rng& r) {
     return o;
 }
 
+/// A registry address for name-addressed jobs and catalog requests:
+/// sometimes empty (the field stays off the wire), sometimes a plain
+/// token, sometimes hostile text with separators and escapes.
+std::string random_name(rng& r) {
+    switch (r.next_below(4)) {
+        case 0: return "";
+        case 1: return "acme/alu";
+        case 2: return "t/" + std::to_string(r.next_below(1000));
+        default: return random_text(r);
+    }
+}
+
 request random_request(rng& r, int depth = 0) {
     request q;
     q.id = r.next_word();
-    switch (r.next_below(depth == 0 ? 8 : 7)) {  // matrix only at top level
+    switch (r.next_below(depth == 0 ? 11 : 10)) {  // matrix only at top level
         case 0: {
             load_circuit_request p;
             p.name = random_text(r);
@@ -100,6 +112,7 @@ request random_request(rng& r, int depth = 0) {
         case 1: {
             test_length_request p;
             p.circuit = static_cast<std::size_t>(r.next_word());
+            p.name = random_name(r);
             p.weights = random_weights(r);
             p.confidence = finite_double(r);
             p.threads = static_cast<unsigned>(r.next_below(16));
@@ -109,6 +122,7 @@ request random_request(rng& r, int depth = 0) {
         case 2: {
             optimize_request p;
             p.circuit = r.next_below(1000);
+            p.name = random_name(r);
             p.weights = random_weights(r);
             p.options = random_options(r);
             q.payload = std::move(p);
@@ -117,6 +131,7 @@ request random_request(rng& r, int depth = 0) {
         case 3: {
             fault_sim_request p;
             p.circuit = r.next_below(1000);
+            p.name = random_name(r);
             p.weights = random_weights(r);
             p.patterns = r.next_word();
             p.seed = r.next_word();
@@ -138,6 +153,32 @@ request random_request(rng& r, int depth = 0) {
         }
         case 6: {
             q.payload = shutdown_request{};
+            break;
+        }
+        case 7: {
+            register_circuit_request p;
+            p.tenant = random_text(r);
+            p.name = random_name(r);
+            p.bench = random_text(r);
+            p.path = random_text(r);
+            p.suite = random_text(r);
+            q.payload = std::move(p);
+            break;
+        }
+        case 8: {
+            reload_circuit_request p;
+            p.tenant = random_text(r);
+            p.name = random_name(r);
+            p.bench = random_text(r);
+            p.path = random_text(r);
+            p.suite = random_text(r);
+            q.payload = std::move(p);
+            break;
+        }
+        case 9: {
+            list_circuits_request p;
+            p.tenant = random_text(r);
+            q.payload = std::move(p);
             break;
         }
         default: {
@@ -251,6 +292,11 @@ TEST(wire_fuzz, structured_garbage_decodes_or_raises_wire_error) {
         "{\"req\":\"stats\"} trailing",
         "{\"req\": \"stats\", \"id\": -1}",
         "{\"req\":\"matrix\",\"weight_sets\":[[[[[1]]]]]}",
+        "{\"req\":\"register_circuit\"}",
+        "{\"req\":\"register_circuit\",\"tenant\":7,\"name\":[]}",
+        "{\"req\":\"reload_circuit\",\"tenant\":\"t\",\"name\":null}",
+        "{\"req\":\"list_circuits\",\"tenant\":{\"a\":1}}",
+        "{\"req\":\"test_length\",\"name\":\"t/c\",\"circuit\":\"t/c\"}",
         "null",
         "[]",
         "\"stats\"",
@@ -297,9 +343,50 @@ TEST(wire_fuzz, responses_survive_mutation_too) {
         response resp;
         resp.id = r.next_word();
         resp.ok = r.next_below(2) == 0;
-        switch (r.next_below(3)) {
-            case 0: resp.payload = error_response{random_text(r)}; break;
+        switch (r.next_below(6)) {
+            case 0:
+                resp.payload = error_response{random_text(r), random_text(r)};
+                break;
             case 1: {
+                register_circuit_response p;
+                p.tenant = random_text(r);
+                p.name = random_name(r);
+                p.circuit = r.next_below(1000);
+                p.revision = r.next_word();
+                p.inputs = r.next_below(100);
+                p.outputs = r.next_below(100);
+                p.gates = r.next_below(10000);
+                resp.payload = std::move(p);
+                break;
+            }
+            case 2: {
+                reload_circuit_response p;
+                p.tenant = random_text(r);
+                p.name = random_name(r);
+                p.circuit = r.next_below(1000);
+                p.revision = r.next_word();
+                p.old_revision = r.next_word();
+                p.reloads = r.next_below(100);
+                resp.payload = std::move(p);
+                break;
+            }
+            case 3: {
+                list_circuits_response p;
+                const std::uint64_t rows = r.next_below(4);
+                for (std::uint64_t i = 0; i < rows; ++i) {
+                    catalog_entry_payload e;
+                    e.tenant = random_text(r);
+                    e.name = random_name(r);
+                    e.circuit = r.next_below(1000);
+                    e.revision = r.next_word();
+                    e.resident = r.next_below(2) == 0;
+                    e.reloads = r.next_below(100);
+                    p.entries.push_back(std::move(e));
+                }
+                resp.payload = std::move(p);
+                break;
+            }
+            case 4: {
                 test_length_response p;
                 p.circuit = r.next_below(100);
                 p.revision = r.next_word();
@@ -328,6 +415,28 @@ TEST(wire_fuzz, responses_survive_mutation_too) {
                     p.server.refused = r.next_word();
                     p.server.queue_drops = r.next_word();
                     p.server.accept_backoffs = r.next_word();
+                }
+                // Likewise for the registry section, with and without
+                // per-tenant quota rows.
+                if (r.next_below(2) == 0) {
+                    p.registry.present = true;
+                    p.registry.circuits = r.next_below(2000);
+                    p.registry.resident = r.next_below(64);
+                    p.registry.max_views = r.next_below(64);
+                    p.registry.view_evictions = r.next_word();
+                    p.registry.view_rebuilds = r.next_word();
+                    const std::uint64_t nt = r.next_below(3);
+                    for (std::uint64_t i = 0; i < nt; ++i) {
+                        tenant_stats_payload t;
+                        t.tenant = random_text(r);
+                        t.circuits = r.next_below(100);
+                        t.cache_bytes = r.next_below(1 << 20);
+                        t.max_circuits = r.next_below(100);
+                        t.max_engines = r.next_below(16);
+                        t.max_cache_bytes = r.next_below(1 << 20);
+                        t.rejections = r.next_word();
+                        p.registry.tenants.push_back(std::move(t));
+                    }
                 }
                 resp.payload = std::move(p);
                 break;

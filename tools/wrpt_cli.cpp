@@ -12,11 +12,17 @@
 //                     [--confidence 0.999] [--max-engines N]
 //   wrpt_cli serve    [-|pipe]  [--listen <port|unix:path>] [--threads N]
 //                     [--confidence 0.999] [--max-engines N] [--max-cache N]
+//                     [--max-views N] [--tenant-quota C[:E[:B]]]
 //                     [--max-line BYTES] [--idle-timeout-ms MS]
 //                     [--max-connections N] [--workers N]
 //                     [--queue-depth N] [--queue-bytes BYTES]
 //   wrpt_cli request  <port|unix:path> [--json '<request line>']
 //                     [--connect-timeout-ms 5000]
+//   wrpt_cli register <port|unix:path> --tenant T --name N
+//                     (--bench TXT | --path FILE | --suite NAME)
+//   wrpt_cli reload   <port|unix:path> --tenant T --name N
+//                     (--bench TXT | --path FILE | --suite NAME)
+//   wrpt_cli catalog  <port|unix:path> [--tenant T]
 //
 // <circuit> is either a .bench file path or a suite name (S1, S2, c432,
 // c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
@@ -401,6 +407,30 @@ int cmd_batch(const cli_options& opt) {
 constexpr int exit_serve_open_failure = 4;
 constexpr int exit_serve_bind_failure = 5;
 
+// --tenant-quota C[:E[:B]]: per-tenant registered-circuit cap, engine
+// cap per compiled view, and result-cache byte cap; any omitted or zero
+// field stays unbounded.
+svc::registry::tenant_quota parse_tenant_quota(const std::string& spec) {
+    svc::registry::tenant_quota q;
+    if (spec.empty()) return q;
+    std::istringstream in(spec);
+    std::string part;
+    for (int field = 0; std::getline(in, part, ':'); ++field) {
+        const std::uint64_t v = part.empty() ? 0 : std::stoull(part);
+        if (field == 0)
+            q.max_circuits = static_cast<std::size_t>(v);
+        else if (field == 1)
+            q.max_engines = static_cast<std::size_t>(v);
+        else if (field == 2)
+            q.max_cache_bytes = v;
+        else
+            throw wrpt::error("serve: --tenant-quota takes at most three "
+                              "':'-separated fields (circuits:engines:"
+                              "cache-bytes)");
+    }
+    return q;
+}
+
 // The persistent daemon: one JSON request per line in, one JSON response
 // per line out (flushed per response, so pipes see answers immediately).
 // Request-level failures — malformed JSON, unknown kinds, bad handles —
@@ -413,13 +443,23 @@ int cmd_serve(const cli_options& opt) {
     so.confidence = opt.flag_double("confidence", 0.999);
     so.max_engines = opt.flag_u64("max-engines", 0);
     so.max_cache_entries = opt.flag_u64("max-cache", 0);
+    so.max_views = opt.flag_u64("max-views", 0);
+    so.tenant_quota = parse_tenant_quota(opt.flag("tenant-quota", ""));
 
     // Startup banner on stderr (stdout stays a pure response stream):
     // which vector ISA the compute kernels dispatch to, so daemon logs
-    // pin down the hardware behind every timing.
+    // pin down the hardware behind every timing, plus the registry caps
+    // behind every quota refusal and view eviction (0 = unbounded).
     const simd::isa active = simd::active_isa();
     std::fprintf(stderr, "serve: simd %s x%u\n", simd::isa_name(active),
                  simd::lane_width(active));
+    std::fprintf(stderr,
+                 "serve: registry max-views %zu, tenant quota %zu circuits "
+                 "/ %zu engines / %llu cache bytes\n",
+                 so.max_views, so.tenant_quota.max_circuits,
+                 so.tenant_quota.max_engines,
+                 static_cast<unsigned long long>(
+                     so.tenant_quota.max_cache_bytes));
 
     const std::string listen = opt.flag("listen", "");
     if (!listen.empty()) {
@@ -537,11 +577,84 @@ int cmd_request(const cli_options& opt) {
     }
 }
 
+// One round trip to a daemon with a typed registry request; the raw
+// response line is printed as-is (the JSON envelope is the scriptable
+// interface), and the exit code mirrors the envelope's ok flag.
+int registry_roundtrip(const cli_options& opt, svc::request q) {
+    try {
+        const svc::endpoint ep = svc::endpoint::parse(opt.circuit);
+        svc::client client(
+            ep, static_cast<int>(opt.flag_u64("connect-timeout-ms", 5000)));
+        client.send_line(svc::encode(q));
+        std::string resp;
+        if (client.recv_line(resp) != svc::line_status::ok) {
+            std::fprintf(stderr, "%s: server closed before answering\n",
+                         opt.command.c_str());
+            return 1;
+        }
+        std::fwrite(resp.data(), 1, resp.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        const svc::response r = svc::decode_response(resp);
+        return r.ok ? 0 : 1;
+    } catch (const svc::socket_error& e) {
+        std::fprintf(stderr, "%s: %s\n", opt.command.c_str(), e.what());
+        return 1;
+    }
+}
+
+// `register` / `reload`: name a circuit "tenant/name" on a running
+// daemon. The source flags mirror load_circuit's (--bench inline text,
+// --path a .bench file, --suite a generator name); --path is read here,
+// client-side, so the daemon never needs the client's filesystem.
+int cmd_register(const cli_options& opt, bool reload) {
+    svc::request q;
+    q.id = opt.flag_u64("id", 0);
+    const std::string path = opt.flag("path", "");
+    std::string bench = opt.flag("bench", "");
+    if (!path.empty()) {
+        std::ifstream file(path);
+        if (!file.good())
+            throw wrpt::error(opt.command + ": cannot open '" + path + "'");
+        std::ostringstream text;
+        text << file.rdbuf();
+        bench = text.str();
+    }
+    if (reload) {
+        svc::reload_circuit_request p;
+        p.tenant = opt.flag("tenant", "");
+        p.name = opt.flag("name", "");
+        p.bench = std::move(bench);
+        p.suite = opt.flag("suite", "");
+        q.payload = std::move(p);
+    } else {
+        svc::register_circuit_request p;
+        p.tenant = opt.flag("tenant", "");
+        p.name = opt.flag("name", "");
+        p.bench = std::move(bench);
+        p.suite = opt.flag("suite", "");
+        q.payload = std::move(p);
+    }
+    return registry_roundtrip(opt, std::move(q));
+}
+
+// `catalog`: list a daemon's registered circuits, optionally filtered to
+// one tenant.
+int cmd_catalog(const cli_options& opt) {
+    svc::request q;
+    q.id = opt.flag_u64("id", 0);
+    svc::list_circuits_request p;
+    p.tenant = opt.flag("tenant", "");
+    q.payload = std::move(p);
+    return registry_roundtrip(opt, std::move(q));
+}
+
 int usage() {
     std::fprintf(
         stderr,
         "usage: wrpt_cli <stats|lengths|optimize|simulate|atpg|selftest|"
-        "batch|serve|request> <circuit|dir|-|endpoint> [--flag value]...\n"
+        "batch|serve|request|register|reload|catalog> "
+        "<circuit|dir|-|endpoint> [--flag value]...\n"
         "  circuit: .bench file or suite name (S1, S2, c432...c7552)\n"
         "  serve reads JSON-lines requests from stdin (-) or a pipe path,\n"
         "    or --listen <port|unix:path> accepts concurrent connections\n"
@@ -549,11 +662,15 @@ int usage() {
         "    (exit 4 = input open failure, 5 = socket bind failure)\n"
         "  request <port|unix:path> sends --json or stdin lines to a "
         "daemon\n"
+        "  register/reload <port|unix:path> --tenant T --name N with one "
+        "of --bench/--path/--suite; catalog <port|unix:path> [--tenant T]\n"
         "  flags: --confidence --estimator --weights --out --patterns "
         "--seed --backtracks --threads --stage-threads --optimize "
-        "--max-engines --max-cache --listen --max-line --idle-timeout-ms "
+        "--max-engines --max-cache --max-views --tenant-quota --listen "
+        "--max-line --idle-timeout-ms "
         "--send-timeout-ms --max-connections --workers --queue-depth "
-        "--queue-bytes --json --connect-timeout-ms\n");
+        "--queue-bytes --json --connect-timeout-ms --tenant --name "
+        "--bench --path --suite\n");
     return 64;
 }
 
@@ -590,6 +707,9 @@ int main(int argc, char** argv) {
         if (opt.command == "batch") return cmd_batch(opt);
         if (opt.command == "serve") return cmd_serve(opt);
         if (opt.command == "request") return cmd_request(opt);
+        if (opt.command == "register") return cmd_register(opt, false);
+        if (opt.command == "reload") return cmd_register(opt, true);
+        if (opt.command == "catalog") return cmd_catalog(opt);
         return usage();
     } catch (const wrpt::error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
